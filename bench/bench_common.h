@@ -1,0 +1,86 @@
+#ifndef DFLOW_BENCH_BENCH_COMMON_H_
+#define DFLOW_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the reproduction benchmarks. Each bench binary
+// regenerates one figure/claim of the paper (see DESIGN.md's
+// per-experiment index); the interesting output is the simulated metrics
+// exposed as benchmark counters:
+//   sim_ms   simulated completion time (virtual clock)
+//   net_MB   bytes across the storage uplink (the disaggregation boundary)
+// Wall time of the process measures the simulator and is not the result.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dflow/engine/engine.h"
+#include "dflow/workload/tpch_like.h"
+
+namespace dflow::bench {
+
+/// Engine with a lineitem table of the given size (shared per process).
+inline Engine& LineitemEngine(uint64_t rows, int nodes = 1) {
+  static std::unique_ptr<Engine> engine;
+  static uint64_t cached_rows = 0;
+  static int cached_nodes = 0;
+  if (!engine || cached_rows != rows || cached_nodes != nodes) {
+    sim::FabricConfig config;
+    config.num_compute_nodes = nodes;
+    engine = std::make_unique<Engine>(config);
+    LineitemSpec spec;
+    spec.rows = rows;
+    DFLOW_CHECK(
+        engine->catalog().Register(MakeLineitemTable(spec).ValueOrDie()).ok());
+    cached_rows = rows;
+    cached_nodes = nodes;
+  }
+  return *engine;
+}
+
+/// Q6-flavoured scan-filter-project-aggregate with a date-range predicate
+/// selecting roughly `selectivity` of the rows.
+inline QuerySpec Q6Like(double selectivity) {
+  QuerySpec spec;
+  spec.table = "lineitem";
+  const int32_t hi =
+      kShipdateLo +
+      static_cast<int32_t>(selectivity * (kShipdateHi - kShipdateLo));
+  spec.filter = Expr::Cmp(CompareOp::kLt, Expr::Col("l_shipdate"),
+                          Expr::Lit(Value::Date32(hi)));
+  spec.projections = {Expr::Arith(ArithOp::kMul, Expr::Col("l_extendedprice"),
+                                  Expr::Col("l_discount"))};
+  spec.projection_names = {"revenue"};
+  spec.aggregates = {{AggFunc::kSum, "revenue", "revenue"}};
+  return spec;
+}
+
+/// Q1-flavoured group-by over the return flag / line status pair.
+inline QuerySpec Q1Like() {
+  QuerySpec spec;
+  spec.table = "lineitem";
+  spec.group_by = {"l_returnflag", "l_linestatus"};
+  spec.aggregates = {{AggFunc::kSum, "l_quantity", "sum_qty"},
+                     {AggFunc::kSum, "l_extendedprice", "sum_price"},
+                     {AggFunc::kCount, "", "count"}};
+  return spec;
+}
+
+inline void ReportExecution(benchmark::State& state,
+                            const ExecutionReport& report) {
+  state.counters["sim_ms"] = static_cast<double>(report.sim_ns) / 1e6;
+  state.counters["net_MB"] =
+      static_cast<double>(report.network_bytes) / (1024.0 * 1024.0);
+  state.counters["membus_MB"] =
+      static_cast<double>(report.membus_bytes) / (1024.0 * 1024.0);
+}
+
+/// Fails the whole bench process loudly on setup/execution errors.
+template <typename T>
+inline T Must(Result<T> result) {
+  DFLOW_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace dflow::bench
+
+#endif  // DFLOW_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Figure 3: a streaming pipeline between NICs — projection directly on
+// storage, hashing (pre-aggregation) on the receiving NIC — versus the
+// CPU-centric plan. Three layouts of the same group-by query:
+//   conventional   everything on the CPU
+//   storage-only   projection/selection at the storage processor
+//   fig3-pipeline  projection at storage + pre-aggregation at the
+//                  receiving NIC (the figure's layout)
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 400'000;
+
+QuerySpec GroupByQuery() {
+  QuerySpec spec;
+  spec.table = "lineitem";
+  spec.filter = Expr::Cmp(CompareOp::kLt, Expr::Col("l_shipdate"),
+                          Expr::Lit(Value::Date32(kShipdateLo + 1500)));
+  spec.group_by = {"l_returnflag"};
+  spec.aggregates = {{AggFunc::kSum, "l_quantity", "sum_qty"},
+                     {AggFunc::kCount, "", "n"}};
+  return spec;
+}
+
+// Stage order for this query: decode, filter, agg*, agg.
+Placement MakePlacement(const char* name, std::vector<Site> sites) {
+  return Placement{std::move(sites), name};
+}
+
+void BM_Fig3(benchmark::State& state) {
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = GroupByQuery();
+  Placement placement;
+  switch (state.range(0)) {
+    case 0:
+      placement = MakePlacement(
+          "conventional",
+          {Site::kCpu, Site::kCpu, Site::kCpu, Site::kCpu});
+      break;
+    case 1:
+      placement = MakePlacement("storage-only",
+                                {Site::kStorageProc, Site::kStorageProc,
+                                 Site::kCpu, Site::kCpu});
+      break;
+    case 2:
+      placement = MakePlacement("fig3-pipeline",
+                                {Site::kStorageProc, Site::kStorageProc,
+                                 Site::kComputeNic, Site::kCpu});
+      break;
+  }
+  ExecutionReport report;
+  for (auto _ : state) {
+    report = Must(engine.ExecuteWithPlacement(spec, placement)).report;
+  }
+  ReportExecution(state, report);
+  state.counters["cpu_busy_ms"] =
+      static_cast<double>(report.device_busy_ns.count("cpu0")
+                              ? report.device_busy_ns.at("cpu0")
+                              : 0) /
+      1e6;
+  state.counters["ic_MB"] =
+      static_cast<double>(report.interconnect_bytes) / (1024.0 * 1024.0);
+  state.SetLabel(placement.name);
+}
+
+BENCHMARK(BM_Fig3)->DenseRange(0, 2)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Figure 3: projection on storage + hashing on the "
+               "receiving NIC ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 4: the scattering pipeline for a distributed, partitioned hash
+// join. The storage-side smart NIC partitions both relations on the fly and
+// streams each partition straight to its node; the baseline stages
+// everything through node 0's CPU and re-partitions there.
+//
+// Sweep: node count x exchange mode. Shape: NIC scattering wins, and the
+// win grows with node count (the CPU staging hop becomes the bottleneck).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+Engine& JoinEngine(int nodes) {
+  static std::unique_ptr<Engine> engine;
+  static int cached_nodes = 0;
+  if (!engine || cached_nodes != nodes) {
+    sim::FabricConfig config;
+    config.num_compute_nodes = nodes;
+    engine = std::make_unique<Engine>(config);
+    OrdersSpec orders;
+    orders.rows = 40'000;
+    LineitemSpec lineitem;
+    lineitem.rows = 200'000;
+    lineitem.num_orders = orders.rows;
+    DFLOW_CHECK(engine->catalog()
+                    .Register(MakeOrdersTable(orders).ValueOrDie())
+                    .ok());
+    DFLOW_CHECK(engine->catalog()
+                    .Register(MakeLineitemTable(lineitem).ValueOrDie())
+                    .ok());
+    cached_nodes = nodes;
+  }
+  return *engine;
+}
+
+void BM_Fig4(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const bool nic_scatter = state.range(1) == 1;
+  Engine& engine = JoinEngine(nodes);
+  JoinSpec join;
+  join.build_table = "orders";
+  join.probe_table = "lineitem";
+  join.build_key = "o_orderkey";
+  join.probe_key = "l_orderkey";
+  join.num_nodes = nodes;
+  join.exchange = nic_scatter ? JoinSpec::Exchange::kNicScatter
+                              : JoinSpec::Exchange::kCpuExchange;
+  JoinRunResult result;
+  for (auto _ : state) {
+    result = Must(engine.ExecutePartitionedJoin(join));
+  }
+  ReportExecution(state, result.report);
+  state.counters["joined_rows"] = static_cast<double>(result.total_rows);
+  state.counters["node0_cpu_ms"] =
+      static_cast<double>(result.report.device_busy_ns.count("cpu0")
+                              ? result.report.device_busy_ns.at("cpu0")
+                              : 0) /
+      1e6;
+  state.SetLabel(nic_scatter ? "nic-scatter" : "cpu-exchange");
+}
+
+BENCHMARK(BM_Fig4)
+    ->ArgsProduct({{2, 4, 8}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Figure 4: NIC-scattered distributed partitioned hash "
+               "join (nodes, nic?) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

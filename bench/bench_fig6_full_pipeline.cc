@@ -1,0 +1,111 @@
+// Figure 6: the full pipeline of processing stages along the data path —
+// storage processor, NICs, interconnect, near-memory accelerator, CPU — on
+// a small query suite, against (a) the CPU-centric data-flow plan and
+// (b) the legacy Volcano + buffer pool engine. The headline comparison of
+// the paper.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 400'000;
+
+QuerySpec CountQuery() {
+  QuerySpec spec;
+  spec.table = "lineitem";
+  spec.count_only = true;
+  return spec;
+}
+
+QuerySpec LikeQuery() {
+  // AQUA-style LIKE pushdown target (§3.3).
+  QuerySpec spec;
+  spec.table = "lineitem";
+  spec.filter = Expr::Like(Expr::Col("l_comment"), "%special%");
+  spec.projections = {Expr::Col("l_orderkey"), Expr::Col("l_comment")};
+  spec.projection_names = {"l_orderkey", "l_comment"};
+  return spec;
+}
+
+QuerySpec QueryForId(int id) {
+  switch (id) {
+    case 0:
+      return Q6Like(0.05);
+    case 1:
+      return Q1Like();
+    case 2:
+      return CountQuery();
+    default:
+      return LikeQuery();
+  }
+}
+
+const char* QueryName(int id) {
+  switch (id) {
+    case 0:
+      return "q6_revenue";
+    case 1:
+      return "q1_groupby";
+    case 2:
+      return "count_star";
+    default:
+      return "like_filter";
+  }
+}
+
+void BM_Fig6_Dataflow(benchmark::State& state) {
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = QueryForId(static_cast<int>(state.range(0)));
+  const bool offload = state.range(1) == 1;
+  ExecOptions options;
+  options.placement =
+      offload ? PlacementChoice::kAuto : PlacementChoice::kCpuOnly;
+  ExecutionReport report;
+  for (auto _ : state) {
+    report = Must(engine.Execute(spec, options)).report;
+  }
+  ReportExecution(state, report);
+  state.SetLabel(std::string(QueryName(static_cast<int>(state.range(0)))) +
+                 (offload ? "/dataflow" : "/cpu-centric"));
+}
+
+BENCHMARK(BM_Fig6_Dataflow)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig6_Volcano(benchmark::State& state) {
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = QueryForId(static_cast<int>(state.range(0)));
+  VolcanoRunResult result;
+  for (auto _ : state) {
+    result = Must(engine.ExecuteOnVolcano(spec, /*pool_pages=*/2048));
+  }
+  state.counters["sim_ms"] = static_cast<double>(result.sim_ns) / 1e6;
+  state.counters["net_MB"] =
+      static_cast<double>(result.bytes_fetched) / (1024.0 * 1024.0);
+  state.counters["resident_MB"] =
+      static_cast<double>(result.peak_resident_bytes) / (1024.0 * 1024.0);
+  state.SetLabel(std::string(QueryName(static_cast<int>(state.range(0)))) +
+                 "/volcano");
+}
+
+BENCHMARK(BM_Fig6_Volcano)
+    ->DenseRange(0, 3)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Figure 6: full data-path pipeline vs CPU-centric vs "
+               "legacy engine (query, offload?) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

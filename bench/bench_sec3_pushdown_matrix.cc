@@ -1,0 +1,103 @@
+// §3.3: "identifying the SQL operators that make sense to push down to the
+// storage layer ... for what data types does it make sense to filter them
+// at the storage rather than at the compute layer?"
+//
+// A pushdown gain matrix: operator class x {cpu, storage}, reporting
+// simulated time and network traffic. Includes the AQUA example — LIKE over
+// comments — which gains the most (big column, streaming regex-class
+// predicate, tiny survivor set).
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 400'000;
+
+QuerySpec QueryForOperator(int op) {
+  QuerySpec spec;
+  spec.table = "lineitem";
+  switch (op) {
+    case 0: {  // int/date range selection
+      spec.filter = Expr::Cmp(CompareOp::kLt, Expr::Col("l_shipdate"),
+                              Expr::Lit(Value::Date32(kShipdateLo + 250)));
+      spec.projections = {Expr::Col("l_orderkey")};
+      spec.projection_names = {"l_orderkey"};
+      break;
+    }
+    case 1: {  // double comparison
+      spec.filter = Expr::Cmp(CompareOp::kLt, Expr::Col("l_discount"),
+                              Expr::Lit(Value::Double(0.01)));
+      spec.projections = {Expr::Col("l_orderkey")};
+      spec.projection_names = {"l_orderkey"};
+      break;
+    }
+    case 2: {  // LIKE over the wide comment column (the AQUA case)
+      spec.filter = Expr::Like(Expr::Col("l_comment"), "%special%");
+      spec.projections = {Expr::Col("l_orderkey")};
+      spec.projection_names = {"l_orderkey"};
+      break;
+    }
+    case 3: {  // pure projection (no predicate)
+      spec.projections = {Expr::Col("l_orderkey"), Expr::Col("l_quantity")};
+      spec.projection_names = {"l_orderkey", "l_quantity"};
+      break;
+    }
+    default: {  // bounded pre-aggregation
+      spec.group_by = {"l_suppkey"};
+      spec.aggregates = {{AggFunc::kSum, "l_quantity", "sum_qty"}};
+      break;
+    }
+  }
+  return spec;
+}
+
+const char* OperatorName(int op) {
+  switch (op) {
+    case 0:
+      return "select_date";
+    case 1:
+      return "select_double";
+    case 2:
+      return "like_comment";
+    case 3:
+      return "project";
+    default:
+      return "preagg";
+  }
+}
+
+void BM_PushdownMatrix(benchmark::State& state) {
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = QueryForOperator(static_cast<int>(state.range(0)));
+  const bool pushdown = state.range(1) == 1;
+  ExecOptions options;
+  options.placement =
+      pushdown ? PlacementChoice::kFullOffload : PlacementChoice::kCpuOnly;
+  ExecutionReport report;
+  for (auto _ : state) {
+    report = Must(engine.Execute(spec, options)).report;
+  }
+  ReportExecution(state, report);
+  state.SetLabel(std::string(OperatorName(static_cast<int>(state.range(0)))) +
+                 (pushdown ? "/storage" : "/cpu"));
+}
+
+BENCHMARK(BM_PushdownMatrix)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 3.3: per-operator storage pushdown gain matrix "
+               "(operator, pushdown?) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

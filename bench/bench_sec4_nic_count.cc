@@ -1,0 +1,66 @@
+// §4.4: "a query returning only a COUNT can be executed directly on the
+// NIC that simply counts the data as it arrives and discards it" — the
+// whole query completes without transferring data to host memory.
+//
+// COUNT(*) placed at each site along the path. Shape: bytes past the count
+// site collapse to the 8-byte answer; with the count on the receiving NIC
+// the host memory bus carries essentially nothing.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 400'000;
+
+void BM_NicCount(benchmark::State& state) {
+  Engine& engine = LineitemEngine(kRows);
+  QuerySpec spec;
+  spec.table = "lineitem";
+  spec.count_only = true;
+  // Stage order: decode, count.
+  Site site = Site::kCpu;
+  const char* label = "count@cpu";
+  switch (state.range(0)) {
+    case 0:
+      break;
+    case 1:
+      site = Site::kComputeNic;
+      label = "count@recv-nic";
+      break;
+    case 2:
+      site = Site::kStorageNic;
+      label = "count@send-nic";
+      break;
+    case 3:
+      site = Site::kStorageProc;
+      label = "count@storage";
+      break;
+  }
+  // Decode colocated with the counter (counting needs decoded row bounds).
+  Placement placement{{site, site}, label};
+  ExecutionReport report;
+  for (auto _ : state) {
+    report = Must(engine.ExecuteWithPlacement(spec, placement)).report;
+  }
+  ReportExecution(state, report);
+  state.counters["ic_B"] = static_cast<double>(report.interconnect_bytes);
+  state.counters["membus_B"] = static_cast<double>(report.membus_bytes);
+  state.SetLabel(label);
+}
+
+BENCHMARK(BM_NicCount)->DenseRange(0, 3)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 4.4: COUNT(*) executed on the data path (site) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

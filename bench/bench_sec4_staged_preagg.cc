@@ -1,0 +1,146 @@
+// §4.4: "pre-aggregation could be done first at the storage layer, once
+// more on the sending NIC, and then again on the receiving NIC, thereby
+// creating a pipeline of group-by stages that can achieve more than a
+// single accelerator and significantly cut down the amount of work needed
+// at the final stage."
+//
+// A hand-built graph chains 0..3 bounded partial-aggregation stages
+// (storage proc -> sending NIC -> receiving NIC) in front of the final CPU
+// aggregate, sweeping group cardinality. Reported: rows reaching the final
+// stage and CPU busy time. Each stage's bounded table (kBudget groups)
+// makes later stages useful exactly when cardinality exceeds the budget —
+// the "only to parts of the data" trade-off of §3.3.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dflow/exec/aggregate.h"
+#include "dflow/exec/dataflow.h"
+#include "dflow/exec/misc_ops.h"
+#include "dflow/exec/scan.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 300'000;
+// Group-table budgets grow along the path: the storage processor has the
+// tightest memory, the receiving NIC the loosest (§4.3: the receiving NIC
+// "does not have such tight limitations").
+constexpr size_t kBudgets[3] = {512, 2048, 8192};
+
+std::shared_ptr<Table> KvTableWithCardinality(uint64_t key_space) {
+  static std::map<uint64_t, std::shared_ptr<Table>> cache;
+  auto it = cache.find(key_space);
+  if (it != cache.end()) return it->second;
+  KvSpec spec;
+  spec.rows = kRows;
+  spec.key_space = key_space;
+  spec.zipf_theta = 0.8;  // skewed group keys, as real data has
+  auto table = MakeKvTable(spec).ValueOrDie();
+  cache[key_space] = table;
+  return table;
+}
+
+void BM_StagedPreagg(benchmark::State& state) {
+  const uint64_t key_space = static_cast<uint64_t>(state.range(0));
+  const int stages = static_cast<int>(state.range(1));  // 0..3 partials
+  auto table = KvTableWithCardinality(key_space);
+
+  sim::Fabric fabric;
+  const std::vector<std::string> group_by = {"k"};
+  const std::vector<AggSpec> specs = {{AggFunc::kSum, "v", "sum_v"},
+                                      {AggFunc::kCount, "", "n"}};
+
+  auto scan = Must(TableScanSource::Make(table, {"k", "v"}, nullptr));
+  auto batches = Must(scan.Produce());
+  const Schema scan_schema = scan.output_schema();
+
+  DataflowGraph graph(&fabric.simulator());
+  auto src = graph.AddSource("scan", fabric.store_media(),
+                             sim::CostClass::kScan, std::move(batches));
+  auto decode = graph.AddStage("decode",
+                               OperatorPtr(new DecodeOperator(scan_schema)),
+                               fabric.storage_proc());
+  DFLOW_CHECK(graph.Connect(src, decode, {}).ok());
+
+  // Chain of partial stages along the path.
+  struct StageSite {
+    sim::Device* device;
+    std::vector<sim::Link*> path_from_prev;
+  };
+  std::vector<StageSite> sites = {
+      {fabric.storage_proc(), {}},
+      {fabric.storage_nic(), {}},
+      {fabric.node(0).nic.get(),
+       {fabric.storage_uplink(), fabric.node(0).net_rx.get()}},
+  };
+  DataflowGraph::NodeId prev = decode;
+  Schema current = scan_schema;
+  std::vector<AggSpec> stage_specs = specs;
+  int placed = 0;
+  std::vector<sim::Link*> pending_path;
+  for (int s = 0; s < 3 && placed < stages; ++s) {
+    for (sim::Link* l : sites[s].path_from_prev) pending_path.push_back(l);
+    auto op = Must(HashAggregateOperator::Make(
+        current, group_by, stage_specs, AggMode::kPartial, kBudgets[s]));
+    current = op->output_schema();
+    stage_specs = MakeMergeSpecs(stage_specs);
+    auto id = graph.AddStage("partial" + std::to_string(s), std::move(op),
+                             sites[s].device);
+    DFLOW_CHECK(graph.Connect(prev, id, pending_path).ok());
+    pending_path.clear();
+    prev = id;
+    ++placed;
+  }
+  // Remaining links to the CPU.
+  for (int s = placed; s < 3; ++s) {
+    for (sim::Link* l : sites[s].path_from_prev) pending_path.push_back(l);
+  }
+  pending_path.push_back(fabric.node(0).interconnect.get());
+  pending_path.push_back(fabric.node(0).memory_bus.get());
+
+  auto final_op =
+      placed == 0
+          ? Must(HashAggregateOperator::Make(current, group_by, specs,
+                                             AggMode::kComplete))
+          : Must(HashAggregateOperator::Make(current, group_by, stage_specs,
+                                             AggMode::kFinal));
+  auto final_id = graph.AddStage("final", std::move(final_op),
+                                 fabric.node(0).cpu.get());
+  DFLOW_CHECK(graph.Connect(prev, final_id, pending_path).ok());
+  auto sink = graph.AddSink("client");
+  DFLOW_CHECK(graph.Connect(final_id, sink, {}).ok());
+
+  for (auto _ : state) {
+    DFLOW_CHECK(graph.Run().ok());
+  }
+
+  const OperatorStats& final_stats = graph.stage_operator(final_id)->stats();
+  state.counters["sim_ms"] =
+      static_cast<double>(fabric.simulator().now()) / 1e6;
+  state.counters["rows_at_cpu"] = static_cast<double>(final_stats.rows_in);
+  state.counters["reduction_x"] =
+      static_cast<double>(kRows) /
+      std::max<double>(1.0, static_cast<double>(final_stats.rows_in));
+  state.counters["cpu_busy_ms"] =
+      static_cast<double>(fabric.node(0).cpu->busy_ns()) / 1e6;
+  state.counters["groups"] = static_cast<double>(final_stats.rows_out);
+  state.SetLabel(std::to_string(stages) + " pre-agg stage(s)");
+}
+
+BENCHMARK(BM_StagedPreagg)
+    ->ArgsProduct({{64, 2048, 65536}, {0, 1, 2, 3}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 4.4: staged pre-aggregation pipeline "
+               "(group_cardinality, num_preagg_stages) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// §5.4: the pointer-chasing functional unit. "A block of data containing
+// pointers must reach the CPU before one can decide which next data block
+// to request ... let the memory controller perform hierarchical data
+// traversals."
+//
+// Sweep tree size (hence height). CPU-centric traversal pays one dependent
+// round trip per level; the near-memory unit traverses locally and ships
+// one leaf entry. Shape: the gap grows linearly with height and the bytes
+// ratio with height * block size / entry size.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dflow/accel/pointer_chase.h"
+#include "dflow/common/random.h"
+
+namespace dflow::bench {
+namespace {
+
+void BM_PointerChase(benchmark::State& state) {
+  const size_t entries = static_cast<size_t>(state.range(0));
+  const bool near_memory = state.range(1) == 1;
+  std::vector<std::pair<int64_t, int64_t>> kv;
+  kv.reserve(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    kv.emplace_back(static_cast<int64_t>(i * 3), static_cast<int64_t>(i));
+  }
+  BlockTree::Config config;
+  config.fanout = 16;
+  auto tree = Must(BlockTree::Build(kv, config));
+
+  sim::FabricConfig fc;
+  sim::Link link("interconnect", fc.interconnect_gbps,
+                 fc.interconnect_latency_ns);
+  Random rng(7);
+  constexpr int kLookups = 1000;
+  uint64_t total_bytes = 0;
+  double total_ns = 0;
+  size_t found = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kLookups; ++i) {
+      const int64_t key = rng.NextInt64(0, static_cast<int64_t>(entries) * 3);
+      const auto trace = tree.Lookup(key);
+      found += trace.found ? 1 : 0;
+      const TraversalCost cost =
+          near_memory ? NearMemoryTraversalCost(trace, config.block_bytes,
+                                                fc.near_mem_gbps, link)
+                      : CpuTraversalCost(trace, config.block_bytes, link);
+      total_bytes += cost.bytes_moved;
+      total_ns += static_cast<double>(cost.latency_ns);
+    }
+  }
+  state.counters["tree_height"] = static_cast<double>(tree.height());
+  state.counters["avg_lookup_us"] = total_ns / kLookups / 1e3;
+  state.counters["bytes_per_lookup"] =
+      static_cast<double>(total_bytes) / kLookups;
+  state.counters["hit_pct"] = 100.0 * static_cast<double>(found) / kLookups;
+  state.SetLabel(near_memory ? "near-memory-unit" : "cpu-roundtrips");
+}
+
+BENCHMARK(BM_PointerChase)
+    ->ArgsProduct({{1 << 8, 1 << 12, 1 << 16, 1 << 20}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 5.4: pointer chasing near memory (index_entries, "
+               "nearmem?) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// §7.1: credit-based flow control. "Data is processed in one stage and sent
+// to the next depending on that stage's queue availability ... this type of
+// control flow is easy to implement and it is low traffic."
+//
+// A fast source feeds a slow CPU consumer through the network; sweep the
+// per-edge credit budget. Shape: in-flight memory is bounded by
+// credits x chunk size, while the makespan is flat once a handful of
+// credits cover the pipeline's bandwidth-delay product — bounded memory
+// costs essentially nothing.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 400'000;
+
+void BM_FlowControl(benchmark::State& state) {
+  const uint32_t credits = static_cast<uint32_t>(state.range(0));
+  Engine& engine = LineitemEngine(kRows);
+  // A CPU-heavy plan so the consumer is the bottleneck and backpressure
+  // engages.
+  QuerySpec spec = Q1Like();
+  ExecOptions options;
+  options.placement = PlacementChoice::kCpuOnly;
+  options.credits = credits;
+  ExecutionReport report;
+  for (auto _ : state) {
+    report = Must(engine.Execute(spec, options)).report;
+  }
+  ReportExecution(state, report);
+  state.counters["peak_queue_KB"] =
+      static_cast<double>(report.peak_queue_bytes) / 1024.0;
+  state.counters["credits"] = credits;
+}
+
+BENCHMARK(BM_FlowControl)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Rate mismatch sweep: the slower the consumer, the more an unbounded
+// queue would fill; credit flow control keeps the peak constant.
+void BM_FlowControlRateMismatch(benchmark::State& state) {
+  const double cpu_scale = static_cast<double>(state.range(0)) / 100.0;
+  sim::FabricConfig config;
+  config.cpu_scale = cpu_scale;  // weaker CPU = bigger producer/consumer gap
+  static std::unique_ptr<Engine> engine;
+  engine = std::make_unique<Engine>(config);
+  LineitemSpec li;
+  li.rows = 200'000;
+  DFLOW_CHECK(
+      engine->catalog().Register(MakeLineitemTable(li).ValueOrDie()).ok());
+  QuerySpec spec = Q1Like();
+  ExecOptions options;
+  options.placement = PlacementChoice::kCpuOnly;
+  options.credits = 8;
+  ExecutionReport report;
+  for (auto _ : state) {
+    report = Must(engine->Execute(spec, options)).report;
+  }
+  ReportExecution(state, report);
+  state.counters["peak_queue_KB"] =
+      static_cast<double>(report.peak_queue_bytes) / 1024.0;
+  state.SetLabel("cpu_scale=" + std::to_string(cpu_scale));
+}
+
+BENCHMARK(BM_FlowControlRateMismatch)
+    ->Arg(100)
+    ->Arg(50)
+    ->Arg(25)
+    ->Arg(10)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 7.1: credit-based flow control (credits | "
+               "consumer speed) ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

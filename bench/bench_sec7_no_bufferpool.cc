@@ -1,0 +1,102 @@
+// §7.4/§7.5: "no more buffer pools / no more data caches". The buffer-pool
+// engine needs resident DRAM proportional to its pool to perform, anchors
+// the workload to the machine, and starts cold badly. The streaming data
+// flow engine holds only credit-bounded queues.
+//
+// Reported per configuration:
+//   resident_MB  buffer pool + operator state (volcano) vs peak in-flight
+//                queue bytes (dataflow)
+//   sim_ms       completion time of a Q6-style query
+//   repeat_ms    the same query again (caching helps volcano; the data
+//                flow engine is stateless by design and stays flat)
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 300'000;
+
+void BM_VolcanoPoolSweep(benchmark::State& state) {
+  const size_t pool_pages = static_cast<size_t>(state.range(0));
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = Q6Like(0.1);
+  VolcanoRunResult result;
+  for (auto _ : state) {
+    // Two runs against ONE pool: the second shows how much the engine's
+    // performance depends on resident cache (§7.5's trade-off).
+    result = Must(engine.ExecuteOnVolcano(spec, pool_pages, /*repeats=*/2));
+  }
+  state.counters["cold_ms"] = static_cast<double>(result.first_run_ns) / 1e6;
+  state.counters["warm_ms"] = static_cast<double>(result.last_run_ns) / 1e6;
+  state.counters["resident_MB"] =
+      static_cast<double>(result.peak_resident_bytes) / (1024.0 * 1024.0);
+  state.counters["pool_miss_pct"] =
+      100.0 * static_cast<double>(result.pool_misses) /
+      std::max<double>(1.0, static_cast<double>(result.pool_hits +
+                                                result.pool_misses));
+  state.SetLabel("volcano/" + std::to_string(pool_pages) + "pages");
+}
+
+BENCHMARK(BM_VolcanoPoolSweep)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Arg(8192)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DataflowStateless(benchmark::State& state) {
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = Q6Like(0.1);
+  ExecutionReport first, repeat;
+  for (auto _ : state) {
+    first = Must(engine.Execute(spec)).report;
+    repeat = Must(engine.Execute(spec)).report;  // no state to warm
+  }
+  state.counters["sim_ms"] = static_cast<double>(first.sim_ns) / 1e6;
+  state.counters["repeat_ms"] = static_cast<double>(repeat.sim_ns) / 1e6;
+  state.counters["resident_MB"] =
+      static_cast<double>(first.peak_queue_bytes) / (1024.0 * 1024.0);
+  state.SetLabel("dataflow/no-pool");
+}
+
+BENCHMARK(BM_DataflowStateless)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+// Elasticity proxy (§7.4: "the compute layer would be stateless"): bytes of
+// engine state that would have to move to relocate the query mid-flight.
+void BM_RelocationState(benchmark::State& state) {
+  const bool dataflow = state.range(0) == 1;
+  Engine& engine = LineitemEngine(kRows);
+  const QuerySpec spec = Q6Like(0.1);
+  double state_mb = 0;
+  for (auto _ : state) {
+    if (dataflow) {
+      auto r = Must(engine.Execute(spec));
+      state_mb = static_cast<double>(r.report.peak_queue_bytes) / 1e6;
+    } else {
+      auto r = Must(engine.ExecuteOnVolcano(spec, 4096));
+      state_mb = static_cast<double>(r.peak_resident_bytes) / 1e6;
+    }
+  }
+  state.counters["movable_state_MB"] = state_mb;
+  state.SetLabel(dataflow ? "dataflow" : "volcano");
+}
+
+BENCHMARK(BM_RelocationState)->DenseRange(0, 1)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 7.4/7.5: buffer-pool engine vs stateless streaming "
+               "engine ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

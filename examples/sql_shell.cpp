@@ -1,0 +1,122 @@
+// A miniature SQL shell over the data-flow engine: type queries against the
+// bundled TPC-H-style tables and watch where each one's bytes went.
+//
+//   ./build/examples/sql_shell                 # interactive
+//   echo "SELECT COUNT(*) FROM lineitem" | ./build/examples/sql_shell
+//
+// Meta commands:
+//   \tables          list catalog tables
+//   \variants <sql>  show the ranked data-path alternatives for a query
+//   \cpu <sql>       force the CPU-centric plan
+//   \q               quit
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dflow/common/string_util.h"
+#include "dflow/engine/engine.h"
+#include "dflow/exec/local_executor.h"
+#include "dflow/plan/parser.h"
+#include "dflow/workload/tpch_like.h"
+
+using namespace dflow;
+
+namespace {
+
+void PrintChunks(const std::vector<DataChunk>& chunks, const size_t max_rows) {
+  const DataChunk all = ConcatChunks(chunks);
+  for (size_t r = 0; r < all.num_rows() && r < max_rows; ++r) {
+    std::cout << "  ";
+    for (size_t c = 0; c < all.num_columns(); ++c) {
+      if (c > 0) std::cout << " | ";
+      std::cout << all.GetValue(r, c).ToString();
+    }
+    std::cout << "\n";
+  }
+  if (all.num_rows() > max_rows) {
+    std::cout << "  ... (" << all.num_rows() - max_rows << " more rows)\n";
+  }
+}
+
+void RunOne(Engine& engine, const std::string& sql, PlacementChoice choice) {
+  auto spec = ParseQuery(sql);
+  if (!spec.ok()) {
+    std::cout << spec.status().ToString() << "\n";
+    return;
+  }
+  ExecOptions options;
+  options.placement = choice;
+  auto result = engine.Execute(spec.ValueOrDie(), options);
+  if (!result.ok()) {
+    std::cout << result.status().ToString() << "\n";
+    return;
+  }
+  PrintChunks(result.ValueOrDie().chunks, 20);
+  std::cout << "-- " << result.ValueOrDie().report.ToString() << "\n";
+}
+
+void ShowVariants(Engine& engine, const std::string& sql) {
+  auto spec = ParseQuery(sql);
+  if (!spec.ok()) {
+    std::cout << spec.status().ToString() << "\n";
+    return;
+  }
+  auto variants = engine.PlanVariants(spec.ValueOrDie());
+  if (!variants.ok()) {
+    std::cout << variants.status().ToString() << "\n";
+    return;
+  }
+  size_t shown = 0;
+  for (const RankedPlacement& rp : variants.ValueOrDie()) {
+    std::cout << "  est "
+              << FormatNanos(static_cast<uint64_t>(rp.cost.makespan_ns))
+              << "  net " << FormatBytes(rp.cost.network_bytes) << "  "
+              << rp.placement.name << "\n";
+    if (++shown >= 10) break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  Engine engine;
+  std::cout << "loading lineitem (100k rows) and orders (20k rows)...\n";
+  LineitemSpec li;
+  li.rows = 100'000;
+  li.num_orders = 20'000;
+  OrdersSpec orders;
+  orders.rows = 20'000;
+  if (!engine.catalog().Register(MakeLineitemTable(li).ValueOrDie()).ok() ||
+      !engine.catalog().Register(MakeOrdersTable(orders).ValueOrDie()).ok()) {
+    return EXIT_FAILURE;
+  }
+  std::cout << "dflow sql shell — \\tables, \\variants <sql>, \\cpu <sql>, "
+               "\\q to quit\n";
+
+  std::string line;
+  while (true) {
+    std::cout << "dflow> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q" || line == "\\quit") break;
+    if (line == "\\tables") {
+      for (const std::string& name : engine.catalog().TableNames()) {
+        auto t = engine.catalog().Lookup(name).ValueOrDie();
+        std::cout << "  " << name << "  " << t->num_rows() << " rows  "
+                  << t->schema().ToString() << "\n";
+      }
+      continue;
+    }
+    if (line.rfind("\\variants ", 0) == 0) {
+      ShowVariants(engine, line.substr(10));
+      continue;
+    }
+    if (line.rfind("\\cpu ", 0) == 0) {
+      RunOne(engine, line.substr(5), PlacementChoice::kCpuOnly);
+      continue;
+    }
+    RunOne(engine, line, PlacementChoice::kAuto);
+  }
+  return EXIT_SUCCESS;
+}

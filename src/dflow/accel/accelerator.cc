@@ -1,0 +1,37 @@
+#include "dflow/accel/accelerator.h"
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+Accelerator::Accelerator(std::string name, sim::Device* device, Policy policy,
+                         std::vector<RegisterSpec> registers)
+    : name_(std::move(name)),
+      device_(device),
+      policy_(policy),
+      registers_(std::move(registers)) {
+  DFLOW_CHECK(device != nullptr);
+}
+
+Status Accelerator::ValidateOperator(const Operator& op) const {
+  const OperatorTraits traits = op.traits();
+  if (!device_->Supports(traits.cost_class)) {
+    return Status::InvalidArgument(
+        name_ + " has no functional unit for " +
+        std::string(sim::CostClassToString(traits.cost_class)));
+  }
+  if (policy_.require_streaming && !traits.streaming) {
+    return Status::InvalidArgument(
+        name_ + " requires streaming operators; '" + op.name() +
+        "' is blocking");
+  }
+  if (!policy_.allow_unbounded_state && !traits.stateless &&
+      !traits.bounded_state) {
+    return Status::InvalidArgument(
+        name_ + " cannot host unbounded state; '" + op.name() +
+        "' needs an unbounded table");
+  }
+  return Status::OK();
+}
+
+}  // namespace dflow

@@ -1,0 +1,59 @@
+#ifndef DFLOW_ACCEL_ACCELERATOR_H_
+#define DFLOW_ACCEL_ACCELERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/accel/kernel.h"
+#include "dflow/accel/register_file.h"
+#include "dflow/exec/operator.h"
+#include "dflow/sim/device.h"
+
+namespace dflow {
+
+/// Base for the processing elements along the data path. An accelerator
+/// couples:
+///  - a sim::Device (the timing/capability model the fabric charges),
+///  - a RegisterFile (its ISA-less configuration surface),
+///  - a KernelRegistry (installable parsing/filter logic).
+///
+/// ValidateOperator is the placement contract: streaming-only devices
+/// reject blocking operators, stateless-preferred devices reject unbounded
+/// state, and the device's rate table rejects unsupported cost classes.
+/// This is the enforcement of §3.3's "streaming fashion ... mostly
+/// stateless" requirement.
+class Accelerator {
+ public:
+  struct Policy {
+    bool require_streaming = true;
+    bool allow_unbounded_state = false;
+  };
+
+  Accelerator(std::string name, sim::Device* device, Policy policy,
+              std::vector<RegisterSpec> registers);
+  virtual ~Accelerator() = default;
+
+  Accelerator(const Accelerator&) = delete;
+  Accelerator& operator=(const Accelerator&) = delete;
+
+  const std::string& name() const { return name_; }
+  sim::Device* device() const { return device_; }
+  RegisterFile& registers() { return registers_; }
+  const RegisterFile& registers() const { return registers_; }
+  KernelRegistry& kernels() { return kernels_; }
+
+  /// Whether `op` may be placed on this accelerator, and why not if not.
+  Status ValidateOperator(const Operator& op) const;
+
+ private:
+  std::string name_;
+  sim::Device* device_;
+  Policy policy_;
+  RegisterFile registers_;
+  KernelRegistry kernels_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_ACCELERATOR_H_

@@ -1,0 +1,65 @@
+#include "dflow/accel/list_unit.h"
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+FreeListUnit::FreeListUnit(size_t num_slots, size_t slot_bytes)
+    : num_slots_(num_slots),
+      slot_bytes_(slot_bytes),
+      allocated_(num_slots, 0),
+      free_count_(num_slots) {
+  DFLOW_CHECK_GT(num_slots, 0u);
+  free_list_.reserve(num_slots);
+  // Push in reverse so slot 0 allocates first.
+  for (size_t i = num_slots; i > 0; --i) {
+    free_list_.push_back(i - 1);
+  }
+}
+
+Result<size_t> FreeListUnit::Allocate() {
+  if (free_list_.empty()) {
+    return Status::ResourceExhausted("no free slots");
+  }
+  const size_t slot = free_list_.back();
+  free_list_.pop_back();
+  allocated_[slot] = 1;
+  --free_count_;
+  return slot;
+}
+
+Status FreeListUnit::Free(size_t slot) {
+  if (slot >= num_slots_) {
+    return Status::OutOfRange("slot index out of range");
+  }
+  if (!allocated_[slot]) {
+    return Status::InvalidArgument("double free of slot " +
+                                   std::to_string(slot));
+  }
+  allocated_[slot] = 0;
+  free_list_.push_back(slot);
+  ++free_count_;
+  return Status::OK();
+}
+
+bool FreeListUnit::IsAllocated(size_t slot) const {
+  return slot < num_slots_ && allocated_[slot] != 0;
+}
+
+Result<size_t> FreeListUnit::Sweep(const std::vector<uint8_t>& live) {
+  if (live.size() != num_slots_) {
+    return Status::InvalidArgument("liveness bitmap size mismatch");
+  }
+  size_t reclaimed = 0;
+  for (size_t i = 0; i < num_slots_; ++i) {
+    if (allocated_[i] && !live[i]) {
+      allocated_[i] = 0;
+      free_list_.push_back(i);
+      ++free_count_;
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace dflow

@@ -1,0 +1,57 @@
+#ifndef DFLOW_ACCEL_LIST_UNIT_H_
+#define DFLOW_ACCEL_LIST_UNIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dflow/common/result.h"
+
+namespace dflow {
+
+/// Near-memory list primitives for background maintenance (§5.4: "a
+/// functional unit with fast list primitives could perform some of these
+/// maintenance operations near memory", e.g. garbage collection).
+///
+/// Models a region of fixed-size slots threaded by an intrusive free list.
+/// Allocate/Free are the mutator-facing primitives; Sweep is the GC-facing
+/// one: given a liveness bitmap it reclaims every dead allocated slot in a
+/// single near-memory pass, returning how many were freed — work a CPU
+/// would otherwise do by chasing the list across the interconnect.
+class FreeListUnit {
+ public:
+  FreeListUnit(size_t num_slots, size_t slot_bytes);
+
+  size_t num_slots() const { return num_slots_; }
+  size_t slot_bytes() const { return slot_bytes_; }
+  size_t free_count() const { return free_count_; }
+  size_t allocated_count() const { return num_slots_ - free_count_; }
+
+  /// Pops a slot off the free list. ResourceExhausted when full.
+  Result<size_t> Allocate();
+
+  /// Returns a slot to the free list. Errors on double free / bad index.
+  Status Free(size_t slot);
+
+  bool IsAllocated(size_t slot) const;
+
+  /// Frees every allocated slot whose bit in `live` is 0. `live` must have
+  /// one entry per slot. Returns the number of slots reclaimed.
+  Result<size_t> Sweep(const std::vector<uint8_t>& live);
+
+  /// Bytes a sweep touches (all slot headers): the near-memory unit reads
+  /// them locally; a CPU sweep ships them across the data path.
+  uint64_t SweepBytes() const { return num_slots_ * kHeaderBytes; }
+
+  static constexpr uint64_t kHeaderBytes = 16;  // next ptr + state word
+
+ private:
+  size_t num_slots_;
+  size_t slot_bytes_;
+  std::vector<uint8_t> allocated_;  // 1 = in use
+  std::vector<size_t> free_list_;   // stack of free slot ids
+  size_t free_count_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_LIST_UNIT_H_

@@ -1,0 +1,74 @@
+#include "dflow/accel/near_memory.h"
+
+#include "dflow/vector/kernels.h"
+
+namespace dflow {
+
+namespace {
+std::vector<RegisterSpec> NearMemRegisters() {
+  return {
+      {"ctrl_filter", 0x00, true, 0},
+      {"ctrl_decompress", 0x08, true, 0},
+      {"ctrl_transpose", 0x10, true, 0},
+      {"ctrl_pointer_chase", 0x18, true, 0},
+      {"filter_column", 0x20, true, 0},
+      {"status", 0x28, false, 0},
+  };
+}
+}  // namespace
+
+NearMemoryAccelerator::NearMemoryAccelerator(sim::Device* device)
+    : Accelerator("near_memory", device,
+                  Policy{/*require_streaming=*/true,
+                         /*allow_unbounded_state=*/false},
+                  NearMemRegisters()) {}
+
+Result<DataChunk> NearMemoryAccelerator::FilterByValue(const DataChunk& region,
+                                                       size_t col,
+                                                       const Value& value) const {
+  if (col >= region.num_columns()) {
+    return Status::OutOfRange("filter column out of range");
+  }
+  Mask mask;
+  DFLOW_RETURN_NOT_OK(
+      CompareToConstant(region.column(col), CompareOp::kEq, value, &mask));
+  return region.Gather(MaskToSelection(mask));
+}
+
+Result<DataChunk> NearMemoryAccelerator::FilterByRange(const DataChunk& region,
+                                                       size_t col,
+                                                       const Value& lo,
+                                                       const Value& hi) const {
+  if (col >= region.num_columns()) {
+    return Status::OutOfRange("filter column out of range");
+  }
+  Mask ge, le;
+  DFLOW_RETURN_NOT_OK(
+      CompareToConstant(region.column(col), CompareOp::kGe, lo, &ge));
+  DFLOW_RETURN_NOT_OK(
+      CompareToConstant(region.column(col), CompareOp::kLe, hi, &le));
+  AndMasks(le, &ge);
+  return region.Gather(MaskToSelection(ge));
+}
+
+Status NearMemoryAccelerator::InstallFilterFunction(KernelFn fn) {
+  DFLOW_RETURN_NOT_OK(kernels().Install(kFilterKernel, std::move(fn)));
+  return registers().Write("ctrl_filter", 1);
+}
+
+Result<DataChunk> NearMemoryAccelerator::FilterByFunction(
+    const DataChunk& region) {
+  std::vector<DataChunk> out;
+  DFLOW_RETURN_NOT_OK(kernels().Invoke(kFilterKernel, region, &out));
+  if (out.size() != 1) {
+    return Status::Internal("filter kernel must emit exactly one chunk");
+  }
+  return std::move(out[0]);
+}
+
+Result<ColumnVector> NearMemoryAccelerator::Decompress(
+    const EncodedColumn& column) const {
+  return DecodeColumn(column);
+}
+
+}  // namespace dflow

@@ -1,0 +1,48 @@
+#ifndef DFLOW_ACCEL_NEAR_MEMORY_H_
+#define DFLOW_ACCEL_NEAR_MEMORY_H_
+
+#include <vector>
+
+#include "dflow/accel/accelerator.h"
+#include "dflow/encode/encoding.h"
+#include "dflow/plan/expr.h"
+
+namespace dflow {
+
+/// The near-memory accelerator of §5: an M7-DAX-class unit interposed
+/// between the memory controller and the CPU. Functional units implemented
+/// here (the inventory §5.4 calls for):
+///  - filter by value, by range, or by an installed filtering function,
+///  - decompress-on-demand (memory stays compressed; the pipeline sees
+///    decompressed data),
+/// with pointer chasing (BlockTree), transposition (RowStore), and list
+/// maintenance (FreeListUnit) as sibling units in this module.
+class NearMemoryAccelerator : public Accelerator {
+ public:
+  explicit NearMemoryAccelerator(sim::Device* device);
+
+  /// filter-by-value: rows of `region` where region[col] == value.
+  Result<DataChunk> FilterByValue(const DataChunk& region, size_t col,
+                                  const Value& value) const;
+
+  /// filter-by-range: rows where lo <= region[col] <= hi.
+  Result<DataChunk> FilterByRange(const DataChunk& region, size_t col,
+                                  const Value& lo, const Value& hi) const;
+
+  /// Installs a custom filtering function ("a provided filtering
+  /// function") as the accelerator's filter kernel.
+  Status InstallFilterFunction(KernelFn fn);
+
+  /// Applies the installed filter function.
+  Result<DataChunk> FilterByFunction(const DataChunk& region);
+
+  /// Decompress-on-demand: the column lives encoded in memory; the unit
+  /// hands the pipeline a decoded vector.
+  Result<ColumnVector> Decompress(const EncodedColumn& column) const;
+
+  static constexpr const char* kFilterKernel = "nma_filter";
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_NEAR_MEMORY_H_

@@ -1,0 +1,162 @@
+#include "dflow/accel/pointer_chase.h"
+
+#include <algorithm>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+Result<BlockTree> BlockTree::Build(
+    const std::vector<std::pair<int64_t, int64_t>>& sorted_kv, Config config) {
+  if (config.fanout < 2) {
+    return Status::InvalidArgument("fanout must be at least 2");
+  }
+  for (size_t i = 1; i < sorted_kv.size(); ++i) {
+    if (sorted_kv[i - 1].first >= sorted_kv[i].first) {
+      return Status::InvalidArgument(
+          "keys must be strictly ascending for BlockTree::Build");
+    }
+  }
+  BlockTree tree;
+  tree.config_ = config;
+  tree.num_entries_ = sorted_kv.size();
+
+  // Leaf level.
+  std::vector<size_t> level;       // block ids of the current level
+  std::vector<int64_t> level_min;  // smallest key in each block
+  for (size_t start = 0; start < sorted_kv.size(); start += config.fanout) {
+    const size_t count = std::min(config.fanout, sorted_kv.size() - start);
+    Block leaf;
+    leaf.is_leaf = true;
+    for (size_t i = 0; i < count; ++i) {
+      leaf.keys.push_back(sorted_kv[start + i].first);
+      leaf.children.push_back(sorted_kv[start + i].second);
+    }
+    level.push_back(tree.blocks_.size());
+    level_min.push_back(leaf.keys.front());
+    tree.blocks_.push_back(std::move(leaf));
+  }
+  if (level.empty()) {
+    // Empty tree: a single empty leaf.
+    Block leaf;
+    leaf.is_leaf = true;
+    level.push_back(0);
+    level_min.push_back(0);
+    tree.blocks_.push_back(std::move(leaf));
+  }
+  tree.height_ = 1;
+
+  // Inner levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<size_t> next_level;
+    std::vector<int64_t> next_min;
+    for (size_t start = 0; start < level.size(); start += config.fanout) {
+      const size_t count = std::min(config.fanout, level.size() - start);
+      Block inner;
+      inner.is_leaf = false;
+      for (size_t i = 0; i < count; ++i) {
+        inner.keys.push_back(level_min[start + i]);
+        inner.children.push_back(static_cast<int64_t>(level[start + i]));
+      }
+      next_level.push_back(tree.blocks_.size());
+      next_min.push_back(inner.keys.front());
+      tree.blocks_.push_back(std::move(inner));
+    }
+    level = std::move(next_level);
+    level_min = std::move(next_min);
+    tree.height_ += 1;
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+BlockTree::LookupTrace BlockTree::Lookup(int64_t key) const {
+  LookupTrace trace;
+  size_t current = root_;
+  while (true) {
+    const Block& block = blocks_[current];
+    trace.blocks_visited += 1;
+    trace.bytes_touched += config_.block_bytes;
+    if (block.is_leaf) {
+      auto it = std::lower_bound(block.keys.begin(), block.keys.end(), key);
+      if (it != block.keys.end() && *it == key) {
+        trace.found = true;
+        trace.value = block.children[it - block.keys.begin()];
+      }
+      return trace;
+    }
+    // Child i covers keys in [keys[i], keys[i+1]).
+    auto it = std::upper_bound(block.keys.begin(), block.keys.end(), key);
+    const size_t idx = it == block.keys.begin()
+                           ? 0
+                           : static_cast<size_t>(it - block.keys.begin()) - 1;
+    current = static_cast<size_t>(block.children[idx]);
+  }
+}
+
+BlockTree::LookupTrace BlockTree::RangeCount(int64_t lo, int64_t hi,
+                                             uint64_t* count) const {
+  DFLOW_CHECK(count != nullptr);
+  *count = 0;
+  LookupTrace trace;
+  // Descend to the first candidate leaf, then walk leaves left to right.
+  // Leaves were allocated contiguously in build order, so sibling ids are
+  // sequential starting at block 0.
+  size_t current = root_;
+  while (!blocks_[current].is_leaf) {
+    const Block& block = blocks_[current];
+    trace.blocks_visited += 1;
+    trace.bytes_touched += config_.block_bytes;
+    auto it = std::upper_bound(block.keys.begin(), block.keys.end(), lo);
+    const size_t idx = it == block.keys.begin()
+                           ? 0
+                           : static_cast<size_t>(it - block.keys.begin()) - 1;
+    current = static_cast<size_t>(block.children[idx]);
+  }
+  while (true) {
+    const Block& leaf = blocks_[current];
+    trace.blocks_visited += 1;
+    trace.bytes_touched += config_.block_bytes;
+    for (size_t i = 0; i < leaf.keys.size(); ++i) {
+      if (leaf.keys[i] >= lo && leaf.keys[i] <= hi) {
+        *count += 1;
+        trace.found = true;
+      }
+    }
+    if (!leaf.keys.empty() && leaf.keys.back() > hi) break;
+    // Next leaf is the next block id while still in the leaf region.
+    const size_t next = current + 1;
+    if (next >= blocks_.size() || !blocks_[next].is_leaf) break;
+    current = next;
+  }
+  return trace;
+}
+
+TraversalCost CpuTraversalCost(const BlockTree::LookupTrace& trace,
+                               size_t block_bytes, const sim::Link& link) {
+  TraversalCost cost;
+  cost.bytes_moved = trace.blocks_visited * block_bytes;
+  // Each level is a dependent load: request latency + transfer + response
+  // latency before the next address is known.
+  const sim::SimTime per_block =
+      2 * link.latency_ns() + link.WireTimeNs(block_bytes);
+  cost.latency_ns = trace.blocks_visited * per_block;
+  return cost;
+}
+
+TraversalCost NearMemoryTraversalCost(const BlockTree::LookupTrace& trace,
+                                      size_t block_bytes, double accel_gbps,
+                                      const sim::Link& link) {
+  TraversalCost cost;
+  constexpr uint64_t kEntryBytes = 16;  // key + value
+  cost.bytes_moved = kEntryBytes;
+  const double local_ns =
+      static_cast<double>(trace.blocks_visited * block_bytes) / accel_gbps;
+  // One request in, local traversal, one entry-sized reply out.
+  cost.latency_ns = 2 * link.latency_ns() +
+                    static_cast<sim::SimTime>(local_ns) +
+                    link.WireTimeNs(kEntryBytes);
+  return cost;
+}
+
+}  // namespace dflow

@@ -1,0 +1,88 @@
+#ifndef DFLOW_ACCEL_POINTER_CHASE_H_
+#define DFLOW_ACCEL_POINTER_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/sim/link.h"
+
+namespace dflow {
+
+/// An immutable B+tree-like hierarchical block structure living in (remote)
+/// memory: the data structure behind §5.4's pointer-chasing functional
+/// unit. Inner blocks hold separator keys and child pointers; leaf blocks
+/// hold (key, value) entries.
+class BlockTree {
+ public:
+  struct Config {
+    size_t fanout = 16;        // children per inner block / entries per leaf
+    size_t block_bytes = 256;  // modeled block size (cost accounting)
+  };
+
+  /// Builds from key-ascending (key, value) pairs.
+  static Result<BlockTree> Build(
+      const std::vector<std::pair<int64_t, int64_t>>& sorted_kv,
+      Config config);
+  static Result<BlockTree> Build(
+      const std::vector<std::pair<int64_t, int64_t>>& sorted_kv) {
+    return Build(sorted_kv, Config());
+  }
+
+  struct LookupTrace {
+    bool found = false;
+    int64_t value = 0;
+    size_t blocks_visited = 0;   // tree levels touched
+    uint64_t bytes_touched = 0;  // blocks_visited * block_bytes
+  };
+
+  /// Point lookup with full trace (the near-memory unit runs this locally).
+  LookupTrace Lookup(int64_t key) const;
+
+  /// Range scan [lo, hi]: returns values; trace reports blocks touched.
+  LookupTrace RangeCount(int64_t lo, int64_t hi, uint64_t* count) const;
+
+  size_t height() const { return height_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t num_entries() const { return num_entries_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Block {
+    bool is_leaf = false;
+    std::vector<int64_t> keys;      // separators (inner) or entry keys (leaf)
+    std::vector<int64_t> children;  // block ids (inner) or values (leaf)
+  };
+
+  BlockTree() = default;
+
+  Config config_;
+  std::vector<Block> blocks_;
+  size_t root_ = 0;
+  size_t height_ = 0;
+  size_t num_entries_ = 0;
+};
+
+/// Cost model comparison for one traversal (§5.4): a CPU-centric
+/// architecture ships every visited block across the interconnect and pays
+/// a round trip of "think time" per level, because the next block address
+/// is only known after the previous block arrived. The near-memory unit
+/// traverses locally at its own rate and ships only the leaf entry.
+struct TraversalCost {
+  uint64_t bytes_moved = 0;
+  sim::SimTime latency_ns = 0;
+};
+
+/// Dependent loads over `link`: blocks_visited sequential (transfer +
+/// round-trip-latency) steps of block_bytes each.
+TraversalCost CpuTraversalCost(const BlockTree::LookupTrace& trace,
+                               size_t block_bytes, const sim::Link& link);
+
+/// Local traversal at `accel_gbps` plus one entry-sized reply over `link`.
+TraversalCost NearMemoryTraversalCost(const BlockTree::LookupTrace& trace,
+                                      size_t block_bytes, double accel_gbps,
+                                      const sim::Link& link);
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_POINTER_CHASE_H_

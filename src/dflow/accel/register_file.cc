@@ -1,0 +1,77 @@
+#include "dflow/accel/register_file.h"
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+RegisterFile::RegisterFile(std::vector<RegisterSpec> specs) {
+  for (RegisterSpec& spec : specs) {
+    DFLOW_CHECK(by_name_.count(spec.name) == 0)
+        << "duplicate register name " << spec.name;
+    DFLOW_CHECK(by_offset_.count(spec.offset) == 0)
+        << "duplicate register offset " << spec.offset;
+    by_name_[spec.name] = slots_.size();
+    by_offset_[spec.offset] = slots_.size();
+    const uint64_t initial = spec.initial;
+    slots_.push_back(Slot{std::move(spec), initial});
+  }
+}
+
+Status RegisterFile::Write(const std::string& name, uint64_t value) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no register named '" + name + "'");
+  }
+  Slot& slot = slots_[it->second];
+  if (!slot.spec.writable) {
+    return Status::InvalidArgument("register '" + name + "' is read-only");
+  }
+  slot.value = value;
+  ++write_count_;
+  return Status::OK();
+}
+
+Result<uint64_t> RegisterFile::Read(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no register named '" + name + "'");
+  }
+  return slots_[it->second].value;
+}
+
+Status RegisterFile::WriteAt(uint32_t offset, uint64_t value) {
+  auto it = by_offset_.find(offset);
+  if (it == by_offset_.end()) {
+    return Status::OutOfRange("no register at offset " +
+                              std::to_string(offset));
+  }
+  Slot& slot = slots_[it->second];
+  if (!slot.spec.writable) {
+    return Status::InvalidArgument("register at offset " +
+                                   std::to_string(offset) + " is read-only");
+  }
+  slot.value = value;
+  ++write_count_;
+  return Status::OK();
+}
+
+Result<uint64_t> RegisterFile::ReadAt(uint32_t offset) const {
+  auto it = by_offset_.find(offset);
+  if (it == by_offset_.end()) {
+    return Status::OutOfRange("no register at offset " +
+                              std::to_string(offset));
+  }
+  return slots_[it->second].value;
+}
+
+bool RegisterFile::Has(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+void RegisterFile::Reset() {
+  for (Slot& slot : slots_) {
+    slot.value = slot.spec.initial;
+  }
+}
+
+}  // namespace dflow

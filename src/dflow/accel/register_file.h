@@ -1,0 +1,59 @@
+#ifndef DFLOW_ACCEL_REGISTER_FILE_H_
+#define DFLOW_ACCEL_REGISTER_FILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+
+namespace dflow {
+
+/// One memory-mapped register of an accelerator.
+struct RegisterSpec {
+  std::string name;
+  uint32_t offset = 0;       // byte offset in the device's register window
+  bool writable = true;
+  uint64_t initial = 0;
+};
+
+/// The ISA-less programming surface of an accelerator (§7.2): "accelerators
+/// ... are programmed directly — they lack an ISA — simply by filling a
+/// small set of memory-mapped registers."
+///
+/// Registers are addressed by name (host-side convenience) or by offset
+/// (what the device actually decodes). Unknown offsets and writes to
+/// read-only registers fault, as real devices do.
+class RegisterFile {
+ public:
+  explicit RegisterFile(std::vector<RegisterSpec> specs);
+
+  Status Write(const std::string& name, uint64_t value);
+  Result<uint64_t> Read(const std::string& name) const;
+
+  Status WriteAt(uint32_t offset, uint64_t value);
+  Result<uint64_t> ReadAt(uint32_t offset) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Restores every register to its initial value.
+  void Reset();
+
+  /// Number of writes performed (a cheap proxy for configuration traffic).
+  uint64_t write_count() const { return write_count_; }
+
+ private:
+  struct Slot {
+    RegisterSpec spec;
+    uint64_t value;
+  };
+  std::map<std::string, size_t> by_name_;
+  std::map<uint32_t, size_t> by_offset_;
+  std::vector<Slot> slots_;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_REGISTER_FILE_H_

@@ -1,0 +1,71 @@
+#include "dflow/accel/smart_nic.h"
+
+#include "dflow/exec/misc_ops.h"
+
+namespace dflow {
+
+namespace {
+std::vector<RegisterSpec> NicRegisters() {
+  return {
+      {"ctrl_hash", 0x00, true, 0},
+      {"ctrl_partition", 0x08, true, 0},
+      {"ctrl_preagg", 0x10, true, 0},
+      {"ctrl_count", 0x18, true, 0},
+      {"num_partitions", 0x20, true, 0},
+      {"ctrl_broadcast", 0x38, true, 0},
+      {"broadcast_targets", 0x40, true, 0},
+      {"group_budget", 0x28, true, SmartNic::kDefaultGroupBudget},
+      {"status", 0x30, false, 0},
+  };
+}
+}  // namespace
+
+SmartNic::SmartNic(std::string name, sim::Device* device)
+    : Accelerator(std::move(name), device,
+                  Policy{/*require_streaming=*/true,
+                         /*allow_unbounded_state=*/false},
+                  NicRegisters()) {}
+
+Result<OperatorPtr> SmartNic::MakePartialAggregate(
+    const Schema& input_schema, const std::vector<std::string>& group_by,
+    const std::vector<AggSpec>& specs, size_t max_groups) {
+  if (max_groups == 0) max_groups = kDefaultGroupBudget;
+  DFLOW_ASSIGN_OR_RETURN(
+      OperatorPtr op,
+      HashAggregateOperator::Make(input_schema, group_by, specs,
+                                  AggMode::kPartial, max_groups));
+  DFLOW_RETURN_NOT_OK(ValidateOperator(*op));
+  DFLOW_RETURN_NOT_OK(registers().Write("ctrl_preagg", 1));
+  DFLOW_RETURN_NOT_OK(registers().Write("group_budget", max_groups));
+  return op;
+}
+
+Result<OperatorPtr> SmartNic::MakeCount() {
+  OperatorPtr op(new CountOperator());
+  DFLOW_RETURN_NOT_OK(ValidateOperator(*op));
+  DFLOW_RETURN_NOT_OK(registers().Write("ctrl_count", 1));
+  return op;
+}
+
+Status SmartNic::ArmBroadcast(uint32_t num_targets) {
+  if (num_targets == 0) {
+    return Status::InvalidArgument("broadcast needs at least one target");
+  }
+  DFLOW_RETURN_NOT_OK(registers().Write("ctrl_broadcast", 1));
+  return registers().Write("broadcast_targets", num_targets);
+}
+
+Result<HashPartitioner> SmartNic::MakePartitioner(size_t key_col,
+                                                  uint32_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  if (!device()->Supports(sim::CostClass::kPartition)) {
+    return Status::InvalidArgument(name() + " cannot partition");
+  }
+  DFLOW_RETURN_NOT_OK(registers().Write("ctrl_partition", 1));
+  DFLOW_RETURN_NOT_OK(registers().Write("num_partitions", num_partitions));
+  return HashPartitioner(key_col, num_partitions);
+}
+
+}  // namespace dflow

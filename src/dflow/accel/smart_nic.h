@@ -1,0 +1,48 @@
+#ifndef DFLOW_ACCEL_SMART_NIC_H_
+#define DFLOW_ACCEL_SMART_NIC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/accel/accelerator.h"
+#include "dflow/exec/aggregate.h"
+#include "dflow/exec/partition.h"
+
+namespace dflow {
+
+/// A bump-on-the-wire NIC processor (§4): BlueField/DPU-class. It can hash,
+/// partition (the smart exchange of Figure 4), count, filter, and run
+/// bounded pre-aggregation on the stream passing through it — on either the
+/// sending or the receiving side of a link.
+class SmartNic : public Accelerator {
+ public:
+  explicit SmartNic(std::string name, sim::Device* device);
+
+  /// Bounded partial group-by: the NIC's pre-aggregation stage in the
+  /// staged group-by pipeline of §4.4. `max_groups` is the fixed on-NIC
+  /// table budget.
+  Result<OperatorPtr> MakePartialAggregate(
+      const Schema& input_schema, const std::vector<std::string>& group_by,
+      const std::vector<AggSpec>& specs, size_t max_groups);
+
+  /// COUNT(*)-on-the-NIC (§4.4): counts and discards; only the final 8-byte
+  /// answer continues to the host.
+  Result<OperatorPtr> MakeCount();
+
+  /// On-the-fly partitioner for scatter exchanges (Figure 4).
+  Result<HashPartitioner> MakePartitioner(size_t key_col,
+                                          uint32_t num_partitions);
+
+  /// Arms the broadcast collective (§4.4): pair with
+  /// DataflowGraph::AddBroadcastStage on this NIC's device to replicate a
+  /// stream to `num_targets` nodes (e.g. a replicated small-table join).
+  Status ArmBroadcast(uint32_t num_targets);
+
+  /// Default on-NIC group table budget when callers do not specify one.
+  static constexpr size_t kDefaultGroupBudget = 4096;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_SMART_NIC_H_

@@ -1,0 +1,99 @@
+#include "dflow/accel/smart_storage.h"
+
+#include "dflow/exec/filter.h"
+#include "dflow/exec/misc_ops.h"
+#include "dflow/exec/project.h"
+
+namespace dflow {
+
+namespace {
+std::vector<RegisterSpec> StorageRegisters() {
+  return {
+      {"ctrl_decode", 0x00, true, 1},     // decode always on by default
+      {"ctrl_filter", 0x08, true, 0},
+      {"ctrl_project", 0x10, true, 0},
+      {"ctrl_recompress", 0x18, true, 0},
+      {"flow_id", 0x20, true, 0},
+      {"status", 0x28, false, 0},
+  };
+}
+}  // namespace
+
+SmartStorageProcessor::SmartStorageProcessor(sim::Device* device)
+    : Accelerator("smart_storage", device,
+                  Policy{/*require_streaming=*/true,
+                         /*allow_unbounded_state=*/false},
+                  StorageRegisters()) {}
+
+Status SmartStorageProcessor::ArmRegisters(bool filter, bool project,
+                                           bool recompress) {
+  DFLOW_RETURN_NOT_OK(registers().Write("ctrl_filter", filter ? 1 : 0));
+  DFLOW_RETURN_NOT_OK(registers().Write("ctrl_project", project ? 1 : 0));
+  DFLOW_RETURN_NOT_OK(
+      registers().Write("ctrl_recompress", recompress ? 1 : 0));
+  return Status::OK();
+}
+
+Result<SmartStorageProcessor::ScanProgram>
+SmartStorageProcessor::BuildScanProgram(const Schema& scan_schema,
+                                        ExprPtr predicate,
+                                        std::vector<ExprPtr> project,
+                                        std::vector<std::string> project_names,
+                                        bool recompress_for_uplink) {
+  ScanProgram program;
+  Schema current = scan_schema;
+
+  // Stage 1: decode the at-rest format (always).
+  program.stages.push_back(OperatorPtr(new DecodeOperator(current)));
+
+  // Stage 2: selection, installed as a kernel (the predicate logic).
+  if (predicate != nullptr) {
+    DFLOW_ASSIGN_OR_RETURN(ExprPtr resolved,
+                           Expr::Resolve(predicate, current));
+    DFLOW_RETURN_NOT_OK(kernels().Install(
+        "scan_filter",
+        [resolved](const DataChunk& input, std::vector<DataChunk>* out) {
+          Mask mask;
+          DFLOW_RETURN_NOT_OK(resolved->EvaluatePredicate(input, &mask));
+          out->push_back(input.Gather(MaskToSelection(mask)));
+          return Status::OK();
+        }));
+    DFLOW_ASSIGN_OR_RETURN(OperatorPtr filter,
+                           FilterOperator::Make(resolved, current));
+    program.estimated_reduction *= filter->traits().reduction_hint;
+    program.stages.push_back(std::move(filter));
+  }
+
+  // Stage 3: projection.
+  if (!project.empty()) {
+    std::vector<ExprPtr> resolved_exprs;
+    resolved_exprs.reserve(project.size());
+    for (const ExprPtr& e : project) {
+      DFLOW_ASSIGN_OR_RETURN(ExprPtr r, Expr::Resolve(e, current));
+      resolved_exprs.push_back(std::move(r));
+    }
+    DFLOW_ASSIGN_OR_RETURN(
+        OperatorPtr proj,
+        ProjectOperator::Make(std::move(resolved_exprs),
+                              std::move(project_names), current));
+    program.estimated_reduction *= proj->traits().reduction_hint;
+    current = proj->output_schema();
+    program.stages.push_back(std::move(proj));
+  }
+
+  // Stage 4: recompress for the uplink.
+  if (recompress_for_uplink) {
+    program.stages.push_back(OperatorPtr(new EncodeOperator(current)));
+    program.estimated_reduction *= 0.6;
+  }
+
+  // Every stage must satisfy the accelerator contract.
+  for (const OperatorPtr& op : program.stages) {
+    DFLOW_RETURN_NOT_OK(ValidateOperator(*op));
+  }
+  DFLOW_RETURN_NOT_OK(ArmRegisters(predicate != nullptr, !project.empty(),
+                                   recompress_for_uplink));
+  return program;
+}
+
+}  // namespace dflow

@@ -1,0 +1,51 @@
+#ifndef DFLOW_ACCEL_SMART_STORAGE_H_
+#define DFLOW_ACCEL_SMART_STORAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/accel/accelerator.h"
+#include "dflow/plan/expr.h"
+#include "dflow/storage/table.h"
+
+namespace dflow {
+
+/// The streaming processor colocated with disaggregated storage (§3): an
+/// Exadata-cell/AQUA-class device that can run decode, selection,
+/// projection (including LIKE), and bounded pre-aggregation on data as it
+/// leaves the media — never a blocking or unbounded-state operator.
+///
+/// Programming model: registers select which stages of the fixed pipeline
+/// are armed; the filter itself is installed as a kernel (the predicate
+/// "parsing logic" of §7.2).
+class SmartStorageProcessor : public Accelerator {
+ public:
+  explicit SmartStorageProcessor(sim::Device* device);
+
+  /// A validated offload program: the ordered operator chain this device
+  /// will run on the scan stream, each already checked against the
+  /// accelerator's constraints.
+  struct ScanProgram {
+    std::vector<OperatorPtr> stages;
+    /// Estimated bytes-out / bytes-in across the whole program.
+    double estimated_reduction = 1.0;
+  };
+
+  /// Builds the offloaded part of a scan: decode, then optional filter
+  /// (resolved `predicate` may be null), then optional projection
+  /// (`project` may be empty for all columns), then optional recompression
+  /// for the uplink. Fails if any piece violates the device's constraints.
+  Result<ScanProgram> BuildScanProgram(const Schema& scan_schema,
+                                       ExprPtr predicate,
+                                       std::vector<ExprPtr> project,
+                                       std::vector<std::string> project_names,
+                                       bool recompress_for_uplink);
+
+ private:
+  Status ArmRegisters(bool filter, bool project, bool recompress);
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_SMART_STORAGE_H_

@@ -1,0 +1,61 @@
+#ifndef DFLOW_ACCEL_TRANSPOSE_H_
+#define DFLOW_ACCEL_TRANSPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/types/schema.h"
+#include "dflow/vector/data_chunk.h"
+
+namespace dflow {
+
+/// Row-major storage of fixed-width tuples: the "recent format" an HTAP
+/// engine keeps hot data in (§5.4). The transposition functional unit
+/// converts between this and the columnar "historical format" without
+/// involving the CPU.
+///
+/// Only fixed-width column types are supported (strings would need an
+/// out-of-line heap, which a memory-controller unit would not chase).
+class RowStore {
+ public:
+  /// Serializes a chunk into row-major bytes. All columns must be
+  /// fixed-width; NULLs are not supported in the row format (HTAP deltas
+  /// are typically NOT NULL).
+  static Result<RowStore> FromChunk(const Schema& schema,
+                                    const DataChunk& chunk);
+
+  /// An empty row store for the given schema (appendable).
+  static Result<RowStore> Empty(const Schema& schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t row_width() const { return row_width_; }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  uint64_t ByteSize() const { return bytes_.size(); }
+
+  /// Appends one row given as values (types must match the schema).
+  Status AppendRow(const std::vector<Value>& values);
+
+  /// The transpose: row-major bytes -> columnar chunk. Exact inverse of
+  /// FromChunk.
+  Result<DataChunk> ToColumnar() const;
+
+  /// Virtual reverse view (§5.4: "present data in a different format than
+  /// that in storage"): reads a single column out of the row format
+  /// without materializing the rest.
+  Result<ColumnVector> ReadColumn(size_t column) const;
+
+ private:
+  RowStore() = default;
+
+  Schema schema_;
+  std::vector<uint32_t> offsets_;  // per-column byte offset within a row
+  size_t row_width_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ACCEL_TRANSPOSE_H_

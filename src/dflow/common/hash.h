@@ -1,0 +1,54 @@
+#ifndef DFLOW_COMMON_HASH_H_
+#define DFLOW_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dflow {
+
+/// 64-bit finalizer-style hash for integer keys (MurmurHash3 fmix64). Fast,
+/// well-distributed, and identical everywhere it is computed — which is the
+/// point: the same hash function runs on the CPU, on smart NICs, and on
+/// storage processors, so partitions computed in-flight agree with hash
+/// tables built on the host.
+inline uint64_t HashInt64(uint64_t key) {
+  uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Combines an existing hash with another value (for multi-column keys).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (HashInt64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// FNV-1a over arbitrary bytes; used for string keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return HashInt64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+inline uint64_t HashDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashInt64(bits);
+}
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_HASH_H_

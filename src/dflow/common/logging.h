@@ -1,0 +1,78 @@
+#ifndef DFLOW_COMMON_LOGGING_H_
+#define DFLOW_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dflow {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for emitted log lines. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by DFLOW_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dflow
+
+#define DFLOW_LOG(level)                                                  \
+  ::dflow::internal::LogMessage(::dflow::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check, active in all build modes. Prefer over assert() for
+/// conditions that guard data integrity.
+#define DFLOW_CHECK(condition)                                            \
+  if (!(condition))                                                       \
+  ::dflow::internal::FatalLogMessage(__FILE__, __LINE__, #condition)
+
+#define DFLOW_CHECK_EQ(a, b) DFLOW_CHECK((a) == (b))
+#define DFLOW_CHECK_NE(a, b) DFLOW_CHECK((a) != (b))
+#define DFLOW_CHECK_LT(a, b) DFLOW_CHECK((a) < (b))
+#define DFLOW_CHECK_LE(a, b) DFLOW_CHECK((a) <= (b))
+#define DFLOW_CHECK_GT(a, b) DFLOW_CHECK((a) > (b))
+#define DFLOW_CHECK_GE(a, b) DFLOW_CHECK((a) >= (b))
+
+#endif  // DFLOW_COMMON_LOGGING_H_

@@ -1,0 +1,94 @@
+#include "dflow/common/random.h"
+
+#include <cmath>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+Random::Random(uint64_t seed) {
+  // SplitMix64 seeding to spread low-entropy seeds across both words.
+  auto splitmix = [](uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  uint64_t x = seed;
+  s0_ = splitmix(x);
+  s1_ = splitmix(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Random::NextUint64(uint64_t n) {
+  DFLOW_CHECK_GT(n, 0u);
+  return Next() % n;
+}
+
+int64_t Random::NextInt64(int64_t lo, int64_t hi) {
+  DFLOW_CHECK_LE(lo, hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Random::NextDouble(double lo, double hi) {
+  return lo + NextDouble() * (hi - lo);
+}
+
+bool Random::NextBool(double p) { return NextDouble() < p; }
+
+std::string Random::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (size_t i = 0; i < length; ++i) {
+    out[i] = static_cast<char>('a' + NextUint64(26));
+  }
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  DFLOW_CHECK_GT(n, 0u);
+  DFLOW_CHECK_GE(theta, 0.0);
+  DFLOW_CHECK_LT(theta, 1.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) const {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+}  // namespace dflow

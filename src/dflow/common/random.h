@@ -1,0 +1,70 @@
+#ifndef DFLOW_COMMON_RANDOM_H_
+#define DFLOW_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dflow {
+
+/// Deterministic, fast PRNG (xorshift128+). All workload generators take a
+/// seed so that every test and benchmark is exactly reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed generator over {0, 1, ..., n-1} with skew parameter
+/// `theta` in [0, 1). theta = 0 degenerates to uniform; theta ~ 0.99 is the
+/// classic YCSB hot-key skew. Uses the standard rejection-free inverse-CDF
+/// approximation (Gray et al., "Quickly Generating Billion-Record Synthetic
+/// Databases").
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Next Zipf-distributed value in [0, n).
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Random rng_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_RANDOM_H_

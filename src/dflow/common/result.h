@@ -1,0 +1,80 @@
+#ifndef DFLOW_COMMON_RESULT_H_
+#define DFLOW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "dflow/common/status.h"
+
+namespace dflow {
+
+/// Either a value of type T or an error Status. The usual Arrow-style vehicle
+/// for fallible factory functions:
+///
+///   Result<Table> t = Table::FromChunks(...);
+///   if (!t.ok()) return t.status();
+///   Use(t.ValueOrDie());
+///
+/// Accessing the value of an errored Result aborts in debug builds (assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out of the Result. Only valid when ok().
+  T MoveValueUnsafe() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace dflow
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or assigning its
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+/// DFLOW_ASSIGN_OR_RETURN(auto table, MakeTable());
+#define DFLOW_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                \
+  if (!result_name.ok()) return result_name.status();        \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define DFLOW_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DFLOW_ASSIGN_OR_RETURN_NAME(x, y) DFLOW_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define DFLOW_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  DFLOW_ASSIGN_OR_RETURN_IMPL(                                             \
+      DFLOW_ASSIGN_OR_RETURN_NAME(_dflow_result_, __COUNTER__), lhs, rexpr)
+
+#endif  // DFLOW_COMMON_RESULT_H_

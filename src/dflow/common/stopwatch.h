@@ -1,0 +1,35 @@
+#ifndef DFLOW_COMMON_STOPWATCH_H_
+#define DFLOW_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dflow {
+
+/// Wall-clock stopwatch for host-side measurements (benchmark harness only;
+/// the engine's own timings come from the simulated clock in sim/).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_STOPWATCH_H_

@@ -1,0 +1,31 @@
+#ifndef DFLOW_COMMON_STRING_UTIL_H_
+#define DFLOW_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dflow {
+
+/// Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// "1.50 GB", "12.00 MB", "512 B" — for human-readable reports.
+std::string FormatBytes(uint64_t bytes);
+
+/// "1.234 ms", "56.7 us" — for human-readable simulated durations.
+std::string FormatNanos(uint64_t nanos);
+
+/// SQL LIKE matching with '%' (any run) and '_' (any single char).
+/// This is the predicate class the paper calls out as the AQUA pushdown
+/// example (§3.3): pattern matching is cheap on a streaming accelerator.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_STRING_UTIL_H_

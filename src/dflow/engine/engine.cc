@@ -1,0 +1,808 @@
+#include "dflow/engine/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "dflow/common/logging.h"
+#include "dflow/common/string_util.h"
+#include "dflow/exec/filter.h"
+#include "dflow/exec/join.h"
+#include "dflow/exec/misc_ops.h"
+#include "dflow/exec/project.h"
+#include "dflow/opt/selectivity.h"
+
+namespace dflow {
+
+namespace {
+
+// Collects the names of all column references in an expression tree.
+void CollectColumnNames(const ExprPtr& expr, std::set<std::string>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind() == Expr::Kind::kColumnRef) {
+    if (!expr->column_name().empty()) out->insert(expr->column_name());
+    return;
+  }
+  for (const ExprPtr& c : expr->children()) {
+    CollectColumnNames(c, out);
+  }
+}
+
+}  // namespace
+
+std::string ExecutionReport::ToString() const {
+  std::ostringstream os;
+  os << "variant=" << variant << " time=" << FormatNanos(sim_ns)
+     << " rows=" << result_rows << " media=" << FormatBytes(media_bytes)
+     << " network=" << FormatBytes(network_bytes)
+     << " interconnect=" << FormatBytes(interconnect_bytes)
+     << " membus=" << FormatBytes(membus_bytes)
+     << " peak_queue=" << FormatBytes(peak_queue_bytes);
+  return os.str();
+}
+
+struct Engine::PreparedQuery {
+  enum class StageKind {
+    kDecode,
+    kFilter,
+    kProject,
+    kPartialAgg,
+    kFinalAgg,
+    kCount,
+    kSort,
+    kLimit,
+  };
+
+  std::shared_ptr<Table> table;
+  std::vector<std::string> scan_columns;
+  Schema scan_schema;
+  ExprPtr filter;                    // resolved against scan_schema
+  std::vector<ExprPtr> projections;  // resolved against scan_schema
+  Schema after_project;              // schema entering aggregation
+  std::vector<StageKind> kinds;
+  std::vector<StageDesc> descs;
+};
+
+Engine::Engine(sim::FabricConfig config)
+    : config_(config), fabric_(config), volcano_(config) {}
+
+Result<Engine::PreparedQuery> Engine::Prepare(const QuerySpec& spec) const {
+  PreparedQuery prepared;
+  DFLOW_ASSIGN_OR_RETURN(prepared.table, catalog_.Lookup(spec.table));
+  const Schema& table_schema = prepared.table->schema();
+
+  // ---- Column pruning: scan only what downstream stages reference.
+  const bool select_all = spec.projections.empty() && !spec.count_only &&
+                          spec.aggregates.empty();
+  if (select_all) {
+    for (const Field& f : table_schema.fields()) {
+      prepared.scan_columns.push_back(f.name);
+    }
+  } else {
+    std::set<std::string> needed;
+    CollectColumnNames(spec.filter, &needed);
+    for (const ExprPtr& e : spec.projections) CollectColumnNames(e, &needed);
+    if (spec.projections.empty()) {
+      // Aggregation over raw columns.
+      for (const std::string& g : spec.group_by) needed.insert(g);
+      for (const AggSpec& a : spec.aggregates) {
+        if (!a.input.empty()) needed.insert(a.input);
+      }
+    }
+    if (spec.order_by.has_value() && spec.projections.empty() &&
+        spec.aggregates.empty() && !spec.count_only) {
+      needed.insert(spec.order_by->column);
+    }
+    // Keep table column order for determinism.
+    for (const Field& f : table_schema.fields()) {
+      if (needed.count(f.name) > 0) prepared.scan_columns.push_back(f.name);
+    }
+    if (prepared.scan_columns.empty()) {
+      // COUNT(*) with no predicate: scan the narrowest column.
+      size_t best = 0;
+      uint32_t best_width = UINT32_MAX;
+      for (size_t i = 0; i < table_schema.num_fields(); ++i) {
+        const uint32_t w = IsFixedWidth(table_schema.field(i).type)
+                               ? FixedWidthBytes(table_schema.field(i).type)
+                               : 64;
+        if (w < best_width) {
+          best_width = w;
+          best = i;
+        }
+      }
+      prepared.scan_columns.push_back(table_schema.field(best).name);
+    }
+  }
+  {
+    std::vector<size_t> indices;
+    for (const std::string& name : prepared.scan_columns) {
+      DFLOW_ASSIGN_OR_RETURN(size_t idx, table_schema.FieldIndex(name));
+      indices.push_back(idx);
+    }
+    prepared.scan_schema = table_schema.Select(indices);
+  }
+
+  // ---- Resolve expressions against the pruned scan schema.
+  if (spec.filter != nullptr) {
+    DFLOW_ASSIGN_OR_RETURN(prepared.filter,
+                           Expr::Resolve(spec.filter, prepared.scan_schema));
+  }
+  prepared.after_project = prepared.scan_schema;
+  if (!spec.projections.empty()) {
+    if (spec.projections.size() != spec.projection_names.size()) {
+      return Status::InvalidArgument("projection arity mismatch");
+    }
+    std::vector<Field> fields;
+    for (size_t i = 0; i < spec.projections.size(); ++i) {
+      DFLOW_ASSIGN_OR_RETURN(
+          ExprPtr r, Expr::Resolve(spec.projections[i], prepared.scan_schema));
+      DFLOW_ASSIGN_OR_RETURN(DataType type,
+                             r->OutputType(prepared.scan_schema));
+      fields.push_back(Field{spec.projection_names[i], type});
+      prepared.projections.push_back(std::move(r));
+    }
+    prepared.after_project = Schema(std::move(fields));
+  }
+
+  // ---- Stage plan. Reductions for decode are patched in later (they
+  // depend on measured encoded/decoded sizes).
+  using SK = PreparedQuery::StageKind;
+  prepared.kinds.push_back(SK::kDecode);
+  prepared.descs.push_back(
+      StageDesc{"decode", sim::CostClass::kDecode, 1.0, true});
+  if (spec.filter != nullptr) {
+    prepared.kinds.push_back(SK::kFilter);
+    prepared.descs.push_back(StageDesc{
+        "filter", sim::CostClass::kFilter,
+        EstimatePredicateSelectivity(spec.filter, *prepared.table), true});
+  }
+  if (!spec.projections.empty()) {
+    // Width ratio from a prototype operator.
+    std::vector<ExprPtr> exprs = prepared.projections;
+    DFLOW_ASSIGN_OR_RETURN(
+        OperatorPtr proto,
+        ProjectOperator::Make(std::move(exprs), spec.projection_names,
+                              prepared.scan_schema));
+    prepared.kinds.push_back(SK::kProject);
+    prepared.descs.push_back(StageDesc{"project", sim::CostClass::kProject,
+                                       proto->traits().reduction_hint, true});
+  }
+  if (spec.count_only) {
+    prepared.kinds.push_back(SK::kCount);
+    prepared.descs.push_back(
+        StageDesc{"count", sim::CostClass::kCount, 1e-6, true});
+  } else if (!spec.aggregates.empty()) {
+    prepared.kinds.push_back(SK::kPartialAgg);
+    prepared.descs.push_back(
+        StageDesc{"agg*", sim::CostClass::kAggregate, 0.05, true});
+    prepared.kinds.push_back(SK::kFinalAgg);
+    prepared.descs.push_back(
+        StageDesc{"agg", sim::CostClass::kAggregate, 1.0, false});
+  }
+  if (spec.order_by.has_value()) {
+    prepared.kinds.push_back(SK::kSort);
+    prepared.descs.push_back(StageDesc{
+        "sort", sim::CostClass::kSort,
+        spec.order_by->limit > 0 ? 0.1 : 1.0, false});
+  }
+  if (spec.limit > 0) {
+    prepared.kinds.push_back(SK::kLimit);
+    prepared.descs.push_back(
+        StageDesc{"limit", sim::CostClass::kMemcpy, 0.5, false});
+  }
+  return prepared;
+}
+
+Result<PlacementOptimizer::Input> Engine::MakeOptimizerInput(
+    const QuerySpec& spec, const PreparedQuery& prepared,
+    uint64_t encoded_bytes, uint64_t decoded_bytes, size_t num_batches) const {
+  (void)spec;
+  PlacementOptimizer::Input input;
+  input.input_bytes = static_cast<double>(encoded_bytes);
+  input.media_ns =
+      static_cast<double>(encoded_bytes) / config_.store_media_gbps +
+      static_cast<double>(num_batches) *
+          static_cast<double>(config_.store_request_latency_ns);
+  input.stages = prepared.descs;
+  // Decode expands the stream from at-rest to in-memory size.
+  if (!input.stages.empty() && encoded_bytes > 0) {
+    input.stages[0].reduction =
+        static_cast<double>(decoded_bytes) / static_cast<double>(encoded_bytes);
+  }
+  input.config = config_;
+  return input;
+}
+
+sim::Device* Engine::SiteDevice(Site site, int node) {
+  switch (site) {
+    case Site::kStorageProc:
+      return fabric_.storage_proc();
+    case Site::kStorageNic:
+      return fabric_.storage_nic();
+    case Site::kComputeNic:
+      return fabric_.node(node).nic.get();
+    case Site::kNearMemory:
+      return fabric_.node(node).near_mem.get();
+    case Site::kCpu:
+      return fabric_.node(node).cpu.get();
+  }
+  return nullptr;
+}
+
+std::vector<sim::Link*> Engine::PathBetween(Site from, Site to, int node) {
+  std::vector<sim::Link*> path;
+  // Links crossed when entering each site along the chain.
+  for (int s = static_cast<int>(from) + 1; s <= static_cast<int>(to); ++s) {
+    switch (static_cast<Site>(s)) {
+      case Site::kStorageProc:
+      case Site::kStorageNic:
+        break;  // on the storage node
+      case Site::kComputeNic:
+        path.push_back(fabric_.storage_uplink());
+        path.push_back(fabric_.node(node).net_rx.get());
+        break;
+      case Site::kNearMemory:
+        path.push_back(fabric_.node(node).interconnect.get());
+        break;
+      case Site::kCpu:
+        path.push_back(fabric_.node(node).memory_bus.get());
+        break;
+    }
+  }
+  return path;
+}
+
+ExecutionReport Engine::CollectReport(const DataflowGraph& graph,
+                                      DataflowGraph::NodeId sink,
+                                      const std::string& variant,
+                                      const TableScanSource::ScanStats& scan) {
+  ExecutionReport report;
+  report.variant = variant;
+  report.sim_ns = fabric_.simulator().now();
+  uint64_t rows = 0;
+  for (const DataChunk& c : graph.sink_chunks(sink)) rows += c.num_rows();
+  report.result_rows = rows;
+  report.media_bytes = fabric_.store_media()->bytes_processed();
+  report.network_bytes = fabric_.storage_uplink()->bytes_transferred();
+  report.interconnect_bytes =
+      fabric_.node(0).interconnect->bytes_transferred();
+  report.membus_bytes = fabric_.node(0).memory_bus->bytes_transferred();
+  report.peak_queue_bytes = graph.TotalPeakQueueBytes();
+  for (sim::Link* l : fabric_.AllLinks()) {
+    if (l->num_messages() > 0) {
+      report.link_bytes[l->name()] = l->bytes_transferred();
+    }
+  }
+  for (sim::Device* d : fabric_.AllDevices()) {
+    if (d->items_processed() > 0) {
+      report.device_busy_ns[d->name()] = d->busy_ns();
+    }
+  }
+  report.scan = scan;
+  return report;
+}
+
+namespace {
+
+/// Shared pipeline-construction result.
+struct BuiltPipeline {
+  DataflowGraph::NodeId source = 0;
+  DataflowGraph::NodeId sink = 0;
+  // The edge that crosses the network (for rate limiting), if any.
+  bool has_network_edge = false;
+  DataflowGraph::NodeId net_from = 0;
+  DataflowGraph::NodeId net_to = 0;
+};
+
+}  // namespace
+
+// Builds one query pipeline into `graph` and returns its endpoints.
+static Result<BuiltPipeline> BuildQueryPipeline(
+    Engine* engine, sim::Fabric* fabric, DataflowGraph* graph,
+    const QuerySpec& spec, const Engine::PreparedQuery& prepared,
+    const Placement& placement, const ExecOptions& options,
+    std::vector<ScanBatch> batches, const std::string& label);
+
+Result<QueryResult> Engine::Execute(const QuerySpec& spec,
+                                    const ExecOptions& options) {
+  DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
+                         PlanVariants(spec));
+  DFLOW_CHECK(!variants.empty());
+  Placement placement;
+  switch (options.placement) {
+    case PlacementChoice::kAuto:
+      placement = variants.front().placement;
+      break;
+    case PlacementChoice::kCpuOnly: {
+      DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+      PlacementOptimizer::Input input;
+      input.stages = prepared.descs;
+      input.config = config_;
+      placement = PlacementOptimizer(input).CpuOnly();
+      break;
+    }
+    case PlacementChoice::kFullOffload: {
+      DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+      PlacementOptimizer::Input input;
+      input.stages = prepared.descs;
+      input.config = config_;
+      placement = PlacementOptimizer(input).FullOffload();
+      break;
+    }
+  }
+  return ExecuteWithPlacement(spec, placement, options);
+}
+
+Result<std::vector<RankedPlacement>> Engine::PlanVariants(
+    const QuerySpec& spec) const {
+  DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+  DFLOW_ASSIGN_OR_RETURN(
+      TableScanSource scan,
+      TableScanSource::Make(prepared.table, prepared.scan_columns,
+                            prepared.filter));
+  TableScanSource::ScanStats stats;
+  DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce(&stats));
+  uint64_t decoded = 0;
+  for (const ScanBatch& b : batches) {
+    for (const ScanChunk& sc : b.chunks) decoded += sc.chunk.ByteSize();
+  }
+  DFLOW_ASSIGN_OR_RETURN(
+      PlacementOptimizer::Input input,
+      MakeOptimizerInput(spec, prepared, stats.encoded_bytes_read, decoded,
+                         batches.size()));
+  PlacementOptimizer optimizer(input);
+  std::vector<RankedPlacement> variants = optimizer.Enumerate();
+  if (variants.empty()) {
+    return Status::Internal("no valid placement found");
+  }
+  return variants;
+}
+
+Result<QueryResult> Engine::ExecuteWithPlacement(const QuerySpec& spec,
+                                                 const Placement& placement,
+                                                 const ExecOptions& options) {
+  DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+  if (placement.sites.size() != prepared.kinds.size()) {
+    return Status::InvalidArgument("placement does not match query stages");
+  }
+  DFLOW_ASSIGN_OR_RETURN(
+      TableScanSource scan,
+      TableScanSource::Make(prepared.table, prepared.scan_columns,
+                            prepared.filter));
+  TableScanSource::ScanStats stats;
+  DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce(&stats));
+
+  if (options.reset_fabric) fabric_.Reset();
+  DataflowGraph graph(&fabric_.simulator());
+  DFLOW_ASSIGN_OR_RETURN(
+      BuiltPipeline built,
+      BuildQueryPipeline(this, &fabric_, &graph, spec, prepared, placement,
+                         options, std::move(batches), spec.table));
+  if (options.network_rate_limit_gbps > 0 && built.has_network_edge) {
+    DFLOW_RETURN_NOT_OK(graph.SetEdgeRateLimit(
+        built.net_from, built.net_to, options.network_rate_limit_gbps));
+  }
+  DFLOW_RETURN_NOT_OK(graph.Run());
+
+  QueryResult result;
+  result.chunks = graph.sink_chunks(built.sink);
+  result.report = CollectReport(graph, built.sink, placement.name, stats);
+  return result;
+}
+
+static Result<BuiltPipeline> BuildQueryPipeline(
+    Engine* engine, sim::Fabric* fabric, DataflowGraph* graph,
+    const QuerySpec& spec, const Engine::PreparedQuery& prepared,
+    const Placement& placement, const ExecOptions& options,
+    std::vector<ScanBatch> batches, const std::string& label) {
+  using SK = Engine::PreparedQuery::StageKind;
+  BuiltPipeline built;
+  built.source = graph->AddSource("scan:" + label, fabric->store_media(),
+                                  sim::CostClass::kScan, std::move(batches));
+
+  // Materialize (kind, site, operator) triples. A partial aggregate placed
+  // on the CPU is dropped and the final aggregate becomes a single-stage
+  // complete aggregate (no point pre-aggregating on the device that also
+  // merges).
+  struct Inst {
+    std::string name;
+    OperatorPtr op;
+    Site site;
+  };
+  std::vector<Inst> stages;
+  Schema current = prepared.scan_schema;
+  Schema partial_schema;
+  bool partial_dropped = false;
+  for (size_t i = 0; i < prepared.kinds.size(); ++i) {
+    const Site site = placement.sites[i];
+    switch (prepared.kinds[i]) {
+      case SK::kDecode: {
+        stages.push_back(
+            Inst{"decode", OperatorPtr(new DecodeOperator(current)), site});
+        break;
+      }
+      case SK::kFilter: {
+        DFLOW_ASSIGN_OR_RETURN(OperatorPtr op,
+                               FilterOperator::Make(prepared.filter, current));
+        stages.push_back(Inst{"filter", std::move(op), site});
+        break;
+      }
+      case SK::kProject: {
+        std::vector<ExprPtr> exprs = prepared.projections;
+        DFLOW_ASSIGN_OR_RETURN(
+            OperatorPtr op,
+            ProjectOperator::Make(std::move(exprs), spec.projection_names,
+                                  current));
+        current = op->output_schema();
+        stages.push_back(Inst{"project", std::move(op), site});
+        break;
+      }
+      case SK::kCount: {
+        OperatorPtr op(new CountOperator());
+        current = op->output_schema();
+        stages.push_back(Inst{"count", std::move(op), site});
+        break;
+      }
+      case SK::kPartialAgg: {
+        if (site == Site::kCpu) {
+          partial_dropped = true;
+          break;
+        }
+        DFLOW_ASSIGN_OR_RETURN(
+            OperatorPtr op,
+            HashAggregateOperator::Make(current, spec.group_by,
+                                        spec.aggregates, AggMode::kPartial,
+                                        spec.preagg_budget));
+        partial_schema = op->output_schema();
+        current = partial_schema;
+        stages.push_back(Inst{"agg_partial", std::move(op), site});
+        break;
+      }
+      case SK::kFinalAgg: {
+        OperatorPtr op;
+        if (partial_dropped) {
+          DFLOW_ASSIGN_OR_RETURN(
+              op, HashAggregateOperator::Make(current, spec.group_by,
+                                              spec.aggregates,
+                                              AggMode::kComplete));
+        } else {
+          DFLOW_ASSIGN_OR_RETURN(
+              op, HashAggregateOperator::Make(current, spec.group_by,
+                                              MakeMergeSpecs(spec.aggregates),
+                                              AggMode::kFinal));
+        }
+        current = op->output_schema();
+        stages.push_back(Inst{"agg_final", std::move(op), site});
+        break;
+      }
+      case SK::kSort: {
+        DFLOW_ASSIGN_OR_RETURN(
+            OperatorPtr op,
+            SortOperator::Make(current, spec.order_by->column,
+                               spec.order_by->descending,
+                               spec.order_by->limit));
+        stages.push_back(Inst{"sort", std::move(op), site});
+        break;
+      }
+      case SK::kLimit: {
+        stages.push_back(Inst{
+            "limit", OperatorPtr(new LimitOperator(current, spec.limit)),
+            site});
+        break;
+      }
+    }
+  }
+
+  // Optional recompression around the network hop (§3.3): encode at the
+  // last storage-side stage's site, decode right after the network.
+  if (spec.compress_uplink) {
+    size_t last_storage = stages.size();
+    for (size_t i = 0; i < stages.size(); ++i) {
+      if (stages[i].site <= Site::kStorageNic) last_storage = i;
+    }
+    if (last_storage != stages.size()) {
+      const Schema enc_schema = stages[last_storage].op->output_schema();
+      Site dec_site = Site::kCpu;
+      for (size_t i = last_storage + 1; i < stages.size(); ++i) {
+        if (stages[i].site > Site::kStorageNic) {
+          dec_site = stages[i].site;
+          break;
+        }
+      }
+      stages.insert(stages.begin() + last_storage + 1,
+                    Inst{"encode", OperatorPtr(new EncodeOperator(enc_schema)),
+                         stages[last_storage].site});
+      stages.insert(stages.begin() + last_storage + 2,
+                    Inst{"decode2",
+                         OperatorPtr(new DecodeOperator(enc_schema)), dec_site});
+    }
+  }
+
+  // Wire the chain: source -> stages -> sink (client colocated with CPU).
+  const int node = options.node;
+  DataflowGraph::NodeId prev = built.source;
+  int prev_site = -1;  // media, before kStorageProc
+  auto connect = [&](DataflowGraph::NodeId from, DataflowGraph::NodeId to,
+                     int from_site, int to_site) -> Status {
+    std::vector<sim::Link*> path;
+    if (from_site < 0) {
+      path = engine->PathBetween(Site::kStorageProc, static_cast<Site>(to_site),
+                                 node);
+    } else {
+      path = engine->PathBetween(static_cast<Site>(from_site),
+                                 static_cast<Site>(to_site), node);
+    }
+    const bool crosses_network =
+        from_site < static_cast<int>(Site::kComputeNic) &&
+        to_site >= static_cast<int>(Site::kComputeNic);
+    DFLOW_RETURN_NOT_OK(graph->Connect(from, to, std::move(path),
+                                       options.credits));
+    if (crosses_network && !built.has_network_edge) {
+      built.has_network_edge = true;
+      built.net_from = from;
+      built.net_to = to;
+    }
+    return Status::OK();
+  };
+  for (Inst& inst : stages) {
+    const DataflowGraph::NodeId id = graph->AddStage(
+        inst.name + ":" + label, std::move(inst.op),
+        engine->SiteDevice(inst.site, node));
+    DFLOW_RETURN_NOT_OK(
+        connect(prev, id, prev_site, static_cast<int>(inst.site)));
+    prev = id;
+    prev_site = static_cast<int>(inst.site);
+  }
+  built.sink = graph->AddSink("client:" + label);
+  DFLOW_RETURN_NOT_OK(connect(prev, built.sink, prev_site,
+                              static_cast<int>(Site::kCpu)));
+  return built;
+}
+
+Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
+    const std::vector<QuerySpec>& specs,
+    const std::vector<Placement>& placements,
+    const std::vector<double>& network_rate_limits_gbps) {
+  if (specs.size() != placements.size()) {
+    return Status::InvalidArgument("one placement per query required");
+  }
+  if (!network_rate_limits_gbps.empty() &&
+      network_rate_limits_gbps.size() != specs.size()) {
+    return Status::InvalidArgument("rate limit list length mismatch");
+  }
+  fabric_.Reset();
+  DataflowGraph graph(&fabric_.simulator());
+  std::vector<BuiltPipeline> built;
+  for (size_t q = 0; q < specs.size(); ++q) {
+    DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(specs[q]));
+    if (placements[q].sites.size() != prepared.kinds.size()) {
+      return Status::InvalidArgument("placement mismatch for query " +
+                                     std::to_string(q));
+    }
+    DFLOW_ASSIGN_OR_RETURN(
+        TableScanSource scan,
+        TableScanSource::Make(prepared.table, prepared.scan_columns,
+                              prepared.filter));
+    DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce());
+    ExecOptions options;
+    DFLOW_ASSIGN_OR_RETURN(
+        BuiltPipeline b,
+        BuildQueryPipeline(this, &fabric_, &graph, specs[q], prepared,
+                           placements[q], options, std::move(batches),
+                           specs[q].table + "#" + std::to_string(q)));
+    if (!network_rate_limits_gbps.empty() &&
+        network_rate_limits_gbps[q] > 0 && b.has_network_edge) {
+      DFLOW_RETURN_NOT_OK(graph.SetEdgeRateLimit(
+          b.net_from, b.net_to, network_rate_limits_gbps[q]));
+    }
+    built.push_back(b);
+  }
+  DFLOW_RETURN_NOT_OK(graph.Run());
+  ConcurrentResult result;
+  for (const BuiltPipeline& b : built) {
+    result.completion_ns.push_back(graph.sink_finish_time(b.sink));
+    uint64_t rows = 0;
+    for (const DataChunk& c : graph.sink_chunks(b.sink)) rows += c.num_rows();
+    result.result_rows.push_back(rows);
+    result.makespan_ns =
+        std::max(result.makespan_ns, graph.sink_finish_time(b.sink));
+  }
+  return result;
+}
+
+Result<JoinRunResult> Engine::ExecutePartitionedJoin(
+    const JoinSpec& spec, const ExecOptions& options) {
+  if (spec.num_nodes < 1 || spec.num_nodes > fabric_.num_nodes()) {
+    return Status::InvalidArgument(
+        "join needs 1.." + std::to_string(fabric_.num_nodes()) + " nodes");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Table> build_table,
+                         catalog_.Lookup(spec.build_table));
+  DFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Table> probe_table,
+                         catalog_.Lookup(spec.probe_table));
+  DFLOW_ASSIGN_OR_RETURN(size_t build_key,
+                         build_table->schema().FieldIndex(spec.build_key));
+  DFLOW_ASSIGN_OR_RETURN(size_t probe_key,
+                         probe_table->schema().FieldIndex(spec.probe_key));
+  const bool nic_scatter = spec.exchange == JoinSpec::Exchange::kNicScatter;
+  const uint32_t p = static_cast<uint32_t>(spec.num_nodes);
+
+  if (options.reset_fabric) fabric_.Reset();
+
+  // Per-node shared hash tables, filled by the build phase.
+  std::vector<std::shared_ptr<JoinHashTable>> tables;
+  for (uint32_t i = 0; i < p; ++i) {
+    tables.push_back(
+        std::make_shared<JoinHashTable>(build_table->schema(), build_key));
+  }
+
+  // Path helper: storage NIC (or node-0 CPU) to node i's CPU.
+  auto scatter_path = [&](uint32_t i) {
+    return std::vector<sim::Link*>{
+        fabric_.storage_uplink(), fabric_.node(i).net_rx.get(),
+        fabric_.node(i).interconnect.get(), fabric_.node(i).memory_bus.get()};
+  };
+  auto peer_path = [&](uint32_t i) {  // node 0 CPU -> node i CPU
+    return std::vector<sim::Link*>{
+        fabric_.node(0).net_tx.get(), fabric_.node(i).net_rx.get(),
+        fabric_.node(i).interconnect.get(), fabric_.node(i).memory_bus.get()};
+  };
+
+  // ---------------------------------------------------------- build phase
+  {
+    DFLOW_ASSIGN_OR_RETURN(TableScanSource scan,
+                           TableScanSource::Make(build_table, {}, nullptr));
+    DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce());
+    DataflowGraph graph(&fabric_.simulator());
+    auto src = graph.AddSource("scan:" + spec.build_table,
+                               fabric_.store_media(), sim::CostClass::kScan,
+                               std::move(batches));
+    if (nic_scatter) {
+      auto decode = graph.AddStage(
+          "decode", OperatorPtr(new DecodeOperator(build_table->schema())),
+          fabric_.storage_proc());
+      auto part = graph.AddPartitionStage(
+          "scatter", HashPartitioner(build_key, p), fabric_.storage_nic());
+      DFLOW_RETURN_NOT_OK(graph.Connect(src, decode, {}, options.credits));
+      DFLOW_RETURN_NOT_OK(graph.Connect(decode, part, {}, options.credits));
+      for (uint32_t i = 0; i < p; ++i) {
+        DFLOW_ASSIGN_OR_RETURN(OperatorPtr build_op,
+                               JoinBuildOperator::Make(tables[i]));
+        auto build = graph.AddStage("build@" + std::to_string(i),
+                                    std::move(build_op),
+                                    fabric_.node(i).cpu.get());
+        DFLOW_RETURN_NOT_OK(
+            graph.Connect(part, build, scatter_path(i), options.credits));
+      }
+    } else {
+      // Everything to node 0's CPU first, then re-partition from there.
+      auto decode = graph.AddStage(
+          "decode", OperatorPtr(new DecodeOperator(build_table->schema())),
+          fabric_.node(0).cpu.get());
+      auto part = graph.AddPartitionStage(
+          "exchange", HashPartitioner(build_key, p),
+          fabric_.node(0).cpu.get());
+      DFLOW_RETURN_NOT_OK(
+          graph.Connect(src, decode, scatter_path(0), options.credits));
+      DFLOW_RETURN_NOT_OK(graph.Connect(decode, part, {}, options.credits));
+      for (uint32_t i = 0; i < p; ++i) {
+        DFLOW_ASSIGN_OR_RETURN(OperatorPtr build_op,
+                               JoinBuildOperator::Make(tables[i]));
+        auto build = graph.AddStage("build@" + std::to_string(i),
+                                    std::move(build_op),
+                                    fabric_.node(i).cpu.get());
+        std::vector<sim::Link*> path =
+            i == 0 ? std::vector<sim::Link*>{} : peer_path(i);
+        DFLOW_RETURN_NOT_OK(
+            graph.Connect(part, build, std::move(path), options.credits));
+      }
+    }
+    DFLOW_RETURN_NOT_OK(graph.Run());
+  }
+
+  // ---------------------------------------------------------- probe phase
+  JoinRunResult result;
+  {
+    ExprPtr resolved_filter;
+    if (spec.probe_filter != nullptr) {
+      DFLOW_ASSIGN_OR_RETURN(
+          resolved_filter,
+          Expr::Resolve(spec.probe_filter, probe_table->schema()));
+    }
+    DFLOW_ASSIGN_OR_RETURN(
+        TableScanSource scan,
+        TableScanSource::Make(probe_table, {}, resolved_filter));
+    TableScanSource::ScanStats stats;
+    DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches,
+                           scan.Produce(&stats));
+    DataflowGraph graph(&fabric_.simulator());
+    auto src = graph.AddSource("scan:" + spec.probe_table,
+                               fabric_.store_media(), sim::CostClass::kScan,
+                               std::move(batches));
+    DataflowGraph::NodeId part;
+    if (nic_scatter) {
+      auto decode = graph.AddStage(
+          "decode", OperatorPtr(new DecodeOperator(probe_table->schema())),
+          fabric_.storage_proc());
+      DFLOW_RETURN_NOT_OK(graph.Connect(src, decode, {}, options.credits));
+      DataflowGraph::NodeId upstream = decode;
+      if (resolved_filter != nullptr) {
+        DFLOW_ASSIGN_OR_RETURN(
+            OperatorPtr filter,
+            FilterOperator::Make(resolved_filter, probe_table->schema()));
+        auto f = graph.AddStage("filter", std::move(filter),
+                                fabric_.storage_proc());
+        DFLOW_RETURN_NOT_OK(graph.Connect(upstream, f, {}, options.credits));
+        upstream = f;
+      }
+      part = graph.AddPartitionStage("scatter", HashPartitioner(probe_key, p),
+                                     fabric_.storage_nic());
+      DFLOW_RETURN_NOT_OK(graph.Connect(upstream, part, {}, options.credits));
+    } else {
+      auto decode = graph.AddStage(
+          "decode", OperatorPtr(new DecodeOperator(probe_table->schema())),
+          fabric_.node(0).cpu.get());
+      DFLOW_RETURN_NOT_OK(
+          graph.Connect(src, decode, scatter_path(0), options.credits));
+      DataflowGraph::NodeId upstream = decode;
+      if (resolved_filter != nullptr) {
+        DFLOW_ASSIGN_OR_RETURN(
+            OperatorPtr filter,
+            FilterOperator::Make(resolved_filter, probe_table->schema()));
+        auto f = graph.AddStage("filter", std::move(filter),
+                                fabric_.node(0).cpu.get());
+        DFLOW_RETURN_NOT_OK(graph.Connect(upstream, f, {}, options.credits));
+        upstream = f;
+      }
+      part = graph.AddPartitionStage("exchange", HashPartitioner(probe_key, p),
+                                     fabric_.node(0).cpu.get());
+      DFLOW_RETURN_NOT_OK(graph.Connect(upstream, part, {}, options.credits));
+    }
+    std::vector<DataflowGraph::NodeId> sinks;
+    for (uint32_t i = 0; i < p; ++i) {
+      DFLOW_ASSIGN_OR_RETURN(
+          OperatorPtr probe_op,
+          HashJoinProbeOperator::Make(tables[i], probe_table->schema(),
+                                      probe_key));
+      auto probe = graph.AddStage("probe@" + std::to_string(i),
+                                  std::move(probe_op),
+                                  fabric_.node(i).cpu.get());
+      std::vector<sim::Link*> path;
+      if (nic_scatter) {
+        path = scatter_path(i);
+      } else {
+        path = i == 0 ? std::vector<sim::Link*>{} : peer_path(i);
+      }
+      DFLOW_RETURN_NOT_OK(
+          graph.Connect(part, probe, std::move(path), options.credits));
+      auto count = graph.AddStage("count@" + std::to_string(i),
+                                  OperatorPtr(new CountOperator()),
+                                  fabric_.node(i).cpu.get());
+      DFLOW_RETURN_NOT_OK(graph.Connect(probe, count, {}, options.credits));
+      auto sink = graph.AddSink("client@" + std::to_string(i));
+      DFLOW_RETURN_NOT_OK(graph.Connect(count, sink, {}, options.credits));
+      sinks.push_back(sink);
+    }
+    DFLOW_RETURN_NOT_OK(graph.Run());
+    for (DataflowGraph::NodeId sink : sinks) {
+      const auto& chunks = graph.sink_chunks(sink);
+      int64_t count = 0;
+      if (!chunks.empty()) count = chunks[0].GetValue(0, 0).int64_value();
+      result.node_counts.push_back(count);
+      result.total_rows += count;
+    }
+    result.report = CollectReport(graph, sinks[0],
+                                  nic_scatter ? "nic-scatter" : "cpu-exchange",
+                                  stats);
+    result.report.sim_ns = fabric_.simulator().now();
+  }
+  return result;
+}
+
+Result<VolcanoRunResult> Engine::ExecuteOnVolcano(const QuerySpec& spec,
+                                                  size_t pool_pages,
+                                                  int repeats) {
+  return volcano_.Run(catalog_, spec, pool_pages, repeats);
+}
+
+}  // namespace dflow

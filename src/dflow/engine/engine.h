@@ -1,0 +1,131 @@
+#ifndef DFLOW_ENGINE_ENGINE_H_
+#define DFLOW_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/engine/report.h"
+#include "dflow/engine/volcano_runner.h"
+#include "dflow/exec/dataflow.h"
+#include "dflow/opt/placement.h"
+#include "dflow/plan/query_spec.h"
+#include "dflow/storage/catalog.h"
+
+namespace dflow {
+
+/// Which data-path alternative to run (§7.3's plan variants).
+enum class PlacementChoice {
+  kAuto,         // movement-cost-first optimizer picks
+  kCpuOnly,      // the traditional CPU-centric plan
+  kFullOffload,  // every stage at the earliest capable site
+};
+
+struct ExecOptions {
+  PlacementChoice placement = PlacementChoice::kAuto;
+  /// Credits (chunks in flight) per pipeline edge.
+  uint32_t credits = 8;
+  /// DMA rate limit on the network edge, Gbps (0 = none). Set by the
+  /// scheduler to tame background queries.
+  double network_rate_limit_gbps = 0.0;
+  /// Compute node hosting the query's final stages.
+  int node = 0;
+  /// Reset fabric clock/stats before running (disable to chain phases).
+  bool reset_fabric = true;
+};
+
+struct QueryResult {
+  std::vector<DataChunk> chunks;
+  ExecutionReport report;
+};
+
+/// Result of a distributed partitioned join.
+struct JoinRunResult {
+  /// Joined-row count per node (the per-node COUNT sink).
+  std::vector<int64_t> node_counts;
+  int64_t total_rows = 0;
+  ExecutionReport report;
+};
+
+/// The data flow engine: a catalog, a simulated fabric, the placement
+/// optimizer, and executors for the data-flow architecture and for the
+/// conventional (Volcano + buffer pool) baseline — everything the paper's
+/// experiments compare.
+class Engine {
+ public:
+  explicit Engine(sim::FabricConfig config = sim::FabricConfig());
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  sim::Fabric& fabric() { return fabric_; }
+  const sim::FabricConfig& config() const { return config_; }
+
+  /// Runs a query on the data-flow architecture.
+  Result<QueryResult> Execute(const QuerySpec& spec,
+                              const ExecOptions& options = ExecOptions());
+
+  /// Runs with an explicitly chosen placement (one of PlanVariants).
+  Result<QueryResult> ExecuteWithPlacement(
+      const QuerySpec& spec, const Placement& placement,
+      const ExecOptions& options = ExecOptions());
+
+  /// Enumerates this query's data-path alternatives with cost estimates,
+  /// best first.
+  Result<std::vector<RankedPlacement>> PlanVariants(
+      const QuerySpec& spec) const;
+
+  /// Runs several queries concurrently on the shared fabric, one pipeline
+  /// each. `placements[i]` chooses query i's variant;
+  /// `network_rate_limits_gbps` (same length, or empty) caps each query's
+  /// network DMA. Returns per-query completion and the overall makespan.
+  struct ConcurrentResult {
+    std::vector<sim::SimTime> completion_ns;
+    std::vector<uint64_t> result_rows;
+    sim::SimTime makespan_ns = 0;
+  };
+  Result<ConcurrentResult> ExecuteConcurrent(
+      const std::vector<QuerySpec>& specs,
+      const std::vector<Placement>& placements,
+      const std::vector<double>& network_rate_limits_gbps = {});
+
+  /// Distributed partitioned hash join across compute nodes (Figure 4).
+  Result<JoinRunResult> ExecutePartitionedJoin(
+      const JoinSpec& spec, const ExecOptions& options = ExecOptions());
+
+  /// Runs the same query on the conventional engine (pull-based iterators
+  /// over a buffer pool of `pool_pages` pages).
+  Result<VolcanoRunResult> ExecuteOnVolcano(const QuerySpec& spec,
+                                            size_t pool_pages,
+                                            int repeats = 1);
+
+  // Implementation helpers exposed for the pipeline builder (and useful to
+  // power users assembling custom graphs on the engine's fabric).
+  struct PreparedQuery;
+
+  /// The processing element hosting `site` on compute node `node`.
+  sim::Device* SiteDevice(Site site, int node);
+
+  /// The ordered links a chunk crosses moving from `from` to `to`.
+  std::vector<sim::Link*> PathBetween(Site from, Site to, int node);
+
+ private:
+  Result<PreparedQuery> Prepare(const QuerySpec& spec) const;
+  Result<PlacementOptimizer::Input> MakeOptimizerInput(
+      const QuerySpec& spec, const PreparedQuery& prepared,
+      uint64_t encoded_bytes, uint64_t decoded_bytes,
+      size_t num_batches) const;
+  ExecutionReport CollectReport(const DataflowGraph& graph,
+                                DataflowGraph::NodeId sink,
+                                const std::string& variant,
+                                const TableScanSource::ScanStats& scan);
+
+  sim::FabricConfig config_;
+  sim::Fabric fabric_;
+  Catalog catalog_;
+  VolcanoRunner volcano_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ENGINE_ENGINE_H_

@@ -1,0 +1,43 @@
+#ifndef DFLOW_ENGINE_REPORT_H_
+#define DFLOW_ENGINE_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "dflow/exec/scan.h"
+#include "dflow/sim/simulator.h"
+
+namespace dflow {
+
+/// What one simulated execution measured. These are the paper's quantities:
+/// completion time, bytes over each segment of the data path, device busy
+/// time, and the engine's in-flight memory under credit flow control.
+struct ExecutionReport {
+  std::string variant;
+  sim::SimTime sim_ns = 0;
+  uint64_t result_rows = 0;
+
+  /// Encoded bytes read off the storage media.
+  uint64_t media_bytes = 0;
+  /// Bytes that crossed the storage uplink (the disaggregation boundary —
+  /// the headline data-movement number).
+  uint64_t network_bytes = 0;
+  /// Bytes that crossed node 0's NIC->memory interconnect.
+  uint64_t interconnect_bytes = 0;
+  /// Bytes that crossed node 0's memory bus toward the CPU.
+  uint64_t membus_bytes = 0;
+
+  /// Peak bytes simultaneously queued/in flight across all pipeline edges.
+  uint64_t peak_queue_bytes = 0;
+
+  std::map<std::string, uint64_t> link_bytes;
+  std::map<std::string, uint64_t> device_busy_ns;
+
+  TableScanSource::ScanStats scan;
+
+  std::string ToString() const;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ENGINE_REPORT_H_

@@ -1,0 +1,62 @@
+#ifndef DFLOW_ENGINE_VOLCANO_RUNNER_H_
+#define DFLOW_ENGINE_VOLCANO_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/plan/query_spec.h"
+#include "dflow/storage/catalog.h"
+#include "dflow/volcano/iterators.h"
+
+namespace dflow {
+
+/// Outcome of one baseline (conventional-engine) execution.
+struct VolcanoRunResult {
+  std::vector<volcano::Row> rows;
+  sim::SimTime sim_ns = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t page_fetches = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  /// Peak resident memory: buffer pool frames + operator state — the
+  /// footprint §7.4 wants eliminated.
+  uint64_t peak_resident_bytes = 0;
+  /// With repeats > 1: virtual time of the cold first run and of the last
+  /// (warmest) run. Equal to sim_ns when repeats == 1.
+  sim::SimTime first_run_ns = 0;
+  sim::SimTime last_run_ns = 0;
+};
+
+/// Executes QuerySpec/JoinSpec on the CPU-centric pull engine: row pages
+/// fetched through a buffer pool across the full conventional data path,
+/// tuple-at-a-time iterators on the CPU. Heap files are materialized from
+/// columnar tables once and cached (that conversion is the legacy engine's
+/// loading step, not part of query time).
+class VolcanoRunner {
+ public:
+  explicit VolcanoRunner(const sim::FabricConfig& config);
+
+  /// Runs the query `repeats` times against ONE buffer pool (the warm-cache
+  /// scenario §7.5 discusses); rows/metrics of the last run are returned,
+  /// with per-run times in first_run_ns / last_run_ns.
+  Result<VolcanoRunResult> Run(const Catalog& catalog, const QuerySpec& spec,
+                               size_t pool_pages, int repeats = 1);
+
+  /// Single-node hash join + COUNT on the baseline engine.
+  Result<VolcanoRunResult> RunJoinCount(const Catalog& catalog,
+                                        const JoinSpec& spec,
+                                        size_t pool_pages);
+
+ private:
+  Result<const volcano::HeapFile*> GetHeapFile(const Catalog& catalog,
+                                               const std::string& table);
+
+  sim::FabricConfig config_;
+  std::map<std::string, std::unique_ptr<volcano::HeapFile>> heap_files_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_ENGINE_VOLCANO_RUNNER_H_

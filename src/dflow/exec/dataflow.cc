@@ -1,0 +1,498 @@
+#include "dflow/exec/dataflow.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+struct DataflowGraph::Edge {
+  explicit Edge(uint32_t credits) : gate(credits) {}
+
+  Node* from = nullptr;
+  Node* to = nullptr;
+  std::vector<sim::Link*> path;
+  std::unique_ptr<sim::DmaEngine> dma;  // present iff path is non-empty
+  sim::CreditGate gate;
+  std::deque<std::pair<DataChunk, uint64_t>> send_queue;  // chunk, wire bytes
+  bool eos_pending = false;
+  bool eos_sent = false;
+  sim::SimTime path_latency = 0;
+  sim::SimTime last_arrive = 0;
+  uint64_t inflight_bytes = 0;
+  uint64_t peak_inflight_bytes = 0;
+  uint64_t bytes_sent = 0;
+};
+
+struct DataflowGraph::Node {
+  enum class Type { kSource, kStage, kPartition, kBroadcast, kSink };
+
+  Type type = Type::kStage;
+  std::string name;
+  sim::Device* device = nullptr;
+  sim::CostClass source_cc = sim::CostClass::kScan;
+  OperatorPtr op;
+  std::optional<HashPartitioner> partitioner;
+  double cost_factor = 1.0;
+  std::vector<ScanBatch> batches;
+  size_t next_batch = 0;
+  std::deque<std::tuple<DataChunk, uint64_t, Edge*>> inbox;
+  size_t open_inputs = 0;
+  std::vector<Edge*> outs;
+  std::vector<Edge*> ins;
+  bool device_busy = false;
+  bool finished = false;
+  std::vector<DataChunk> sink_chunks;
+  sim::SimTime finish_time = 0;
+};
+
+DataflowGraph::DataflowGraph(sim::Simulator* sim) : sim_(sim) {
+  DFLOW_CHECK(sim != nullptr);
+}
+
+DataflowGraph::~DataflowGraph() = default;
+
+DataflowGraph::NodeId DataflowGraph::AddSource(std::string name,
+                                               sim::Device* device,
+                                               sim::CostClass cc,
+                                               std::vector<ScanBatch> batches) {
+  auto n = std::make_unique<Node>();
+  n->type = Node::Type::kSource;
+  n->name = std::move(name);
+  n->device = device;
+  n->source_cc = cc;
+  n->batches = std::move(batches);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+DataflowGraph::NodeId DataflowGraph::AddStage(std::string name, OperatorPtr op,
+                                              sim::Device* device,
+                                              double cost_factor) {
+  auto n = std::make_unique<Node>();
+  n->type = Node::Type::kStage;
+  n->name = std::move(name);
+  n->device = device;
+  n->op = std::move(op);
+  n->cost_factor = cost_factor;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+DataflowGraph::NodeId DataflowGraph::AddPartitionStage(
+    std::string name, HashPartitioner partitioner, sim::Device* device) {
+  auto n = std::make_unique<Node>();
+  n->type = Node::Type::kPartition;
+  n->name = std::move(name);
+  n->device = device;
+  n->partitioner = partitioner;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+DataflowGraph::NodeId DataflowGraph::AddBroadcastStage(
+    std::string name, sim::Device* device) {
+  auto n = std::make_unique<Node>();
+  n->type = Node::Type::kBroadcast;
+  n->name = std::move(name);
+  n->device = device;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+DataflowGraph::NodeId DataflowGraph::AddSink(std::string name) {
+  auto n = std::make_unique<Node>();
+  n->type = Node::Type::kSink;
+  n->name = std::move(name);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+Status DataflowGraph::Connect(NodeId from, NodeId to,
+                              std::vector<sim::Link*> path, uint32_t credits) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Status::InvalidArgument("Connect: node id out of range");
+  }
+  if (credits == 0) {
+    return Status::InvalidArgument("Connect: credits must be positive");
+  }
+  auto e = std::make_unique<Edge>(credits);
+  e->from = GetNode(from);
+  e->to = GetNode(to);
+  e->path = std::move(path);
+  for (sim::Link* l : e->path) {
+    if (l == nullptr) return Status::InvalidArgument("Connect: null link");
+    e->path_latency += l->latency_ns();
+  }
+  if (!e->path.empty()) {
+    e->dma = std::make_unique<sim::DmaEngine>(
+        e->from->name + "->" + e->to->name, e->path[0]);
+  }
+  e->from->outs.push_back(e.get());
+  e->to->ins.push_back(e.get());
+  edges_.push_back(std::move(e));
+  return Status::OK();
+}
+
+DataflowGraph::Edge* DataflowGraph::FindEdge(NodeId from, NodeId to) const {
+  for (const auto& e : edges_) {
+    if (e->from == nodes_[from].get() && e->to == nodes_[to].get()) {
+      return e.get();
+    }
+  }
+  return nullptr;
+}
+
+Status DataflowGraph::SetEdgeRateLimit(NodeId from, NodeId to, double gbps) {
+  Edge* e = FindEdge(from, to);
+  if (e == nullptr) return Status::NotFound("no such edge");
+  if (e->dma == nullptr) {
+    return Status::InvalidArgument("edge has no link (colocated)");
+  }
+  e->dma->SetRateLimitGbps(gbps);
+  return Status::OK();
+}
+
+void DataflowGraph::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+bool DataflowGraph::SendQueuesEmpty(const Node* n) const {
+  for (const Edge* e : n->outs) {
+    if (!e->send_queue.empty()) return false;
+  }
+  return true;
+}
+
+void DataflowGraph::Pump(Node* n) {
+  if (!status_.ok()) return;
+  if (n->type == Node::Type::kSink) return;
+  if (n->finished || n->device_busy) return;
+  if (!SendQueuesEmpty(n)) return;
+
+  if (n->type == Node::Type::kSource) {
+    if (n->next_batch < n->batches.size()) {
+      const size_t idx = n->next_batch++;
+      n->device_busy = true;
+      const auto work = n->device->Process(
+          sim_->now(), n->batches[idx].device_bytes, n->source_cc,
+          n->cost_factor);
+      sim_->ScheduleAt(work.end, [this, n, idx] {
+        n->device_busy = false;
+        RouteScanBatch(n, idx);
+        PumpEdges(n);
+        Pump(n);
+      });
+    } else {
+      MarkNodeDone(n);
+    }
+    return;
+  }
+
+  if (!n->inbox.empty()) {
+    StartWork(n);
+    return;
+  }
+
+  if (n->open_inputs == 0) {
+    // All inputs finished and the inbox is drained: run Finish.
+    std::vector<DataChunk> outputs;
+    if (n->type == Node::Type::kStage) {
+      Status st = n->op->Finish(&outputs);
+      if (!st.ok()) {
+        Fail(std::move(st));
+        return;
+      }
+    }
+    uint64_t bytes = 0;
+    for (const DataChunk& c : outputs) bytes += c.ByteSize();
+    const sim::CostClass cc =
+        n->type == Node::Type::kStage ? n->op->traits().cost_class
+        : n->type == Node::Type::kBroadcast ? sim::CostClass::kMemcpy
+                                            : sim::CostClass::kPartition;
+    n->device_busy = true;
+    const auto work = n->device->Process(sim_->now(), bytes, cc,
+                                         n->cost_factor);
+    sim_->ScheduleAt(work.end, [this, n, outputs = std::move(outputs)]() mutable {
+      n->device_busy = false;
+      RouteOutputs(n, std::move(outputs));
+      MarkNodeDone(n);
+      PumpEdges(n);
+    });
+  }
+}
+
+void DataflowGraph::StartWork(Node* n) {
+  auto [chunk, wire, origin] = std::move(n->inbox.front());
+  n->inbox.pop_front();
+  PopCredit(origin, wire);
+
+  std::vector<DataChunk> outputs;
+  sim::CostClass cc;
+  double work_scale = 1.0;
+  if (n->type == Node::Type::kStage) {
+    cc = n->op->traits().cost_class;
+    Status st = n->op->Push(chunk, &outputs);
+    if (!st.ok()) {
+      Fail(std::move(st));
+      return;
+    }
+  } else if (n->type == Node::Type::kBroadcast) {
+    cc = sim::CostClass::kMemcpy;
+    // One replica per outgoing edge; the device copies each of them.
+    for (size_t i = 0; i < n->outs.size(); ++i) outputs.push_back(chunk);
+    work_scale = static_cast<double>(n->outs.size());
+  } else {
+    cc = sim::CostClass::kPartition;
+    Status st = n->partitioner->Split(chunk, &outputs);
+    if (!st.ok()) {
+      Fail(std::move(st));
+      return;
+    }
+  }
+  n->device_busy = true;
+  const auto work = n->device->Process(
+      sim_->now(), static_cast<uint64_t>(wire * work_scale), cc,
+      n->cost_factor);
+  sim_->ScheduleAt(work.end, [this, n, outputs = std::move(outputs)]() mutable {
+    n->device_busy = false;
+    RouteOutputs(n, std::move(outputs));
+    PumpEdges(n);
+    Pump(n);
+  });
+}
+
+void DataflowGraph::RouteOutputs(Node* n, std::vector<DataChunk> outputs) {
+  if (n->type == Node::Type::kPartition ||
+      n->type == Node::Type::kBroadcast) {
+    if (outputs.empty()) return;  // Finish: no state to flush
+    if (outputs.size() != n->outs.size()) {
+      Fail(Status::Internal("partition fan-out does not match edge count"));
+      return;
+    }
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (outputs[i].num_rows() == 0) continue;
+      const uint64_t wire = outputs[i].ByteSize();
+      n->outs[i]->send_queue.emplace_back(std::move(outputs[i]), wire);
+    }
+    return;
+  }
+  if (n->outs.empty()) return;  // terminal stage (e.g. join build sink)
+  for (DataChunk& c : outputs) {
+    if (c.num_rows() == 0) continue;
+    const uint64_t wire =
+        n->type == Node::Type::kStage ? n->op->OutputWireBytes(c) : c.ByteSize();
+    n->outs[0]->send_queue.emplace_back(std::move(c), wire);
+  }
+}
+
+void DataflowGraph::RouteScanBatch(Node* n, size_t batch_index) {
+  if (n->outs.empty()) return;
+  ScanBatch& batch = n->batches[batch_index];
+  for (ScanChunk& sc : batch.chunks) {
+    if (sc.chunk.num_rows() == 0) continue;
+    n->outs[0]->send_queue.emplace_back(std::move(sc.chunk), sc.wire_bytes);
+  }
+  batch.chunks.clear();
+}
+
+void DataflowGraph::PumpEdges(Node* n) {
+  for (Edge* e : n->outs) PumpEdge(e);
+}
+
+void DataflowGraph::PumpEdge(Edge* e) {
+  if (!status_.ok()) return;
+  while (!e->send_queue.empty() && e->gate.HasCredit()) {
+    e->gate.Acquire();
+    auto [chunk, wire] = std::move(e->send_queue.front());
+    e->send_queue.pop_front();
+    e->inflight_bytes += wire;
+    e->peak_inflight_bytes = std::max(e->peak_inflight_bytes,
+                                      e->inflight_bytes);
+    e->bytes_sent += wire;
+    sim::SimTime arrive = sim_->now();
+    if (!e->path.empty()) {
+      const auto first = e->dma->Transfer(arrive, wire);
+      arrive = first.arrive;
+      for (size_t i = 1; i < e->path.size(); ++i) {
+        arrive = e->path[i]->Reserve(arrive, wire).arrive;
+      }
+    }
+    e->last_arrive = std::max(e->last_arrive, arrive);
+    sim_->ScheduleAt(arrive,
+                     [this, e, chunk = std::move(chunk), wire]() mutable {
+                       Deliver(e, std::move(chunk), wire);
+                     });
+  }
+  if (e->send_queue.empty() && e->eos_pending && !e->eos_sent) {
+    e->eos_sent = true;
+    const sim::SimTime t =
+        std::max(e->last_arrive, sim_->now() + e->path_latency);
+    sim_->ScheduleAt(t, [this, e] { HandleEos(e); });
+  }
+}
+
+void DataflowGraph::Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes) {
+  if (!status_.ok()) return;
+  Node* to = e->to;
+  if (to->type == Node::Type::kSink) {
+    to->sink_chunks.push_back(std::move(chunk));
+    PopCredit(e, wire_bytes);  // the sink consumes immediately
+    return;
+  }
+  to->inbox.emplace_back(std::move(chunk), wire_bytes, e);
+  Pump(to);
+}
+
+void DataflowGraph::PopCredit(Edge* e, uint64_t wire_bytes) {
+  DFLOW_CHECK_GE(e->inflight_bytes, wire_bytes);
+  e->inflight_bytes -= wire_bytes;
+  // The credit message travels the reverse path.
+  sim_->Schedule(e->path_latency, [this, e] {
+    e->gate.Release();
+    PumpEdge(e);
+    Pump(e->from);
+  });
+}
+
+void DataflowGraph::HandleEos(Edge* e) {
+  if (!status_.ok()) return;
+  Node* to = e->to;
+  DFLOW_CHECK_GT(to->open_inputs, 0u);
+  to->open_inputs -= 1;
+  if (to->type == Node::Type::kSink) {
+    if (to->open_inputs == 0) {
+      to->finished = true;
+      to->finish_time = sim_->now();
+    }
+    return;
+  }
+  Pump(to);
+}
+
+void DataflowGraph::MarkNodeDone(Node* n) {
+  if (n->finished) return;
+  n->finished = true;
+  n->finish_time = sim_->now();
+  for (Edge* e : n->outs) e->eos_pending = true;
+  PumpEdges(n);
+}
+
+Status DataflowGraph::Run(uint64_t max_events) {
+  if (started_) return Status::InvalidArgument("graph already ran");
+  started_ = true;
+
+  // Structural validation.
+  for (const auto& n : nodes_) {
+    switch (n->type) {
+      case Node::Type::kSource:
+        if (n->outs.size() != 1) {
+          return Status::InvalidArgument("source '" + n->name +
+                                         "' must have exactly one output");
+        }
+        if (n->device == nullptr) {
+          return Status::InvalidArgument("source '" + n->name +
+                                         "' has no device");
+        }
+        break;
+      case Node::Type::kStage:
+        if (n->op == nullptr || n->device == nullptr) {
+          return Status::InvalidArgument("stage '" + n->name +
+                                         "' missing operator or device");
+        }
+        if (n->outs.size() > 1) {
+          return Status::InvalidArgument(
+              "stage '" + n->name +
+              "' has multiple outputs (use a partition stage)");
+        }
+        if (n->ins.empty()) {
+          return Status::InvalidArgument("stage '" + n->name +
+                                         "' has no inputs");
+        }
+        if (!n->device->Supports(n->op->traits().cost_class)) {
+          return Status::InvalidArgument(
+              "device '" + n->device->name() + "' does not support " +
+              std::string(sim::CostClassToString(n->op->traits().cost_class)) +
+              " (stage '" + n->name + "')");
+        }
+        break;
+      case Node::Type::kBroadcast:
+        if (n->outs.empty()) {
+          return Status::InvalidArgument("broadcast stage '" + n->name +
+                                         "' has no outputs");
+        }
+        if (n->ins.empty()) {
+          return Status::InvalidArgument("broadcast stage '" + n->name +
+                                         "' has no inputs");
+        }
+        break;
+      case Node::Type::kPartition:
+        if (n->outs.size() != n->partitioner->num_partitions()) {
+          return Status::InvalidArgument(
+              "partition stage '" + n->name + "' expects " +
+              std::to_string(n->partitioner->num_partitions()) + " outputs");
+        }
+        if (n->ins.empty()) {
+          return Status::InvalidArgument("partition stage '" + n->name +
+                                         "' has no inputs");
+        }
+        break;
+      case Node::Type::kSink:
+        if (n->ins.empty()) {
+          return Status::InvalidArgument("sink '" + n->name +
+                                         "' has no inputs");
+        }
+        break;
+    }
+  }
+
+  for (auto& n : nodes_) {
+    n->open_inputs = n->ins.size();
+  }
+  for (auto& n : nodes_) {
+    if (n->type == Node::Type::kSource) {
+      Node* raw = n.get();
+      sim_->Schedule(0, [this, raw] { Pump(raw); });
+    }
+  }
+  const bool drained = sim_->RunWithLimit(max_events);
+  if (!drained) {
+    return Status::Internal("dataflow graph exceeded event budget");
+  }
+  DFLOW_RETURN_NOT_OK(status_);
+  for (const auto& n : nodes_) {
+    if (!n->finished) {
+      return Status::Internal("dataflow graph stalled at node '" + n->name +
+                              "'");
+    }
+  }
+  return Status::OK();
+}
+
+const std::vector<DataChunk>& DataflowGraph::sink_chunks(NodeId sink) const {
+  return nodes_[sink]->sink_chunks;
+}
+
+sim::SimTime DataflowGraph::sink_finish_time(NodeId sink) const {
+  return nodes_[sink]->finish_time;
+}
+
+Operator* DataflowGraph::stage_operator(NodeId id) {
+  return nodes_[id]->op.get();
+}
+
+uint64_t DataflowGraph::TotalPeakQueueBytes() const {
+  uint64_t total = 0;
+  for (const auto& e : edges_) {
+    total += e->peak_inflight_bytes;
+  }
+  return total;
+}
+
+uint64_t DataflowGraph::EdgePeakQueueBytes(NodeId from, NodeId to) const {
+  Edge* e = FindEdge(from, to);
+  return e == nullptr ? 0 : e->peak_inflight_bytes;
+}
+
+}  // namespace dflow

@@ -1,0 +1,123 @@
+#ifndef DFLOW_EXEC_DATAFLOW_H_
+#define DFLOW_EXEC_DATAFLOW_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dflow/exec/operator.h"
+#include "dflow/exec/partition.h"
+#include "dflow/exec/scan.h"
+#include "dflow/sim/credit.h"
+#include "dflow/sim/dma.h"
+#include "dflow/sim/device.h"
+#include "dflow/sim/simulator.h"
+
+namespace dflow {
+
+/// The executable form of a query plan laid out over the fabric: a DAG of
+/// stages, each pinned to a processing element, connected by credit-
+/// controlled edges whose transfers ride DMA engines over links (§7.1).
+///
+/// Protocol per stage, entirely event-driven and deterministic:
+///  - a stage takes a chunk from its inbox only when its device is free and
+///    all previous outputs have been dispatched (local backpressure),
+///  - taking a chunk returns a credit to the sender over the reverse path
+///    (with the path's latency),
+///  - a sender without credits buffers and stalls, which in turn stops it
+///    from consuming its own inputs: backpressure propagates hop by hop,
+///  - when every input has delivered end-of-stream and the inbox is empty,
+///    the stage runs Finish(), flushes its outputs, and forwards EOS.
+///
+/// Data operations actually execute (results are real); time is charged to
+/// the virtual clock via the device/link models.
+class DataflowGraph {
+ public:
+  using NodeId = size_t;
+
+  explicit DataflowGraph(sim::Simulator* sim);
+  DataflowGraph(const DataflowGraph&) = delete;
+  DataflowGraph& operator=(const DataflowGraph&) = delete;
+  ~DataflowGraph();
+
+  /// A source producing pre-scanned batches; `device` is charged `cc` work
+  /// for each batch's device_bytes (e.g. the storage media doing a row-group
+  /// read).
+  NodeId AddSource(std::string name, sim::Device* device, sim::CostClass cc,
+                   std::vector<ScanBatch> batches);
+
+  /// A processing stage hosting `op` on `device`.
+  NodeId AddStage(std::string name, OperatorPtr op, sim::Device* device,
+                  double cost_factor = 1.0);
+
+  /// A fan-out stage: splits each input chunk by hash and routes partition i
+  /// to the i-th edge connected from this node (Connect order matters).
+  NodeId AddPartitionStage(std::string name, HashPartitioner partitioner,
+                           sim::Device* device);
+
+  /// A replicating fan-out: every input chunk is copied to every outgoing
+  /// edge — the broadcast collective a smart NIC can run for replicated
+  /// joins and coordination (§4.4: "perform collective communication
+  /// (scatter-gather, broadcast)"). The device is charged kMemcpy work once
+  /// per input chunk per target.
+  NodeId AddBroadcastStage(std::string name, sim::Device* device);
+
+  /// A terminal collector. Chunks accumulate in arrival order;
+  /// sink_finish_time() is when the last EOS arrived.
+  NodeId AddSink(std::string name);
+
+  /// Connects two nodes. `path` is the ordered list of links a chunk
+  /// crosses (empty = colocated, instantaneous). `credits` bounds the
+  /// number of chunks in flight on this edge.
+  Status Connect(NodeId from, NodeId to, std::vector<sim::Link*> path,
+                 uint32_t credits = 8);
+
+  /// Sets a rate limit (Gbps) on the DMA engine of the edge from->to.
+  Status SetEdgeRateLimit(NodeId from, NodeId to, double gbps);
+
+  /// Runs the whole graph to completion on the simulator. Fails if any
+  /// operator errored or the event budget was exceeded.
+  Status Run(uint64_t max_events = 200'000'000);
+
+  // --------------------------------------------------------------- results
+  const std::vector<DataChunk>& sink_chunks(NodeId sink) const;
+  sim::SimTime sink_finish_time(NodeId sink) const;
+  /// The operator hosted at a stage (stats inspection). Null for non-stages.
+  Operator* stage_operator(NodeId id);
+
+  /// Peak bytes simultaneously in flight or queued, per edge and summed —
+  /// the engine's "working memory" under credit flow control (§7.4).
+  uint64_t TotalPeakQueueBytes() const;
+  uint64_t EdgePeakQueueBytes(NodeId from, NodeId to) const;
+
+ private:
+  struct Edge;
+  struct Node;
+
+  Node* GetNode(NodeId id) { return nodes_[id].get(); }
+  Edge* FindEdge(NodeId from, NodeId to) const;
+  void Pump(Node* n);
+  void StartWork(Node* n);
+  void RouteOutputs(Node* n, std::vector<DataChunk> outputs);
+  void RouteScanBatch(Node* n, size_t batch_index);
+  void PumpEdges(Node* n);
+  void PumpEdge(Edge* e);
+  void Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes);
+  void PopCredit(Edge* e, uint64_t wire_bytes);
+  void HandleEos(Edge* e);
+  void MarkNodeDone(Node* n);
+  bool SendQueuesEmpty(const Node* n) const;
+  void Fail(Status status);
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Edge>> edges_;
+  Status status_;
+  bool started_ = false;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_EXEC_DATAFLOW_H_

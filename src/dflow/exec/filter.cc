@@ -1,0 +1,54 @@
+#include "dflow/exec/filter.h"
+
+namespace dflow {
+
+Result<OperatorPtr> FilterOperator::Make(ExprPtr predicate,
+                                         Schema input_schema,
+                                         double selectivity_hint) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("filter requires a predicate");
+  }
+  if (!predicate->is_resolved()) {
+    return Status::InvalidArgument("filter predicate is unresolved: " +
+                                   predicate->ToString());
+  }
+  if (!predicate->IsPredicate()) {
+    return Status::InvalidArgument("filter expression is not boolean: " +
+                                   predicate->ToString());
+  }
+  return OperatorPtr(new FilterOperator(std::move(predicate),
+                                        std::move(input_schema),
+                                        selectivity_hint));
+}
+
+std::string FilterOperator::name() const {
+  return "filter[" + predicate_->ToString() + "]";
+}
+
+OperatorTraits FilterOperator::traits() const {
+  OperatorTraits t;
+  t.cost_class = sim::CostClass::kFilter;
+  t.streaming = true;
+  t.stateless = true;
+  t.reduction_hint = selectivity_hint_;
+  return t;
+}
+
+Status FilterOperator::Push(const DataChunk& input,
+                            std::vector<DataChunk>* out) {
+  RecordIn(input);
+  Mask mask;
+  DFLOW_RETURN_NOT_OK(predicate_->EvaluatePredicate(input, &mask));
+  SelectionVector sel = MaskToSelection(mask);
+  if (sel.empty()) return Status::OK();
+  if (sel.size() == input.num_rows()) {
+    out->push_back(input);
+    RecordOut(out->back());
+    return Status::OK();
+  }
+  out->push_back(input.Gather(sel));
+  RecordOut(out->back());
+  return Status::OK();
+}
+
+}  // namespace dflow

@@ -1,0 +1,43 @@
+#ifndef DFLOW_EXEC_PROJECT_H_
+#define DFLOW_EXEC_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "dflow/exec/operator.h"
+#include "dflow/plan/expr.h"
+
+namespace dflow {
+
+/// Streaming, stateless projection: evaluates one resolved expression per
+/// output column. Pure column selection (all expressions are column refs)
+/// is the storage-pushdown projection of Figure 2; computed expressions
+/// (discount math etc.) are the general case.
+class ProjectOperator : public Operator {
+ public:
+  /// `exprs[i]` produces output column `names[i]`. All must be resolved
+  /// against `input_schema`.
+  static Result<OperatorPtr> Make(std::vector<ExprPtr> exprs,
+                                  std::vector<std::string> names,
+                                  const Schema& input_schema);
+
+  std::string name() const override { return "project"; }
+  const Schema& output_schema() const override { return schema_; }
+  OperatorTraits traits() const override;
+  Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
+
+ private:
+  ProjectOperator(std::vector<ExprPtr> exprs, Schema schema,
+                  double reduction_hint)
+      : exprs_(std::move(exprs)),
+        schema_(std::move(schema)),
+        reduction_hint_(reduction_hint) {}
+
+  std::vector<ExprPtr> exprs_;
+  Schema schema_;
+  double reduction_hint_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_EXEC_PROJECT_H_

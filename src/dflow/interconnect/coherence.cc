@@ -1,0 +1,154 @@
+#include "dflow/interconnect/coherence.h"
+
+#include "dflow/common/logging.h"
+
+namespace dflow::interconnect {
+
+CoherenceDirectory::CoherenceDirectory(int num_agents, CoherenceMode mode,
+                                       CoherenceParams params)
+    : num_agents_(num_agents), mode_(mode), params_(params) {
+  DFLOW_CHECK_GT(num_agents, 0);
+}
+
+CoherenceDirectory::LineEntry& CoherenceDirectory::GetLine(uint64_t line) {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) {
+    LineEntry e;
+    e.per_agent.assign(num_agents_, LineState::kInvalid);
+    e.seen_version.assign(num_agents_, 0);
+    e.version = 1;  // versions start at 1 so "never validated" (0) is stale
+    it = lines_.emplace(line, std::move(e)).first;
+  }
+  return it->second;
+}
+
+void CoherenceDirectory::Account(const AccessCost& cost) {
+  totals_.accesses += 1;
+  totals_.messages += cost.messages;
+  totals_.total_latency_ns += cost.latency_ns;
+  if (cost.hit) totals_.hits += 1;
+}
+
+CoherenceDirectory::AccessCost CoherenceDirectory::Read(int agent,
+                                                        uint64_t line) {
+  DFLOW_CHECK_GE(agent, 0);
+  DFLOW_CHECK_LT(agent, num_agents_);
+  LineEntry& e = GetLine(line);
+  AccessCost cost = mode_ == CoherenceMode::kCxlHardware
+                        ? HardwareRead(agent, e)
+                        : SoftwareRead(agent, e);
+  Account(cost);
+  return cost;
+}
+
+CoherenceDirectory::AccessCost CoherenceDirectory::Write(int agent,
+                                                         uint64_t line) {
+  DFLOW_CHECK_GE(agent, 0);
+  DFLOW_CHECK_LT(agent, num_agents_);
+  LineEntry& e = GetLine(line);
+  AccessCost cost = mode_ == CoherenceMode::kCxlHardware
+                        ? HardwareWrite(agent, e)
+                        : SoftwareWrite(agent, e);
+  Account(cost);
+  return cost;
+}
+
+// ------------------------------------------------------ cxl.cache (hw) ----
+
+CoherenceDirectory::AccessCost CoherenceDirectory::HardwareRead(int agent,
+                                                                LineEntry& e) {
+  AccessCost cost;
+  if (e.per_agent[agent] != LineState::kInvalid) {
+    cost.hit = true;  // the hardware keeps cached copies valid
+    return cost;
+  }
+  // Fetch from home: request + data response.
+  cost.messages += 2;
+  cost.latency_ns += 2 * params_.cxl_latency_ns;
+  // If another agent holds the line Modified, the directory snoops it down
+  // to Shared first.
+  for (int a = 0; a < num_agents_; ++a) {
+    if (e.per_agent[a] == LineState::kModified) {
+      cost.messages += 2;  // snoop + writeback
+      cost.latency_ns += 2 * params_.cxl_latency_ns;
+      e.per_agent[a] = LineState::kShared;
+    }
+  }
+  e.per_agent[agent] = LineState::kShared;
+  return cost;
+}
+
+CoherenceDirectory::AccessCost CoherenceDirectory::HardwareWrite(int agent,
+                                                                 LineEntry& e) {
+  AccessCost cost;
+  if (e.per_agent[agent] == LineState::kModified) {
+    cost.hit = true;
+    e.version += 1;
+    return cost;
+  }
+  // Upgrade/fetch exclusive.
+  cost.messages += 2;
+  cost.latency_ns += 2 * params_.cxl_latency_ns;
+  // Invalidate every other holder; invalidations travel in parallel, so the
+  // latency is one extra hop pair, but each costs messages.
+  bool invalidated_any = false;
+  for (int a = 0; a < num_agents_; ++a) {
+    if (a == agent) continue;
+    if (e.per_agent[a] != LineState::kInvalid) {
+      cost.messages += 2;  // invalidate + ack
+      totals_.invalidations += 1;
+      invalidated_any = true;
+      e.per_agent[a] = LineState::kInvalid;
+    }
+  }
+  if (invalidated_any) cost.latency_ns += 2 * params_.cxl_latency_ns;
+  e.per_agent[agent] = LineState::kModified;
+  e.version += 1;
+  return cost;
+}
+
+// ----------------------------------------------- software-over-RDMA -------
+
+CoherenceDirectory::AccessCost CoherenceDirectory::SoftwareRead(int agent,
+                                                                LineEntry& e) {
+  AccessCost cost;
+  // A reader can never trust its cached copy: one validation verb, always.
+  cost.messages += 2;
+  cost.latency_ns += params_.rdma_latency_ns;
+  const bool fresh = e.per_agent[agent] != LineState::kInvalid &&
+                     e.seen_version[agent] == e.version;
+  if (fresh) {
+    cost.hit = true;  // validation confirmed the copy; no data fetch
+    return cost;
+  }
+  // Stale or absent: fetch the data with a second verb.
+  cost.messages += 2;
+  cost.latency_ns += params_.rdma_latency_ns;
+  e.per_agent[agent] = LineState::kShared;
+  e.seen_version[agent] = e.version;
+  return cost;
+}
+
+CoherenceDirectory::AccessCost CoherenceDirectory::SoftwareWrite(
+    int agent, LineEntry& e) {
+  AccessCost cost;
+  // Lock (CAS verb) + write-back verb on the critical path; unlock verb is
+  // asynchronous (messages counted, latency hidden).
+  cost.messages += 6;
+  cost.latency_ns += 2 * params_.rdma_latency_ns;
+  // Every other agent's copy silently goes stale; they pay on their next
+  // validation. Count them as (deferred) invalidations for reporting.
+  for (int a = 0; a < num_agents_; ++a) {
+    if (a == agent) continue;
+    if (e.per_agent[a] != LineState::kInvalid &&
+        e.seen_version[a] == e.version) {
+      totals_.invalidations += 1;
+    }
+  }
+  e.version += 1;
+  e.per_agent[agent] = LineState::kModified;
+  e.seen_version[agent] = e.version;
+  return cost;
+}
+
+}  // namespace dflow::interconnect

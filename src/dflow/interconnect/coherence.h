@@ -1,0 +1,97 @@
+#ifndef DFLOW_INTERCONNECT_COHERENCE_H_
+#define DFLOW_INTERCONNECT_COHERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/sim/simulator.h"
+
+namespace dflow::interconnect {
+
+/// How coherence over shared (disaggregated) memory is maintained (§6):
+///
+///  kCxlHardware   cxl.cache: a hardware directory tracks sharers per line;
+///                 hits are free, misses fetch from the home node, writes
+///                 invalidate sharers — all in hardware at CXL latency.
+///
+///  kRdmaSoftware  the pre-CXL regime: coherence "maintained via software".
+///                 Writers take a lock (one RTT), write back (one RTT) and
+///                 release; readers cannot trust any cached copy without a
+///                 version check (one RTT), then fetch on staleness. Every
+///                 message is an RDMA verb at network latency.
+enum class CoherenceMode { kCxlHardware, kRdmaSoftware };
+
+struct CoherenceParams {
+  sim::SimTime cxl_latency_ns = 300;     // one hardware coherence hop
+  sim::SimTime rdma_latency_ns = 3'000;  // one RDMA verb round trip
+  uint32_t line_bytes = 64;
+};
+
+/// A directory-based coherence simulator for `num_agents` caching agents
+/// (CPU cores, near-memory accelerators, NIC engines — "many active agents
+/// [that] cache and operate on the latest version of the memory's contents
+/// simultaneously").
+///
+/// Tracks per-line MSI state per agent and counts every message each
+/// protocol needs; Read/Write return the messages and latency that one
+/// access costs. Data values are not modeled — this is a traffic/latency
+/// model, which is exactly the quantity §6 argues CXL improves.
+class CoherenceDirectory {
+ public:
+  CoherenceDirectory(int num_agents, CoherenceMode mode,
+                     CoherenceParams params = CoherenceParams());
+
+  struct AccessCost {
+    uint64_t messages = 0;
+    sim::SimTime latency_ns = 0;
+    bool hit = false;  // served from the agent's own cache
+  };
+
+  /// Agent reads a cache line.
+  AccessCost Read(int agent, uint64_t line);
+
+  /// Agent writes a cache line (acquiring exclusive ownership).
+  AccessCost Write(int agent, uint64_t line);
+
+  struct Totals {
+    uint64_t accesses = 0;
+    uint64_t messages = 0;
+    uint64_t invalidations = 0;
+    uint64_t hits = 0;
+    sim::SimTime total_latency_ns = 0;
+  };
+  const Totals& totals() const { return totals_; }
+  void ResetTotals() { totals_ = Totals(); }
+
+  CoherenceMode mode() const { return mode_; }
+
+ private:
+  enum class LineState : uint8_t { kInvalid, kShared, kModified };
+
+  struct LineEntry {
+    std::vector<LineState> per_agent;
+    uint64_t version = 0;                // bumped on every write
+    std::vector<uint64_t> seen_version;  // software mode: version each agent
+                                         // last validated
+  };
+
+  LineEntry& GetLine(uint64_t line);
+  AccessCost HardwareRead(int agent, LineEntry& e);
+  AccessCost HardwareWrite(int agent, LineEntry& e);
+  AccessCost SoftwareRead(int agent, LineEntry& e);
+  AccessCost SoftwareWrite(int agent, LineEntry& e);
+  void Account(const AccessCost& cost);
+
+  int num_agents_;
+  CoherenceMode mode_;
+  CoherenceParams params_;
+  std::map<uint64_t, LineEntry> lines_;
+  Totals totals_;
+};
+
+}  // namespace dflow::interconnect
+
+#endif  // DFLOW_INTERCONNECT_COHERENCE_H_

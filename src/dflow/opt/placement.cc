@@ -1,0 +1,183 @@
+#include "dflow/opt/placement.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+std::string_view SiteToString(Site site) {
+  switch (site) {
+    case Site::kStorageProc:
+      return "storage";
+    case Site::kStorageNic:
+      return "snic";
+    case Site::kComputeNic:
+      return "cnic";
+    case Site::kNearMemory:
+      return "nearmem";
+    case Site::kCpu:
+      return "cpu";
+  }
+  return "?";
+}
+
+PlacementOptimizer::PlacementOptimizer(const Input& input) : input_(input) {
+  site_models_[0] = std::make_unique<sim::Device>("m_storage");
+  sim::ConfigureStorageProcDevice(site_models_[0].get(), input.config);
+  site_models_[1] = std::make_unique<sim::Device>("m_snic");
+  sim::ConfigureNicDevice(site_models_[1].get(), input.config);
+  site_models_[2] = std::make_unique<sim::Device>("m_cnic");
+  sim::ConfigureNicDevice(site_models_[2].get(), input.config);
+  site_models_[3] = std::make_unique<sim::Device>("m_nearmem");
+  sim::ConfigureNearMemDevice(site_models_[3].get(), input.config);
+  site_models_[4] = std::make_unique<sim::Device>("m_cpu");
+  sim::ConfigureCpuDevice(site_models_[4].get(), input.config);
+}
+
+bool PlacementOptimizer::SiteSupports(Site site,
+                                      const StageDesc& stage) const {
+  if (site != Site::kCpu && !stage.offloadable) return false;
+  return site_models_[static_cast<int>(site)]->Supports(stage.cost_class);
+}
+
+std::string PlacementOptimizer::PlacementName(
+    const std::vector<Site>& sites, const std::vector<StageDesc>& stages) {
+  std::string name;
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) name += ",";
+    name += stages[i].label;
+    name += "@";
+    name += SiteToString(sites[i]);
+  }
+  return name;
+}
+
+Result<CostEstimate> PlacementOptimizer::Cost(
+    const std::vector<Site>& sites) const {
+  if (sites.size() != input_.stages.size()) {
+    return Status::InvalidArgument("placement arity mismatch");
+  }
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0 && sites[i] < sites[i - 1]) {
+      return Status::InvalidArgument("placement must be monotone along the path");
+    }
+    if (!SiteSupports(sites[i], input_.stages[i])) {
+      return Status::InvalidArgument(
+          "site " + std::string(SiteToString(sites[i])) +
+          " cannot host stage '" + input_.stages[i].label + "'");
+    }
+  }
+  CostEstimate est;
+  est.media_ns = input_.media_ns;
+
+  // Device busy time per site and bytes at each path boundary.
+  double bytes = input_.input_bytes;
+  // bytes_after_site[s]: bytes flowing past site s toward s+1.
+  std::array<double, kNumSites> bytes_after;
+  size_t stage = 0;
+  for (int s = 0; s < kNumSites; ++s) {
+    while (stage < sites.size() && static_cast<int>(sites[stage]) == s) {
+      const StageDesc& d = input_.stages[stage];
+      const double rate =
+          site_models_[s]->RateGbps(d.cost_class);  // bytes per ns
+      est.device_busy_ns[s] += bytes / rate;
+      bytes *= d.reduction;
+      ++stage;
+    }
+    bytes_after[s] = bytes;
+  }
+
+  const sim::FabricConfig& c = input_.config;
+  const double ic_gbps = c.use_cxl ? c.cxl_gbps : c.interconnect_gbps;
+  const double ic_latency = static_cast<double>(
+      c.use_cxl ? c.cxl_latency_ns : c.interconnect_latency_ns);
+  // Hop h carries bytes_after[h]: h=0 on-node (free), h=1 network,
+  // h=2 interconnect, h=3 memory bus.
+  const double network_gbps =
+      std::min(c.storage_uplink_gbps, c.network_gbps);
+  const double hop_ns[4] = {
+      0.0,
+      bytes_after[1] / network_gbps,
+      bytes_after[2] / ic_gbps,
+      bytes_after[3] / c.memory_bus_gbps,
+  };
+  est.network_bytes = static_cast<uint64_t>(bytes_after[1]);
+  est.interconnect_bytes = static_cast<uint64_t>(bytes_after[2]);
+  est.membus_bytes = static_cast<uint64_t>(bytes_after[3]);
+
+  double bottleneck = input_.media_ns;
+  for (double busy : est.device_busy_ns) bottleneck = std::max(bottleneck, busy);
+  for (double hop : hop_ns) bottleneck = std::max(bottleneck, hop);
+  const double fixed_latency =
+      static_cast<double>(c.storage_uplink_latency_ns) +
+      static_cast<double>(c.network_latency_ns) + ic_latency +
+      static_cast<double>(c.memory_bus_latency_ns);
+  est.makespan_ns = bottleneck + fixed_latency;
+  return est;
+}
+
+std::vector<RankedPlacement> PlacementOptimizer::Enumerate() const {
+  std::vector<RankedPlacement> ranked;
+  std::vector<Site> current(input_.stages.size());
+  // Depth-first enumeration of monotone assignments.
+  std::function<void(size_t, int)> recurse = [&](size_t stage, int min_site) {
+    if (stage == current.size()) {
+      Result<CostEstimate> cost = Cost(current);
+      if (cost.ok()) {
+        ranked.push_back(RankedPlacement{
+            Placement{current, PlacementName(current, input_.stages)},
+            cost.ValueOrDie()});
+      }
+      return;
+    }
+    for (int s = min_site; s < kNumSites; ++s) {
+      if (!SiteSupports(static_cast<Site>(s), input_.stages[stage])) continue;
+      current[stage] = static_cast<Site>(s);
+      recurse(stage + 1, s);
+    }
+  };
+  if (!current.empty()) {
+    recurse(0, 0);
+  } else {
+    Result<CostEstimate> cost = Cost({});
+    if (cost.ok()) {
+      ranked.push_back(
+          RankedPlacement{Placement{{}, "empty"}, cost.ValueOrDie()});
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedPlacement& a, const RankedPlacement& b) {
+                     if (a.cost.makespan_ns != b.cost.makespan_ns) {
+                       return a.cost.makespan_ns < b.cost.makespan_ns;
+                     }
+                     return a.cost.network_bytes < b.cost.network_bytes;
+                   });
+  return ranked;
+}
+
+Placement PlacementOptimizer::CpuOnly() const {
+  std::vector<Site> sites(input_.stages.size(), Site::kCpu);
+  return Placement{sites, PlacementName(sites, input_.stages)};
+}
+
+Placement PlacementOptimizer::FullOffload() const {
+  std::vector<Site> sites;
+  int min_site = 0;
+  for (const StageDesc& stage : input_.stages) {
+    int chosen = kNumSites - 1;
+    for (int s = min_site; s < kNumSites; ++s) {
+      if (SiteSupports(static_cast<Site>(s), stage)) {
+        chosen = s;
+        break;
+      }
+    }
+    sites.push_back(static_cast<Site>(chosen));
+    min_site = chosen;
+  }
+  return Placement{sites, PlacementName(sites, input_.stages)};
+}
+
+}  // namespace dflow

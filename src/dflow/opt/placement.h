@@ -1,0 +1,107 @@
+#ifndef DFLOW_OPT_PLACEMENT_H_
+#define DFLOW_OPT_PLACEMENT_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/sim/fabric.h"
+
+namespace dflow {
+
+/// The processing sites along the data path of Figure 6, in flow order.
+enum class Site : uint8_t {
+  kStorageProc = 0,
+  kStorageNic = 1,
+  kComputeNic = 2,
+  kNearMemory = 3,
+  kCpu = 4,
+};
+inline constexpr int kNumSites = 5;
+
+std::string_view SiteToString(Site site);
+
+/// A streaming stage the optimizer can place. Non-offloadable stages
+/// (unbounded state: final aggregation, join build, sort) are pinned to the
+/// CPU.
+struct StageDesc {
+  std::string label;
+  sim::CostClass cost_class = sim::CostClass::kFilter;
+  /// Estimated bytes-out / bytes-in.
+  double reduction = 1.0;
+  bool offloadable = true;
+};
+
+/// One candidate layout: stage i runs at sites[i]; sites are non-decreasing
+/// along the flow (data never moves backwards).
+struct Placement {
+  std::vector<Site> sites;
+  std::string name;
+};
+
+/// Cost-model output for one placement. `makespan_ns` is a bottleneck
+/// estimate (pipeline throughput limited by the slowest device or hop plus
+/// fixed latencies); `network_bytes` is the headline data-movement number —
+/// what crosses the storage uplink (§1: "data movement cost in a
+/// disaggregated setting as a first-class concern").
+struct CostEstimate {
+  double makespan_ns = 0;
+  uint64_t network_bytes = 0;
+  uint64_t interconnect_bytes = 0;
+  uint64_t membus_bytes = 0;
+  std::array<double, kNumSites> device_busy_ns{};
+  double media_ns = 0;
+};
+
+struct RankedPlacement {
+  Placement placement;
+  CostEstimate cost;
+};
+
+/// Enumerates every monotone assignment of stages to sites (skipping
+/// placements where a device lacks the stage's functional unit or the
+/// stage is not offloadable) and returns them sorted by estimated makespan,
+/// network bytes breaking ties. The first entry is what a
+/// movement-cost-first optimizer picks; the full list is the set of "data
+/// path alternatives" §7.3 wants every plan to carry.
+class PlacementOptimizer {
+ public:
+  struct Input {
+    double input_bytes = 0;  // encoded bytes leaving the media
+    double media_ns = 0;     // media read time for the whole input
+    std::vector<StageDesc> stages;
+    sim::FabricConfig config;
+  };
+
+  explicit PlacementOptimizer(const Input& input);
+
+  /// All valid placements, best first. Never empty for valid stages (the
+  /// all-CPU placement always exists).
+  std::vector<RankedPlacement> Enumerate() const;
+
+  /// Costs one specific site assignment.
+  Result<CostEstimate> Cost(const std::vector<Site>& sites) const;
+
+  /// The all-CPU placement (the "plan entirely executed on a compute
+  /// node", §7.3).
+  Placement CpuOnly() const;
+
+  /// The most aggressive valid offload: each stage at the earliest site
+  /// that supports it.
+  Placement FullOffload() const;
+
+ private:
+  bool SiteSupports(Site site, const StageDesc& stage) const;
+  static std::string PlacementName(const std::vector<Site>& sites,
+                                   const std::vector<StageDesc>& stages);
+
+  Input input_;
+  // Rate tables per site, indexed [site][cost class], bytes/ns.
+  std::array<std::unique_ptr<sim::Device>, kNumSites> site_models_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_OPT_PLACEMENT_H_

@@ -1,0 +1,107 @@
+#include "dflow/opt/selectivity.h"
+
+#include <algorithm>
+
+namespace dflow {
+
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+// Position of `c` within [min, max] as a fraction; 0.5 when degenerate.
+double RangeFraction(const ZoneMap& zone, const Value& c) {
+  if (!zone.valid) return 0.0;
+  if (!IsNumeric(c.type()) && c.type() != DataType::kDate32) return 0.5;
+  const double lo = zone.min.AsDouble();
+  const double hi = zone.max.AsDouble();
+  if (hi <= lo) return 0.5;
+  return Clamp01((c.AsDouble() - lo) / (hi - lo));
+}
+
+}  // namespace
+
+double EstimateCompareSelectivity(CompareOp op, const ZoneMap& zone,
+                                  const Value& constant) {
+  if (constant.is_null()) return 0.0;
+  if (!zone.valid) return kDefaultSelectivity;
+  // Out-of-range constants first.
+  if (constant.Compare(zone.min) < 0) {
+    switch (op) {
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+      case CompareOp::kEq:
+        return 0.0;
+      default:
+        return 1.0;
+    }
+  }
+  if (constant.Compare(zone.max) > 0) {
+    switch (op) {
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+      case CompareOp::kEq:
+        return 0.0;
+      default:
+        return 1.0;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return kDefaultEqSelectivity;
+    case CompareOp::kNe:
+      return 1.0 - kDefaultEqSelectivity;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return Clamp01(RangeFraction(zone, constant));
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return Clamp01(1.0 - RangeFraction(zone, constant));
+  }
+  return kDefaultSelectivity;
+}
+
+double EstimatePredicateSelectivity(const ExprPtr& predicate,
+                                    const Table& table) {
+  if (predicate == nullptr) return 1.0;
+  switch (predicate->kind()) {
+    case Expr::Kind::kCompare: {
+      if (!predicate->IsColumnConstantCompare()) return kDefaultSelectivity;
+      const ExprPtr& col = predicate->children()[0];
+      size_t idx;
+      if (col->is_resolved()) {
+        idx = col->column_index();
+      } else {
+        auto r = table.schema().FieldIndex(col->column_name());
+        if (!r.ok()) return kDefaultSelectivity;
+        idx = r.ValueOrDie();
+      }
+      if (idx >= table.schema().num_fields()) return kDefaultSelectivity;
+      return EstimateCompareSelectivity(predicate->compare_op(),
+                                        table.table_zone_map(idx),
+                                        predicate->children()[1]->value());
+    }
+    case Expr::Kind::kLike:
+      return kDefaultLikeSelectivity;
+    case Expr::Kind::kAnd: {
+      double s = 1.0;
+      for (const ExprPtr& c : predicate->children()) {
+        s *= EstimatePredicateSelectivity(c, table);
+      }
+      return s;
+    }
+    case Expr::Kind::kOr: {
+      double keep_none = 1.0;
+      for (const ExprPtr& c : predicate->children()) {
+        keep_none *= 1.0 - EstimatePredicateSelectivity(c, table);
+      }
+      return 1.0 - keep_none;
+    }
+    case Expr::Kind::kNot:
+      return 1.0 -
+             EstimatePredicateSelectivity(predicate->children()[0], table);
+    default:
+      return kDefaultSelectivity;
+  }
+}
+
+}  // namespace dflow

@@ -1,0 +1,28 @@
+#ifndef DFLOW_OPT_SELECTIVITY_H_
+#define DFLOW_OPT_SELECTIVITY_H_
+
+#include "dflow/plan/expr.h"
+#include "dflow/storage/table.h"
+
+namespace dflow {
+
+/// Fraction of rows a `col op constant` conjunct keeps, estimated from the
+/// column's table-level zone map (uniformity assumption over [min, max]).
+double EstimateCompareSelectivity(CompareOp op, const ZoneMap& zone,
+                                  const Value& constant);
+
+/// Selectivity of an arbitrary predicate against `table`:
+/// column-vs-constant comparisons use zone maps, LIKE uses a fixed default,
+/// AND multiplies, OR adds with the inclusion-exclusion bound, NOT inverts,
+/// anything unknown defaults to 1/3.
+double EstimatePredicateSelectivity(const ExprPtr& predicate,
+                                    const Table& table);
+
+/// Default selectivity for shapes we cannot estimate.
+inline constexpr double kDefaultSelectivity = 1.0 / 3.0;
+inline constexpr double kDefaultLikeSelectivity = 0.1;
+inline constexpr double kDefaultEqSelectivity = 0.01;
+
+}  // namespace dflow
+
+#endif  // DFLOW_OPT_SELECTIVITY_H_

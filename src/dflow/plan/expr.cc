@@ -1,0 +1,336 @@
+#include "dflow/plan/expr.h"
+
+#include <sstream>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kColumnRef));
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::ColAt(size_t index) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kColumnRef));
+  e->column_index_ = index;
+  return e;
+}
+
+ExprPtr Expr::Lit(Value value) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kLiteral));
+  e->value_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::Cmp(CompareOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kCompare));
+  e->compare_op_ = op;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr left, ExprPtr right) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kArith));
+  e->arith_op_ = op;
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr input, std::string pattern) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kLike));
+  e->pattern_ = std::move(pattern);
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> children) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kAnd));
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Or(std::vector<ExprPtr> children) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kOr));
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr(Kind::kNot));
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+bool Expr::is_resolved() const {
+  if (kind_ == Kind::kColumnRef) return column_index_ != kUnresolved;
+  for (const ExprPtr& c : children_) {
+    if (!c->is_resolved()) return false;
+  }
+  return true;
+}
+
+bool Expr::IsColumnConstantCompare() const {
+  return kind_ == Kind::kCompare &&
+         children_[0]->kind_ == Kind::kColumnRef &&
+         children_[1]->kind_ == Kind::kLiteral;
+}
+
+void Expr::CollectColumnIndices(std::vector<size_t>* out) const {
+  if (kind_ == Kind::kColumnRef) {
+    DFLOW_CHECK(column_index_ != kUnresolved);
+    out->push_back(column_index_);
+    return;
+  }
+  for (const ExprPtr& c : children_) {
+    c->CollectColumnIndices(out);
+  }
+}
+
+bool Expr::IsPredicate() const {
+  switch (kind_) {
+    case Kind::kCompare:
+    case Kind::kLike:
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      return true;
+    case Kind::kLiteral:
+      return value_.type() == DataType::kBool;
+    case Kind::kColumnRef:
+      return false;  // would need schema; treated as value expr
+    case Kind::kArith:
+      return false;
+  }
+  return false;
+}
+
+Result<ExprPtr> Expr::Resolve(const ExprPtr& expr, const Schema& schema) {
+  switch (expr->kind_) {
+    case Kind::kColumnRef: {
+      if (expr->column_index_ != kUnresolved) {
+        if (expr->column_index_ >= schema.num_fields()) {
+          return Status::InvalidArgument("column index out of schema range");
+        }
+        return expr;
+      }
+      DFLOW_ASSIGN_OR_RETURN(size_t idx,
+                             schema.FieldIndex(expr->column_name_));
+      auto e = std::shared_ptr<Expr>(new Expr(Kind::kColumnRef));
+      e->column_name_ = expr->column_name_;
+      e->column_index_ = idx;
+      return ExprPtr(e);
+    }
+    case Kind::kLiteral:
+      return expr;
+    default: {
+      auto e = std::shared_ptr<Expr>(new Expr(expr->kind_));
+      e->compare_op_ = expr->compare_op_;
+      e->arith_op_ = expr->arith_op_;
+      e->pattern_ = expr->pattern_;
+      e->value_ = expr->value_;
+      e->children_.reserve(expr->children_.size());
+      for (const ExprPtr& c : expr->children_) {
+        DFLOW_ASSIGN_OR_RETURN(ExprPtr rc, Resolve(c, schema));
+        e->children_.push_back(std::move(rc));
+      }
+      return ExprPtr(e);
+    }
+  }
+}
+
+Result<DataType> Expr::OutputType(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kColumnRef:
+      if (column_index_ == kUnresolved) {
+        return Status::InvalidArgument("unresolved column reference");
+      }
+      return schema.field(column_index_).type;
+    case Kind::kLiteral:
+      return value_.type();
+    case Kind::kCompare:
+    case Kind::kLike:
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot:
+      return DataType::kBool;
+    case Kind::kArith: {
+      DFLOW_ASSIGN_OR_RETURN(DataType lt, children_[0]->OutputType(schema));
+      DFLOW_ASSIGN_OR_RETURN(DataType rt, children_[1]->OutputType(schema));
+      if (lt == DataType::kDouble || rt == DataType::kDouble) {
+        return DataType::kDouble;
+      }
+      return DataType::kInt64;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<ColumnVector> Expr::Evaluate(const DataChunk& chunk) const {
+  switch (kind_) {
+    case Kind::kColumnRef:
+      if (column_index_ == kUnresolved) {
+        return Status::InvalidArgument("unresolved column reference '" +
+                                       column_name_ + "'");
+      }
+      if (column_index_ >= chunk.num_columns()) {
+        return Status::OutOfRange("column index beyond chunk arity");
+      }
+      return chunk.column(column_index_);
+    case Kind::kLiteral: {
+      ColumnVector col(value_.type());
+      for (size_t i = 0; i < chunk.num_rows(); ++i) col.AppendValue(value_);
+      return col;
+    }
+    case Kind::kArith: {
+      // Literal operands use the constant fast path.
+      const ExprPtr& l = children_[0];
+      const ExprPtr& r = children_[1];
+      ColumnVector out;
+      if (r->kind_ == Kind::kLiteral) {
+        DFLOW_ASSIGN_OR_RETURN(ColumnVector lv, l->Evaluate(chunk));
+        DFLOW_RETURN_NOT_OK(ArithmeticConst(lv, arith_op_, r->value_, &out));
+        return out;
+      }
+      DFLOW_ASSIGN_OR_RETURN(ColumnVector lv, l->Evaluate(chunk));
+      DFLOW_ASSIGN_OR_RETURN(ColumnVector rv, r->Evaluate(chunk));
+      DFLOW_RETURN_NOT_OK(Arithmetic(lv, arith_op_, rv, &out));
+      return out;
+    }
+    case Kind::kCompare:
+    case Kind::kLike:
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kNot: {
+      Mask mask;
+      DFLOW_RETURN_NOT_OK(EvaluatePredicate(chunk, &mask));
+      std::vector<uint8_t> bools(mask.begin(), mask.end());
+      return ColumnVector::FromBool(std::move(bools));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Expr::EvaluatePredicate(const DataChunk& chunk, Mask* mask) const {
+  switch (kind_) {
+    case Kind::kCompare: {
+      const ExprPtr& l = children_[0];
+      const ExprPtr& r = children_[1];
+      if (r->kind_ == Kind::kLiteral) {
+        DFLOW_ASSIGN_OR_RETURN(ColumnVector lv, l->Evaluate(chunk));
+        return CompareToConstant(lv, compare_op_, r->value_, mask);
+      }
+      DFLOW_ASSIGN_OR_RETURN(ColumnVector lv, l->Evaluate(chunk));
+      DFLOW_ASSIGN_OR_RETURN(ColumnVector rv, r->Evaluate(chunk));
+      return CompareColumns(lv, compare_op_, rv, mask);
+    }
+    case Kind::kLike: {
+      DFLOW_ASSIGN_OR_RETURN(ColumnVector input, children_[0]->Evaluate(chunk));
+      return ComputeLikeMask(input, pattern_, mask);
+    }
+    case Kind::kAnd: {
+      if (children_.empty()) {
+        return Status::InvalidArgument("AND requires children");
+      }
+      DFLOW_RETURN_NOT_OK(children_[0]->EvaluatePredicate(chunk, mask));
+      for (size_t i = 1; i < children_.size(); ++i) {
+        Mask other;
+        DFLOW_RETURN_NOT_OK(children_[i]->EvaluatePredicate(chunk, &other));
+        AndMasks(other, mask);
+      }
+      return Status::OK();
+    }
+    case Kind::kOr: {
+      if (children_.empty()) {
+        return Status::InvalidArgument("OR requires children");
+      }
+      DFLOW_RETURN_NOT_OK(children_[0]->EvaluatePredicate(chunk, mask));
+      for (size_t i = 1; i < children_.size(); ++i) {
+        Mask other;
+        DFLOW_RETURN_NOT_OK(children_[i]->EvaluatePredicate(chunk, &other));
+        OrMasks(other, mask);
+      }
+      return Status::OK();
+    }
+    case Kind::kNot: {
+      DFLOW_RETURN_NOT_OK(children_[0]->EvaluatePredicate(chunk, mask));
+      NotMask(mask);
+      return Status::OK();
+    }
+    case Kind::kLiteral: {
+      if (value_.type() != DataType::kBool || value_.is_null()) {
+        return Status::InvalidArgument("literal predicate must be BOOL");
+      }
+      mask->assign(chunk.num_rows(), value_.bool_value() ? 1 : 0);
+      return Status::OK();
+    }
+    case Kind::kColumnRef: {
+      DFLOW_ASSIGN_OR_RETURN(ColumnVector col, Evaluate(chunk));
+      if (col.type() != DataType::kBool) {
+        return Status::InvalidArgument("column predicate must be BOOL");
+      }
+      mask->assign(col.size(), 0);
+      for (size_t i = 0; i < col.size(); ++i) {
+        (*mask)[i] = col.IsValid(i) && col.bool_data()[i] ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case Kind::kArith:
+      return Status::InvalidArgument("arithmetic expression is not a predicate");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kColumnRef:
+      if (!column_name_.empty()) {
+        os << column_name_;
+      } else {
+        os << "$" << column_index_;
+      }
+      break;
+    case Kind::kLiteral:
+      os << value_.ToString();
+      break;
+    case Kind::kCompare:
+      os << "(" << children_[0]->ToString() << " "
+         << CompareOpToString(compare_op_) << " " << children_[1]->ToString()
+         << ")";
+      break;
+    case Kind::kArith:
+      os << "(" << children_[0]->ToString() << " "
+         << ArithOpToString(arith_op_) << " " << children_[1]->ToString()
+         << ")";
+      break;
+    case Kind::kLike:
+      os << "(" << children_[0]->ToString() << " LIKE '" << pattern_ << "')";
+      break;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " AND " : " OR ";
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kNot:
+      os << "NOT " << children_[0]->ToString();
+      break;
+  }
+  return os.str();
+}
+
+ExprPtr Between(std::string column, Value lo_inclusive, Value hi_exclusive) {
+  return Expr::And({Expr::Cmp(CompareOp::kGe, Expr::Col(column),
+                              Expr::Lit(std::move(lo_inclusive))),
+                    Expr::Cmp(CompareOp::kLt, Expr::Col(std::move(column)),
+                              Expr::Lit(std::move(hi_exclusive)))});
+}
+
+}  // namespace dflow

@@ -1,0 +1,45 @@
+#ifndef DFLOW_PLAN_PARSER_H_
+#define DFLOW_PLAN_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "dflow/common/result.h"
+#include "dflow/plan/query_spec.h"
+
+namespace dflow {
+
+/// Parses a SQL subset into a QuerySpec. Supported grammar:
+///
+///   SELECT <item> [, <item>]* FROM <table>
+///     [WHERE <expr>]
+///     [GROUP BY <col> [, <col>]*]
+///     [ORDER BY <col> [ASC|DESC]]
+///     [LIMIT <n>]
+///
+///   item  := * | expr [AS name]
+///          | COUNT(*) | COUNT(col) | SUM(col) | MIN(col) | MAX(col)
+///            [AS name]
+///   expr  := disjunctions/conjunctions of comparisons (=, <>, <, <=, >,
+///            >=), LIKE 'pattern', BETWEEN a AND b, NOT, arithmetic
+///            (+ - * /), parentheses, column names, and literals
+///   lit   := 123 | 1.5 | 'text' | TRUE | FALSE | DATE 8400
+///
+/// Keywords are case-insensitive; identifiers are case-sensitive. AVG is
+/// intentionally unsupported (lower it to SUM/COUNT yourself); a clear
+/// NotImplemented error says so.
+///
+/// Example:
+///   auto spec = ParseQuery(
+///       "SELECT l_returnflag, SUM(l_quantity) AS qty, COUNT(*) AS n "
+///       "FROM lineitem WHERE l_shipdate < DATE 8400 AND l_discount <= 0.05 "
+///       "GROUP BY l_returnflag");
+Result<QuerySpec> ParseQuery(std::string_view sql);
+
+/// Parses just an expression (the WHERE-clause grammar). Useful for
+/// building filters programmatically from config strings.
+Result<ExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace dflow
+
+#endif  // DFLOW_PLAN_PARSER_H_

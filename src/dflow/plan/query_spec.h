@@ -1,0 +1,79 @@
+#ifndef DFLOW_PLAN_QUERY_SPEC_H_
+#define DFLOW_PLAN_QUERY_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dflow/exec/aggregate.h"
+#include "dflow/plan/expr.h"
+
+namespace dflow {
+
+struct SortSpec {
+  std::string column;
+  bool descending = false;
+  uint64_t limit = 0;  // 0 = no limit
+};
+
+/// A declarative single-table pipeline query — the class of queries whose
+/// stages the optimizer places along the data path:
+///
+///   SELECT <projections | aggregates> FROM <table>
+///   WHERE <filter> [GROUP BY ...] [ORDER BY ... LIMIT ...]
+///
+/// Expressions are written name-based (Expr::Col) and resolved by the
+/// engine. When both projections and aggregates are present, the
+/// aggregates' input names refer to the projection outputs; otherwise to
+/// the scanned columns.
+struct QuerySpec {
+  std::string table;
+
+  /// Row predicate (also used for zone-map pruning).
+  ExprPtr filter;
+
+  /// Computed/selected output columns (empty = all scanned columns).
+  std::vector<ExprPtr> projections;
+  std::vector<std::string> projection_names;
+
+  /// Group-by + aggregates (both empty = no aggregation).
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+
+  /// SELECT COUNT(*): the whole query is a counter (§4.4's NIC query).
+  bool count_only = false;
+
+  std::optional<SortSpec> order_by;
+  uint64_t limit = 0;
+
+  /// Recompress the stream before it crosses the network (ablation knob).
+  bool compress_uplink = false;
+
+  /// Bounded group-table budget for offloaded partial aggregation.
+  size_t preagg_budget = 4096;
+};
+
+/// A distributed partitioned equi-join (Figure 4): the build table is
+/// scattered across nodes by key, then the probe table streams through the
+/// same partitioning, each node joining its partition.
+struct JoinSpec {
+  std::string build_table;
+  std::string probe_table;
+  std::string build_key;
+  std::string probe_key;
+  int num_nodes = 2;
+
+  /// Who runs the scatter exchange.
+  enum class Exchange {
+    kNicScatter,   // the storage-side NIC partitions on the fly (Figure 4)
+    kCpuExchange,  // node 0's CPU receives everything and re-partitions
+  };
+  Exchange exchange = Exchange::kNicScatter;
+
+  /// Optional storage-side filter on the probe table.
+  ExprPtr probe_filter;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_PLAN_QUERY_SPEC_H_

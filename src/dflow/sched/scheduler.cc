@@ -1,0 +1,98 @@
+#include "dflow/sched/scheduler.h"
+
+#include <algorithm>
+#include <array>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+Scheduler::Scheduler(Engine* engine) : engine_(engine) {
+  DFLOW_CHECK(engine != nullptr);
+}
+
+Result<ScheduleDecision> Scheduler::PlanNaive(
+    const std::vector<QuerySpec>& specs) const {
+  ScheduleDecision decision;
+  for (const QuerySpec& spec : specs) {
+    DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
+                           engine_->PlanVariants(spec));
+    decision.placements.push_back(variants.front().placement);
+    decision.network_rate_limits_gbps.push_back(0.0);
+    decision.rationale.push_back("individually optimal (no contention model)");
+  }
+  return decision;
+}
+
+Result<ScheduleDecision> Scheduler::Plan(
+    const std::vector<QuerySpec>& specs) const {
+  ScheduleDecision decision;
+  // Accumulated demand committed so far.
+  std::array<double, kNumSites> site_busy{};
+  double network_ns = 0;  // time the network is claimed for
+  std::vector<double> chosen_network_bytes(specs.size(), 0.0);
+
+  const sim::FabricConfig& config = engine_->config();
+  const double network_gbps =
+      std::min(config.storage_uplink_gbps, config.network_gbps);
+
+  for (size_t q = 0; q < specs.size(); ++q) {
+    DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
+                           engine_->PlanVariants(specs[q]));
+    double best_completion = 0;
+    size_t best = 0;
+    for (size_t v = 0; v < variants.size(); ++v) {
+      const CostEstimate& cost = variants[v].cost;
+      // Contended completion estimate: every shared resource serves this
+      // query after (or interleaved with) the demand already committed.
+      double completion = cost.media_ns;
+      for (int s = 0; s < kNumSites; ++s) {
+        completion =
+            std::max(completion, site_busy[s] + cost.device_busy_ns[s]);
+      }
+      completion = std::max(
+          completion, network_ns + static_cast<double>(cost.network_bytes) /
+                                       network_gbps);
+      if (v == 0 || completion < best_completion) {
+        best_completion = completion;
+        best = v;
+      }
+    }
+    const CostEstimate& cost = variants[best].cost;
+    for (int s = 0; s < kNumSites; ++s) {
+      site_busy[s] += cost.device_busy_ns[s];
+    }
+    network_ns += static_cast<double>(cost.network_bytes) / network_gbps;
+    chosen_network_bytes[q] = static_cast<double>(cost.network_bytes);
+    decision.placements.push_back(variants[best].placement);
+    decision.rationale.push_back(
+        best == 0 ? "uncontended optimum"
+                  : "diverted to variant #" + std::to_string(best) +
+                        " to avoid contention");
+  }
+
+  // Fair-share rate caps when the chosen variants oversubscribe the
+  // network: each flow gets bandwidth proportional to its byte demand.
+  double total_bytes = 0;
+  size_t network_users = 0;
+  for (double b : chosen_network_bytes) {
+    total_bytes += b;
+    if (b > 0) ++network_users;
+  }
+  for (size_t q = 0; q < specs.size(); ++q) {
+    double cap = 0.0;
+    if (network_users > 1 && chosen_network_bytes[q] > 0) {
+      cap = network_gbps * chosen_network_bytes[q] / total_bytes;
+    }
+    decision.network_rate_limits_gbps.push_back(cap);
+  }
+  return decision;
+}
+
+Result<Engine::ConcurrentResult> Scheduler::Run(
+    const std::vector<QuerySpec>& specs, const ScheduleDecision& decision) {
+  return engine_->ExecuteConcurrent(specs, decision.placements,
+                                    decision.network_rate_limits_gbps);
+}
+
+}  // namespace dflow

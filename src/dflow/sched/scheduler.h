@@ -1,0 +1,48 @@
+#ifndef DFLOW_SCHED_SCHEDULER_H_
+#define DFLOW_SCHED_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "dflow/engine/engine.h"
+
+namespace dflow {
+
+/// What the scheduler decided for a batch of concurrent queries: which data
+/// path alternative each runs (§7.3: "a scheduler may decide which plan
+/// variation to activate at runtime") and an optional network DMA rate cap
+/// per query ("the scheduler should be able to rate limit the bandwidth").
+struct ScheduleDecision {
+  std::vector<Placement> placements;
+  std::vector<double> network_rate_limits_gbps;  // 0 = uncapped
+  std::vector<std::string> rationale;            // per query, for reports
+};
+
+/// Interference-aware scheduler over the engine's fabric.
+///
+/// PlanNaive gives every query its individually optimal variant — which
+/// piles all of them onto the same accelerators and links. Plan instead
+/// commits queries one at a time, charging each candidate variant's device
+/// and link demand on top of what earlier queries already claimed, and
+/// picks the variant with the lowest *contended* completion estimate; when
+/// the chosen variants oversubscribe the network, flows get fair-share rate
+/// caps.
+class Scheduler {
+ public:
+  explicit Scheduler(Engine* engine);
+
+  Result<ScheduleDecision> Plan(const std::vector<QuerySpec>& specs) const;
+  Result<ScheduleDecision> PlanNaive(
+      const std::vector<QuerySpec>& specs) const;
+
+  /// Executes a decision on the engine (all queries admitted at t = 0).
+  Result<Engine::ConcurrentResult> Run(const std::vector<QuerySpec>& specs,
+                                       const ScheduleDecision& decision);
+
+ private:
+  Engine* engine_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_SCHED_SCHEDULER_H_

@@ -1,0 +1,38 @@
+#ifndef DFLOW_SIM_COST_CLASS_H_
+#define DFLOW_SIM_COST_CLASS_H_
+
+#include <string_view>
+
+namespace dflow::sim {
+
+/// Kind of work a processing element is asked to do on a batch of bytes.
+/// Each device publishes a throughput (GB/s) per cost class; placement uses
+/// the matrix to cost plan variants, and the paper's central observation —
+/// "many operators are faster on streaming accelerators than on the CPU"
+/// (§7.5) — is encoded as accelerators having higher rates for the streaming
+/// classes and *no* rate (unsupported) for the stateful ones.
+enum class CostClass {
+  kScan = 0,      // reading/decoding pages from media
+  kFilter,        // predicate evaluation + selection
+  kProject,       // column dropping / expression evaluation
+  kHash,          // hashing rows
+  kPartition,     // splitting a stream by hash
+  kAggregate,     // hash-table group-by update
+  kJoinBuild,     // building a join hash table
+  kJoinProbe,     // probing a join hash table
+  kSort,          // sorting / top-n
+  kDecode,        // decompression
+  kEncode,        // compression
+  kTranspose,     // row<->column layout conversion
+  kPointerChase,  // dependent (latency-bound) traversal
+  kMemcpy,        // plain data movement within a device
+  kCount,         // counting / trivial reduction
+};
+
+inline constexpr int kNumCostClasses = 15;
+
+std::string_view CostClassToString(CostClass c);
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_COST_CLASS_H_

@@ -1,0 +1,56 @@
+#ifndef DFLOW_SIM_CREDIT_H_
+#define DFLOW_SIM_CREDIT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::sim {
+
+/// Sender-side credit counter implementing credit-based flow control (§7.1).
+///
+/// Each edge between pipeline stages has a bounded downstream queue. The
+/// sender holds `capacity` credits; sending a chunk consumes one, and the
+/// receiver returns it (over the reverse path, with latency) once the chunk
+/// is dequeued for processing. A sender without credits must buffer locally
+/// and stop pulling from its own upstream — backpressure propagates without
+/// any global coordination, exactly as in the PCIe flow-control scheme the
+/// paper cites.
+class CreditGate {
+ public:
+  explicit CreditGate(uint32_t capacity)
+      : capacity_(capacity), available_(capacity) {
+    DFLOW_CHECK_GT(capacity, 0u);
+  }
+
+  uint32_t capacity() const { return capacity_; }
+  uint32_t available() const { return available_; }
+  bool HasCredit() const { return available_ > 0; }
+
+  /// Consumes a credit (sender is about to put a chunk in flight).
+  void Acquire() {
+    DFLOW_CHECK_GT(available_, 0u);
+    --available_;
+    in_flight_peak_ = std::max(in_flight_peak_, capacity_ - available_);
+  }
+
+  /// Returns a credit (receiver dequeued a chunk).
+  void Release() {
+    DFLOW_CHECK_LT(available_, capacity_);
+    ++available_;
+  }
+
+  /// Highest number of chunks simultaneously in flight / queued downstream.
+  /// Bounded by capacity — the memory guarantee credit flow control buys.
+  uint32_t in_flight_peak() const { return in_flight_peak_; }
+
+ private:
+  uint32_t capacity_;
+  uint32_t available_;
+  uint32_t in_flight_peak_ = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_CREDIT_H_

@@ -1,0 +1,93 @@
+#include "dflow/sim/device.h"
+
+#include <algorithm>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::sim {
+
+std::string_view CostClassToString(CostClass c) {
+  switch (c) {
+    case CostClass::kScan:
+      return "scan";
+    case CostClass::kFilter:
+      return "filter";
+    case CostClass::kProject:
+      return "project";
+    case CostClass::kHash:
+      return "hash";
+    case CostClass::kPartition:
+      return "partition";
+    case CostClass::kAggregate:
+      return "aggregate";
+    case CostClass::kJoinBuild:
+      return "join_build";
+    case CostClass::kJoinProbe:
+      return "join_probe";
+    case CostClass::kSort:
+      return "sort";
+    case CostClass::kDecode:
+      return "decode";
+    case CostClass::kEncode:
+      return "encode";
+    case CostClass::kTranspose:
+      return "transpose";
+    case CostClass::kPointerChase:
+      return "pointer_chase";
+    case CostClass::kMemcpy:
+      return "memcpy";
+    case CostClass::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+Device::Device(std::string name, SimTime per_item_overhead_ns)
+    : name_(std::move(name)), per_item_overhead_ns_(per_item_overhead_ns) {}
+
+void Device::SetRate(CostClass c, double gbps) {
+  DFLOW_CHECK_GE(gbps, 0.0);
+  rates_gbps_[static_cast<int>(c)] = gbps;
+}
+
+void Device::SetAllRates(double gbps) {
+  for (double& r : rates_gbps_) r = gbps;
+}
+
+double Device::RateGbps(CostClass c) const {
+  return rates_gbps_[static_cast<int>(c)];
+}
+
+double Device::RateBytesPerNs(CostClass c) const {
+  // 1 GB/s == 1e9 bytes / 1e9 ns == 1 byte/ns.
+  return rates_gbps_[static_cast<int>(c)];
+}
+
+SimTime Device::CostNs(uint64_t bytes, CostClass c, double factor) const {
+  const double rate = RateBytesPerNs(c) * factor;
+  DFLOW_CHECK_GT(rate, 0.0) << "device " << name_ << " does not support "
+                            << CostClassToString(c);
+  const double ns = static_cast<double>(bytes) / rate;
+  return per_item_overhead_ns_ + static_cast<SimTime>(ns);
+}
+
+Device::Work Device::Process(SimTime ready, uint64_t bytes, CostClass c,
+                             double factor) {
+  const SimTime cost = CostNs(bytes, c, factor);
+  const SimTime start = std::max(ready, next_free_);
+  const SimTime end = start + cost;
+  next_free_ = end;
+  busy_ns_ += cost;
+  bytes_processed_ += bytes;
+  items_processed_ += 1;
+  return Work{start, end};
+}
+
+void Device::ResetStats() {
+  next_free_ = 0;
+  busy_ns_ = 0;
+  bytes_processed_ = 0;
+  items_processed_ = 0;
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,40 @@
+#include "dflow/sim/dma.h"
+
+#include <algorithm>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::sim {
+
+DmaEngine::DmaEngine(std::string name, Link* link)
+    : name_(std::move(name)), link_(link) {
+  DFLOW_CHECK(link != nullptr);
+}
+
+void DmaEngine::SetRateLimitGbps(double gbps) {
+  DFLOW_CHECK_GE(gbps, 0.0);
+  rate_limit_gbps_ = gbps;
+}
+
+Link::Transfer DmaEngine::Transfer(SimTime ready, uint64_t bytes) {
+  // The engine injects at its own (possibly limited) rate; the message then
+  // takes the link, serializing with other flows.
+  SimTime inject_ready = std::max(ready, next_free_);
+  if (rate_limit_gbps_ > 0.0 &&
+      rate_limit_gbps_ < link_->bandwidth_gbps()) {
+    const SimTime pace =
+        static_cast<SimTime>(static_cast<double>(bytes) / rate_limit_gbps_);
+    next_free_ = inject_ready + pace;
+  } else {
+    next_free_ = inject_ready + link_->WireTimeNs(bytes);
+  }
+  bytes_transferred_ += bytes;
+  return link_->Reserve(inject_ready, bytes);
+}
+
+void DmaEngine::ResetStats() {
+  next_free_ = 0;
+  bytes_transferred_ = 0;
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,49 @@
+#ifndef DFLOW_SIM_DMA_H_
+#define DFLOW_SIM_DMA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dflow/sim/link.h"
+
+namespace dflow::sim {
+
+/// A DMA engine pushing one flow's data over a (possibly shared) link.
+///
+/// The paper's execution model (§7.1) moves data between pipeline stages via
+/// DMA engines rather than CPU pulls, and its scheduler (§7.3) controls
+/// resource consumption by *rate limiting* those engines. A DmaEngine
+/// serializes its own flow at min(link bandwidth, rate limit) and then
+/// contends with other flows for the underlying link.
+class DmaEngine {
+ public:
+  DmaEngine(std::string name, Link* link);
+
+  const std::string& name() const { return name_; }
+  Link* link() const { return link_; }
+
+  /// Caps this flow's injection bandwidth. 0 = unlimited (link speed).
+  /// The scheduler may adjust this at any time; it applies to subsequent
+  /// transfers.
+  void SetRateLimitGbps(double gbps);
+  double rate_limit_gbps() const { return rate_limit_gbps_; }
+
+  /// Transfers `bytes` ready at `ready`; returns when the last byte arrives
+  /// at the receiver.
+  Link::Transfer Transfer(SimTime ready, uint64_t bytes);
+
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  void ResetStats();
+
+ private:
+  std::string name_;
+  Link* link_;
+  double rate_limit_gbps_ = 0.0;  // 0 = unlimited
+  SimTime next_free_ = 0;
+  uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_DMA_H_

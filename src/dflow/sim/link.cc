@@ -1,0 +1,39 @@
+#include "dflow/sim/link.h"
+
+#include <algorithm>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::sim {
+
+Link::Link(std::string name, double bandwidth_gbps, SimTime latency_ns)
+    : name_(std::move(name)),
+      bandwidth_gbps_(bandwidth_gbps),
+      latency_ns_(latency_ns) {
+  DFLOW_CHECK_GT(bandwidth_gbps_, 0.0);
+}
+
+SimTime Link::WireTimeNs(uint64_t bytes) const {
+  // 1 GB/s == 1 byte/ns.
+  return static_cast<SimTime>(static_cast<double>(bytes) / bandwidth_gbps_);
+}
+
+Link::Transfer Link::Reserve(SimTime ready, uint64_t bytes) {
+  const SimTime wire = WireTimeNs(bytes);
+  const SimTime start = std::max(ready, next_free_);
+  const SimTime depart = start + wire;
+  next_free_ = depart;
+  bytes_transferred_ += bytes;
+  busy_ns_ += wire;
+  num_messages_ += 1;
+  return Transfer{depart, depart + latency_ns_};
+}
+
+void Link::ResetStats() {
+  next_free_ = 0;
+  bytes_transferred_ = 0;
+  busy_ns_ = 0;
+  num_messages_ = 0;
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,58 @@
+#ifndef DFLOW_SIM_LINK_H_
+#define DFLOW_SIM_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dflow/sim/simulator.h"
+
+namespace dflow::sim {
+
+/// A shared transfer medium between two points of the fabric: network hop,
+/// PCIe/CXL interconnect, or memory bus. Transfers serialize (one at a
+/// time), which is how link contention between concurrent queries emerges in
+/// the interference experiments (§7.3).
+///
+/// A message of B bytes that becomes ready at time t occupies the link for
+/// B / bandwidth ns starting no earlier than t, then arrives after the
+/// propagation latency.
+class Link {
+ public:
+  Link(std::string name, double bandwidth_gbps, SimTime latency_ns);
+
+  struct Transfer {
+    SimTime depart;  // when the last byte leaves the sender
+    SimTime arrive;  // when the last byte reaches the receiver
+  };
+
+  const std::string& name() const { return name_; }
+  double bandwidth_gbps() const { return bandwidth_gbps_; }
+  SimTime latency_ns() const { return latency_ns_; }
+
+  /// Time on the wire for `bytes` (no queueing, no latency).
+  SimTime WireTimeNs(uint64_t bytes) const;
+
+  /// Reserves the link for a message ready at `ready`. Serializes after
+  /// prior reservations and updates byte/busy counters.
+  Transfer Reserve(SimTime ready, uint64_t bytes);
+
+  SimTime next_free() const { return next_free_; }
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  uint64_t busy_ns() const { return busy_ns_; }
+  uint64_t num_messages() const { return num_messages_; }
+
+  void ResetStats();
+
+ private:
+  std::string name_;
+  double bandwidth_gbps_;
+  SimTime latency_ns_;
+  SimTime next_free_ = 0;
+  uint64_t bytes_transferred_ = 0;
+  uint64_t busy_ns_ = 0;
+  uint64_t num_messages_ = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_LINK_H_

@@ -1,0 +1,44 @@
+#include "dflow/sim/simulator.h"
+
+#include "dflow/common/logging.h"
+
+namespace dflow::sim {
+
+void Simulator::ScheduleAt(SimTime time, std::function<void()> fn) {
+  DFLOW_CHECK_GE(time, now_);
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+SimTime Simulator::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+bool Simulator::RunWithLimit(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (executed >= max_events) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ++executed;
+    ev.fn();
+  }
+  return true;
+}
+
+void Simulator::Reset() {
+  now_ = 0;
+  next_seq_ = 0;
+  events_processed_ = 0;
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,33 @@
+#include "dflow/storage/catalog.h"
+
+namespace dflow {
+
+Status Catalog::Register(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot register null table");
+  }
+  if (table->name().empty()) {
+    return Status::InvalidArgument("table must have a name");
+  }
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not in catalog");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace dflow

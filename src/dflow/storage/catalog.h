@@ -1,0 +1,36 @@
+#ifndef DFLOW_STORAGE_CATALOG_H_
+#define DFLOW_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/storage/table.h"
+
+namespace dflow {
+
+/// Name -> table registry shared by planner and executors. Tables are
+/// immutable and shared; registration replaces any previous entry.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status Register(std::shared_ptr<Table> table);
+
+  Result<std::shared_ptr<Table>> Lookup(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_STORAGE_CATALOG_H_

@@ -1,0 +1,74 @@
+#include "dflow/storage/object_store.h"
+
+namespace dflow {
+
+Status ObjectStore::Put(const std::string& key, std::vector<uint8_t> data) {
+  stats_.put_requests++;
+  stats_.bytes_written += data.size();
+  objects_[key] = std::move(data);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ObjectStore::Get(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("object '" + key + "' not found");
+  }
+  stats_.get_requests++;
+  stats_.bytes_read += it->second.size();
+  return it->second;
+}
+
+Result<std::vector<uint8_t>> ObjectStore::GetRange(const std::string& key,
+                                                   uint64_t offset,
+                                                   uint64_t length) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("object '" + key + "' not found");
+  }
+  if (offset + length > it->second.size()) {
+    return Status::OutOfRange("range beyond object size");
+  }
+  stats_.get_requests++;
+  stats_.bytes_read += length;
+  return std::vector<uint8_t>(it->second.begin() + offset,
+                              it->second.begin() + offset + length);
+}
+
+Result<uint64_t> ObjectStore::Size(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("object '" + key + "' not found");
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+bool ObjectStore::Exists(const std::string& key) const {
+  return objects_.count(key) > 0;
+}
+
+std::vector<std::string> ObjectStore::List(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Status ObjectStore::Delete(const std::string& key) {
+  if (objects_.erase(key) == 0) {
+    return Status::NotFound("object '" + key + "' not found");
+  }
+  return Status::OK();
+}
+
+uint64_t ObjectStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, data] : objects_) {
+    total += data.size();
+  }
+  return total;
+}
+
+}  // namespace dflow

@@ -1,0 +1,71 @@
+#ifndef DFLOW_STORAGE_OBJECT_STORE_H_
+#define DFLOW_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+
+namespace dflow {
+
+/// Simulated disaggregated object store (the S3-like layer of §3.2).
+///
+/// Semantics follow cloud object stores: immutable whole-object PUT, GET and
+/// ranged GET, list by prefix. Every request is counted — the store is the
+/// origin of the "systems charge for the amount of data read from storage"
+/// observation, and benches read these counters directly. Latency/bandwidth
+/// costs are charged by the fabric simulator (the store itself is
+/// time-agnostic; sim::Fabric wraps it in a storage device).
+class ObjectStore {
+ public:
+  struct Stats {
+    uint64_t put_requests = 0;
+    uint64_t get_requests = 0;
+    uint64_t bytes_written = 0;
+    uint64_t bytes_read = 0;
+  };
+
+  ObjectStore() = default;
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Stores an immutable object. Overwriting an existing key replaces it
+  /// (last-writer-wins, as in S3).
+  Status Put(const std::string& key, std::vector<uint8_t> data);
+
+  /// Whole-object read.
+  Result<std::vector<uint8_t>> Get(const std::string& key) const;
+
+  /// Ranged read: bytes [offset, offset + length). The range must lie within
+  /// the object.
+  Result<std::vector<uint8_t>> GetRange(const std::string& key,
+                                        uint64_t offset,
+                                        uint64_t length) const;
+
+  /// Object size without transferring data (HEAD request; not counted as a
+  /// data-bearing GET).
+  Result<uint64_t> Size(const std::string& key) const;
+
+  bool Exists(const std::string& key) const;
+
+  /// All keys with the given prefix, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  Status Delete(const std::string& key);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  /// Total bytes at rest across all objects.
+  uint64_t TotalBytes() const;
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> objects_;
+  mutable Stats stats_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,57 @@
+#include "dflow/storage/zone_map.h"
+
+namespace dflow {
+
+ZoneMap ZoneMap::Compute(const ColumnVector& col) {
+  ZoneMap zm;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsValid(i)) {
+      zm.has_nulls = true;
+      continue;
+    }
+    Value v = col.GetValue(i);
+    if (!zm.valid) {
+      zm.min = v;
+      zm.max = v;
+      zm.valid = true;
+    } else {
+      if (v.Compare(zm.min) < 0) zm.min = v;
+      if (v.Compare(zm.max) > 0) zm.max = std::move(v);
+    }
+  }
+  return zm;
+}
+
+bool ZoneMap::MayMatch(CompareOp op, const Value& constant) const {
+  if (!valid) return has_nulls;  // all-null zones can't match any comparison
+  if (constant.is_null()) return false;
+  switch (op) {
+    case CompareOp::kEq:
+      return min.Compare(constant) <= 0 && max.Compare(constant) >= 0;
+    case CompareOp::kNe:
+      // Only prunable when every value equals the constant.
+      return !(min.Compare(constant) == 0 && max.Compare(constant) == 0);
+    case CompareOp::kLt:
+      return min.Compare(constant) < 0;
+    case CompareOp::kLe:
+      return min.Compare(constant) <= 0;
+    case CompareOp::kGt:
+      return max.Compare(constant) > 0;
+    case CompareOp::kGe:
+      return max.Compare(constant) >= 0;
+  }
+  return true;
+}
+
+void ZoneMap::Merge(const ZoneMap& other) {
+  has_nulls = has_nulls || other.has_nulls;
+  if (!other.valid) return;
+  if (!valid) {
+    *this = other;
+    return;
+  }
+  if (other.min.Compare(min) < 0) min = other.min;
+  if (other.max.Compare(max) > 0) max = other.max;
+}
+
+}  // namespace dflow

@@ -1,0 +1,32 @@
+#ifndef DFLOW_STORAGE_ZONE_MAP_H_
+#define DFLOW_STORAGE_ZONE_MAP_H_
+
+#include "dflow/types/value.h"
+#include "dflow/vector/kernels.h"
+
+namespace dflow {
+
+/// Min/max statistics for one column of one row group. Zone maps are the
+/// cloud-native replacement for indexes the paper mentions (§2.1): they let
+/// both the compute-side planner and the storage-side processor skip row
+/// groups without reading them.
+struct ZoneMap {
+  Value min;
+  Value max;
+  bool has_nulls = false;
+  bool valid = false;  // false until computed over at least one row
+
+  /// Computes the zone map over a column.
+  static ZoneMap Compute(const ColumnVector& col);
+
+  /// Conservatively answers "could any row in this zone satisfy
+  /// `col op constant`?". Returns true when unknown.
+  bool MayMatch(CompareOp op, const Value& constant) const;
+
+  /// Merges another zone map into this one (for table-level stats).
+  void Merge(const ZoneMap& other);
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_STORAGE_ZONE_MAP_H_

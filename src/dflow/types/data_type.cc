@@ -1,0 +1,46 @@
+#include "dflow/types/data_type.h"
+
+namespace dflow {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt32:
+      return "INT32";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate32:
+      return "DATE32";
+  }
+  return "UNKNOWN";
+}
+
+bool IsFixedWidth(DataType type) { return type != DataType::kString; }
+
+uint32_t FixedWidthBytes(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt32:
+    case DataType::kDate32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 8;
+    case DataType::kString:
+      return 0;
+  }
+  return 0;
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt32 || type == DataType::kInt64 ||
+         type == DataType::kDouble;
+}
+
+}  // namespace dflow

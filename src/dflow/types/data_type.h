@@ -1,0 +1,34 @@
+#ifndef DFLOW_TYPES_DATA_TYPE_H_
+#define DFLOW_TYPES_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dflow {
+
+/// Physical column types supported by the engine. DATE32 is days since epoch
+/// stored as int32 (Arrow convention).
+enum class DataType : uint8_t {
+  kBool = 0,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  kDate32,
+};
+
+/// Human-readable type name ("INT64", "STRING", ...).
+std::string_view DataTypeToString(DataType type);
+
+/// True for the fixed-width types (everything except kString).
+bool IsFixedWidth(DataType type);
+
+/// Width in bytes of a fixed-width type; 0 for kString (variable).
+uint32_t FixedWidthBytes(DataType type);
+
+/// True for types on which arithmetic is defined (kInt32/kInt64/kDouble).
+bool IsNumeric(DataType type);
+
+}  // namespace dflow
+
+#endif  // DFLOW_TYPES_DATA_TYPE_H_

@@ -1,0 +1,43 @@
+#include "dflow/types/schema.h"
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no field named '" + name + "' in schema");
+}
+
+bool Schema::HasField(const std::string& name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Field> out;
+  out.reserve(indices.size());
+  for (size_t idx : indices) {
+    DFLOW_CHECK_LT(idx, fields_.size());
+    out.push_back(fields_[idx]);
+  }
+  return Schema(std::move(out));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += DataTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dflow

@@ -1,0 +1,52 @@
+#ifndef DFLOW_TYPES_SCHEMA_H_
+#define DFLOW_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/types/data_type.h"
+
+namespace dflow {
+
+/// A named, typed column slot.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of fields. Schemas are value types: cheap enough to copy
+/// through plans, and compared structurally.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or an error if absent.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True if a field named `name` exists.
+  bool HasField(const std::string& name) const;
+
+  /// New schema keeping only the given column indices, in the given order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_TYPES_SCHEMA_H_

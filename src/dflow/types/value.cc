@@ -1,0 +1,104 @@
+#include "dflow/types/value.h"
+
+#include <cstdio>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+int64_t Value::AsInt64() const {
+  DFLOW_CHECK(!is_null_);
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate32:
+      return std::get<int32_t>(data_);
+    case DataType::kInt64:
+      return std::get<int64_t>(data_);
+    case DataType::kDouble:
+      return static_cast<int64_t>(std::get<double>(data_));
+    case DataType::kBool:
+      return std::get<bool>(data_) ? 1 : 0;
+    case DataType::kString:
+      break;
+  }
+  DFLOW_CHECK(false) << "AsInt64 on non-numeric Value";
+  return 0;
+}
+
+double Value::AsDouble() const {
+  DFLOW_CHECK(!is_null_);
+  switch (type_) {
+    case DataType::kInt32:
+    case DataType::kDate32:
+      return static_cast<double>(std::get<int32_t>(data_));
+    case DataType::kInt64:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case DataType::kDouble:
+      return std::get<double>(data_);
+    case DataType::kBool:
+      return std::get<bool>(data_) ? 1.0 : 0.0;
+    case DataType::kString:
+      break;
+  }
+  DFLOW_CHECK(false) << "AsDouble on non-numeric Value";
+  return 0.0;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null_ && other.is_null_) return 0;
+  if (is_null_) return -1;
+  if (other.is_null_) return 1;
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    DFLOW_CHECK(type_ == DataType::kString && other.type_ == DataType::kString)
+        << "cannot compare STRING with " << DataTypeToString(other.type_);
+    return string_value().compare(other.string_value());
+  }
+  if (type_ == DataType::kBool || other.type_ == DataType::kBool) {
+    DFLOW_CHECK(type_ == DataType::kBool && other.type_ == DataType::kBool)
+        << "cannot compare BOOL with non-BOOL";
+    const int a = bool_value() ? 1 : 0;
+    const int b = other.bool_value() ? 1 : 0;
+    return a - b;
+  }
+  // Numeric comparison promotes everything to double when either side is
+  // double; otherwise compares as int64 to avoid precision loss.
+  if (type_ == DataType::kDouble || other.type_ == DataType::kDouble) {
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const int64_t a = AsInt64();
+  const int64_t b = other.AsInt64();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  char buf[64];
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt32:
+      std::snprintf(buf, sizeof(buf), "%d", int32_value());
+      return buf;
+    case DataType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int64_value()));
+      return buf;
+    case DataType::kDouble:
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    case DataType::kString:
+      return string_value();
+    case DataType::kDate32:
+      std::snprintf(buf, sizeof(buf), "date(%d)", date32_value());
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace dflow

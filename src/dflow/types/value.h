@@ -1,0 +1,69 @@
+#ifndef DFLOW_TYPES_VALUE_H_
+#define DFLOW_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "dflow/types/data_type.h"
+
+namespace dflow {
+
+/// A single runtime-typed scalar. Used for literals in expressions, zone-map
+/// bounds, and query results. Comparison across int/double is numeric; all
+/// other cross-type comparisons are invalid.
+class Value {
+ public:
+  /// A NULL of unspecified type.
+  Value() : type_(DataType::kInt64), is_null_(true) {}
+
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value Int32(int32_t v) { return Value(DataType::kInt32, v); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Date32(int32_t days) { return Value(DataType::kDate32, days); }
+  static Value Null(DataType type) {
+    Value v;
+    v.type_ = type;
+    return v;
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int32_t int32_value() const { return std::get<int32_t>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+  int32_t date32_value() const { return std::get<int32_t>(data_); }
+
+  /// Numeric view: int32/int64/date32 as int64; double as itself (truncated
+  /// for AsInt64). Only valid for numeric/date types.
+  int64_t AsInt64() const;
+  double AsDouble() const;
+
+  /// Three-way comparison. Requires compatible types (numeric with numeric,
+  /// string with string, bool with bool). NULLs compare less than non-NULLs
+  /// and equal to each other (total order for sorting).
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  Value(DataType type, T v) : type_(type), is_null_(false), data_(std::move(v)) {}
+
+  DataType type_;
+  bool is_null_ = false;
+  std::variant<bool, int32_t, int64_t, double, std::string> data_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_TYPES_VALUE_H_

@@ -1,0 +1,75 @@
+#include "dflow/vector/data_chunk.h"
+
+#include <sstream>
+
+#include "dflow/common/logging.h"
+
+namespace dflow {
+
+DataChunk DataChunk::EmptyFromSchema(const Schema& schema) {
+  std::vector<ColumnVector> cols;
+  cols.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    cols.emplace_back(f.type);
+  }
+  return DataChunk(std::move(cols));
+}
+
+void DataChunk::AppendRowFrom(const DataChunk& other, size_t row) {
+  DFLOW_CHECK_EQ(columns_.size(), other.columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendFrom(other.columns_[c], row);
+  }
+}
+
+DataChunk DataChunk::Gather(const SelectionVector& sel) const {
+  std::vector<ColumnVector> cols;
+  cols.reserve(columns_.size());
+  for (const ColumnVector& col : columns_) {
+    cols.push_back(col.Gather(sel));
+  }
+  return DataChunk(std::move(cols));
+}
+
+DataChunk DataChunk::SelectColumns(const std::vector<size_t>& indices) const {
+  std::vector<ColumnVector> cols;
+  cols.reserve(indices.size());
+  for (size_t idx : indices) {
+    DFLOW_CHECK_LT(idx, columns_.size());
+    cols.push_back(columns_[idx]);
+  }
+  return DataChunk(std::move(cols));
+}
+
+uint64_t DataChunk::ByteSize() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& col : columns_) {
+    bytes += col.ByteSize();
+  }
+  return bytes;
+}
+
+bool DataChunk::IsWellFormed() const {
+  for (const ColumnVector& col : columns_) {
+    if (col.size() != num_rows()) return false;
+  }
+  return true;
+}
+
+std::string DataChunk::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << "DataChunk(" << num_rows() << " rows, " << num_columns() << " cols)\n";
+  const size_t limit = std::min(max_rows, num_rows());
+  for (size_t r = 0; r < limit; ++r) {
+    os << "  [";
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) os << ", ";
+      os << GetValue(r, c).ToString();
+    }
+    os << "]\n";
+  }
+  if (limit < num_rows()) os << "  ... (" << (num_rows() - limit) << " more)\n";
+  return os.str();
+}
+
+}  // namespace dflow

@@ -1,0 +1,46 @@
+#include "dflow/volcano/cost_meter.h"
+
+#include <algorithm>
+
+namespace dflow::volcano {
+
+CostMeter::CostMeter(const sim::FabricConfig& config, double prefetch_factor)
+    : cpu_model_("volcano_cpu", config.cpu_overhead_ns) {
+  sim::ConfigureCpuDevice(&cpu_model_, config);
+  const sim::SimTime full_latency =
+      config.store_request_latency_ns + config.storage_uplink_latency_ns +
+      config.network_latency_ns +
+      (config.use_cxl ? config.cxl_latency_ns
+                      : config.interconnect_latency_ns) +
+      config.memory_bus_latency_ns;
+  fetch_latency_ns_ = static_cast<sim::SimTime>(
+      static_cast<double>(full_latency) / std::max(1.0, prefetch_factor));
+  fetch_gbps_ = std::min({config.store_media_gbps, config.storage_uplink_gbps,
+                          config.network_gbps,
+                          config.use_cxl ? config.cxl_gbps
+                                         : config.interconnect_gbps,
+                          config.memory_bus_gbps});
+}
+
+void CostMeter::ChargePageFetch(uint64_t bytes) {
+  const sim::SimTime transfer =
+      static_cast<sim::SimTime>(static_cast<double>(bytes) / fetch_gbps_);
+  total_ns_ += fetch_latency_ns_ + transfer;
+  bytes_fetched_ += bytes;
+  page_fetches_ += 1;
+}
+
+void CostMeter::ChargeCpu(uint64_t bytes, sim::CostClass cost_class) {
+  const sim::SimTime cost = cpu_model_.CostNs(bytes, cost_class);
+  total_ns_ += cost;
+  cpu_busy_ns_ += cost;
+}
+
+void CostMeter::ChargeRows(uint64_t rows) {
+  const sim::SimTime cost =
+      static_cast<sim::SimTime>(static_cast<double>(rows) * kPerRowOverheadNs);
+  total_ns_ += cost;
+  cpu_busy_ns_ += cost;
+}
+
+}  // namespace dflow::volcano

@@ -1,0 +1,56 @@
+#ifndef DFLOW_VOLCANO_COST_METER_H_
+#define DFLOW_VOLCANO_COST_METER_H_
+
+#include <cstdint>
+
+#include "dflow/sim/device.h"
+#include "dflow/sim/fabric.h"
+
+namespace dflow::volcano {
+
+/// Sequential cost accounting for the CPU-centric baseline. The legacy
+/// engine runs as a single pull loop, so its virtual time is a simple
+/// accumulator: page fetches traverse the whole conventional data path
+/// (disk -> memory -> caches -> registers, Figure 1) and every operator
+/// executes on the CPU at the same rates the fabric charges a CPU device.
+///
+/// `prefetch_factor` credits the baseline with sequential read-ahead: the
+/// request latency of a miss is amortized over that many pages (being
+/// generous to the baseline keeps the comparison honest).
+class CostMeter {
+ public:
+  explicit CostMeter(const sim::FabricConfig& config,
+                     double prefetch_factor = 4.0);
+
+  /// A buffer-pool miss moving `bytes` from disaggregated storage all the
+  /// way into the compute node's memory.
+  void ChargePageFetch(uint64_t bytes);
+
+  /// CPU work of the given class over `bytes`.
+  void ChargeCpu(uint64_t bytes, sim::CostClass cost_class);
+
+  /// Per-tuple interpretation overhead of the iterator model (`Next()`
+  /// virtual call, value boxing): the classic Volcano tax.
+  void ChargeRows(uint64_t rows);
+
+  sim::SimTime total_ns() const { return total_ns_; }
+  uint64_t bytes_fetched() const { return bytes_fetched_; }
+  uint64_t page_fetches() const { return page_fetches_; }
+  uint64_t cpu_busy_ns() const { return cpu_busy_ns_; }
+
+  /// Interpretation overhead per tuple per operator, ns.
+  static constexpr double kPerRowOverheadNs = 15.0;
+
+ private:
+  sim::Device cpu_model_;  // rate table only; never runs events
+  sim::SimTime fetch_latency_ns_;
+  double fetch_gbps_;
+  sim::SimTime total_ns_ = 0;
+  uint64_t bytes_fetched_ = 0;
+  uint64_t page_fetches_ = 0;
+  uint64_t cpu_busy_ns_ = 0;
+};
+
+}  // namespace dflow::volcano
+
+#endif  // DFLOW_VOLCANO_COST_METER_H_

@@ -1,0 +1,77 @@
+#ifndef DFLOW_WORKLOAD_TPCH_LIKE_H_
+#define DFLOW_WORKLOAD_TPCH_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "dflow/common/result.h"
+#include "dflow/storage/table.h"
+
+namespace dflow {
+
+/// TPC-H-flavoured synthetic data: the analytics workload shape the paper's
+/// introduction motivates. Not a compliant dbgen — a deterministic
+/// generator with the same statistical texture: a wide fact table
+/// (lineitem) with dates, flags, prices, low-cardinality strings and a
+/// comment column for LIKE pushdown, plus an orders dimension for joins.
+
+struct LineitemSpec {
+  uint64_t rows = 100'000;
+  uint64_t num_orders = 25'000;
+  uint64_t num_parts = 20'000;
+  uint64_t num_suppliers = 1'000;
+  /// 0 = uniform order keys; >0 = Zipf-skewed (hot orders).
+  double orderkey_zipf_theta = 0.0;
+  /// Fraction of comments containing the word "special" (LIKE target).
+  double special_comment_fraction = 0.05;
+  uint64_t seed = 42;
+  size_t row_group_size = kDefaultRowGroupSize;
+  /// Table name to register under.
+  const char* name = "lineitem";
+};
+
+/// Columns:
+///   l_orderkey INT64, l_partkey INT64, l_suppkey INT64,
+///   l_quantity DOUBLE (1..50), l_extendedprice DOUBLE,
+///   l_discount DOUBLE (0.00..0.10), l_tax DOUBLE (0.00..0.08),
+///   l_returnflag STRING {A,N,R}, l_linestatus STRING {F,O},
+///   l_shipdate DATE32 (days in [8036, 10591] ~ 1992-01-01..1998-12-31),
+///   l_comment STRING (~30 chars, some contain "special")
+Result<std::shared_ptr<Table>> MakeLineitemTable(const LineitemSpec& spec);
+
+struct OrdersSpec {
+  uint64_t rows = 25'000;
+  uint64_t num_customers = 5'000;
+  uint64_t seed = 43;
+  size_t row_group_size = kDefaultRowGroupSize;
+  const char* name = "orders";
+};
+
+/// Columns:
+///   o_orderkey INT64 (dense 0..rows-1), o_custkey INT64,
+///   o_orderstatus STRING {F,O,P}, o_totalprice DOUBLE,
+///   o_orderdate DATE32, o_priority STRING {1-URGENT..5-LOW}
+Result<std::shared_ptr<Table>> MakeOrdersTable(const OrdersSpec& spec);
+
+/// Shipdate domain bounds used by the generator (handy for selectivity
+/// sweeps: predicates over [lo, lo + f * (hi - lo)) select fraction ~f).
+inline constexpr int32_t kShipdateLo = 8036;
+inline constexpr int32_t kShipdateHi = 10592;  // exclusive
+
+/// A plain narrow key/value table (k INT64 dense or zipf, v INT64,
+/// payload STRING) for microbenchmarks.
+struct KvSpec {
+  uint64_t rows = 100'000;
+  uint64_t key_space = 100'000;
+  double zipf_theta = 0.0;
+  size_t payload_len = 16;
+  uint64_t seed = 7;
+  size_t row_group_size = kDefaultRowGroupSize;
+  const char* name = "kv";
+};
+
+Result<std::shared_ptr<Table>> MakeKvTable(const KvSpec& spec);
+
+}  // namespace dflow
+
+#endif  // DFLOW_WORKLOAD_TPCH_LIKE_H_

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include "dflow/accel/accelerator.h"
+#include "dflow/accel/kernel.h"
+#include "dflow/accel/list_unit.h"
+#include "dflow/accel/near_memory.h"
+#include "dflow/accel/pointer_chase.h"
+#include "dflow/accel/register_file.h"
+#include "dflow/accel/smart_nic.h"
+#include "dflow/accel/smart_storage.h"
+#include "dflow/accel/transpose.h"
+#include "dflow/common/random.h"
+#include "dflow/exec/local_executor.h"
+#include "dflow/exec/misc_ops.h"
+#include "dflow/sim/fabric.h"
+
+namespace dflow {
+namespace {
+
+TEST(RegisterFileTest, ReadWriteByNameAndOffset) {
+  RegisterFile regs({{"ctrl", 0x00, true, 0}, {"status", 0x08, false, 7}});
+  EXPECT_EQ(regs.Read("status").ValueOrDie(), 7u);
+  ASSERT_TRUE(regs.Write("ctrl", 1).ok());
+  EXPECT_EQ(regs.ReadAt(0x00).ValueOrDie(), 1u);
+  ASSERT_TRUE(regs.WriteAt(0x00, 2).ok());
+  EXPECT_EQ(regs.Read("ctrl").ValueOrDie(), 2u);
+  EXPECT_EQ(regs.write_count(), 2u);
+}
+
+TEST(RegisterFileTest, FaultsModelDeviceBehaviour) {
+  RegisterFile regs({{"status", 0x08, false, 0}});
+  EXPECT_TRUE(regs.Write("status", 1).IsInvalidArgument());
+  EXPECT_TRUE(regs.Write("nope", 1).IsNotFound());
+  EXPECT_TRUE(regs.WriteAt(0x40, 1).IsOutOfRange());
+  EXPECT_TRUE(regs.ReadAt(0x40).status().IsOutOfRange());
+}
+
+TEST(RegisterFileTest, ResetRestoresInitials) {
+  RegisterFile regs({{"ctrl", 0x00, true, 42}});
+  ASSERT_TRUE(regs.Write("ctrl", 1).ok());
+  regs.Reset();
+  EXPECT_EQ(regs.Read("ctrl").ValueOrDie(), 42u);
+}
+
+TEST(KernelRegistryTest, InstallInvokeUninstall) {
+  KernelRegistry kernels;
+  ASSERT_TRUE(kernels
+                  .Install("double_rows",
+                           [](const DataChunk& in, std::vector<DataChunk>* out) {
+                             out->push_back(in);
+                             out->push_back(in);
+                             return Status::OK();
+                           })
+                  .ok());
+  EXPECT_TRUE(kernels.Has("double_rows"));
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64({1}));
+  std::vector<DataChunk> out;
+  ASSERT_TRUE(kernels.Invoke("double_rows", chunk, &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+  ASSERT_TRUE(kernels.Uninstall("double_rows").ok());
+  EXPECT_TRUE(kernels.Invoke("double_rows", chunk, &out).IsNotFound());
+}
+
+TEST(AcceleratorTest, ValidatesOperatorTraits) {
+  sim::Fabric fabric;
+  SmartNic nic("nic", fabric.node(0).nic.get());
+  // Blocking sort: rejected (streaming required).
+  Schema schema({{"k", DataType::kInt64}});
+  auto sort = SortOperator::Make(schema, "k").ValueOrDie();
+  EXPECT_TRUE(nic.ValidateOperator(*sort).IsInvalidArgument());
+  // Bounded count: accepted.
+  CountOperator count;
+  EXPECT_TRUE(nic.ValidateOperator(count).ok());
+}
+
+TEST(SmartStorageTest, BuildsValidatedScanProgram) {
+  sim::Fabric fabric;
+  SmartStorageProcessor proc(fabric.storage_proc());
+  Schema schema({{"id", DataType::kInt64}, {"flag", DataType::kString}});
+  auto program =
+      proc.BuildScanProgram(
+              schema,
+              Expr::Cmp(CompareOp::kLt, Expr::Col("id"),
+                        Expr::Lit(Value::Int64(10))),
+              {Expr::Col("id")}, {"id"}, /*recompress_for_uplink=*/true)
+          .ValueOrDie();
+  // decode, filter, project, encode.
+  ASSERT_EQ(program.stages.size(), 4u);
+  EXPECT_LT(program.estimated_reduction, 1.0);
+  // Registers were armed.
+  EXPECT_EQ(proc.registers().Read("ctrl_filter").ValueOrDie(), 1u);
+  EXPECT_EQ(proc.registers().Read("ctrl_project").ValueOrDie(), 1u);
+  EXPECT_EQ(proc.registers().Read("ctrl_recompress").ValueOrDie(), 1u);
+  // The predicate kernel was installed.
+  EXPECT_TRUE(proc.kernels().Has("scan_filter"));
+
+  // The program actually filters and projects.
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64({5, 15, 3}));
+  chunk.AddColumn(ColumnVector::FromString({"a", "b", "c"}));
+  std::vector<Operator*> ops;
+  for (const auto& s : program.stages) ops.push_back(s.get());
+  auto out = RunLocalPipeline({chunk}, ops).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 2u);
+  EXPECT_EQ(out[0].num_columns(), 1u);
+}
+
+TEST(SmartStorageTest, ScanWithoutPredicateSkipsFilterStage) {
+  sim::Fabric fabric;
+  SmartStorageProcessor proc(fabric.storage_proc());
+  Schema schema({{"id", DataType::kInt64}});
+  auto program =
+      proc.BuildScanProgram(schema, nullptr, {}, {}, false).ValueOrDie();
+  EXPECT_EQ(program.stages.size(), 1u);  // decode only
+  EXPECT_EQ(proc.registers().Read("ctrl_filter").ValueOrDie(), 0u);
+}
+
+TEST(SmartNicTest, PartialAggregateIsBounded) {
+  sim::Fabric fabric;
+  SmartNic nic("nic", fabric.node(0).nic.get());
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kDouble}});
+  auto op = nic.MakePartialAggregate(schema, {"k"},
+                                     {{AggFunc::kSum, "v", "s"}}, 128)
+                .ValueOrDie();
+  EXPECT_TRUE(op->traits().bounded_state);
+  EXPECT_TRUE(op->traits().streaming);
+  EXPECT_EQ(nic.registers().Read("group_budget").ValueOrDie(), 128u);
+}
+
+TEST(SmartNicTest, CountAndPartitioner) {
+  sim::Fabric fabric;
+  SmartNic nic("nic", fabric.node(0).nic.get());
+  auto count = nic.MakeCount().ValueOrDie();
+  EXPECT_EQ(count->output_schema().field(0).name, "count");
+  auto part = nic.MakePartitioner(0, 4).ValueOrDie();
+  EXPECT_EQ(part.num_partitions(), 4u);
+  EXPECT_TRUE(nic.MakePartitioner(0, 0).status().IsInvalidArgument());
+}
+
+// -------------------------------------------------------- block tree ----
+
+std::vector<std::pair<int64_t, int64_t>> MakeKv(size_t n) {
+  std::vector<std::pair<int64_t, int64_t>> kv;
+  for (size_t i = 0; i < n; ++i) {
+    kv.emplace_back(static_cast<int64_t>(i * 2), static_cast<int64_t>(i * 100));
+  }
+  return kv;
+}
+
+TEST(BlockTreeTest, LookupFindsEveryKey) {
+  auto tree = BlockTree::Build(MakeKv(1000)).ValueOrDie();
+  for (int64_t i = 0; i < 1000; ++i) {
+    auto trace = tree.Lookup(i * 2);
+    ASSERT_TRUE(trace.found) << "key " << i * 2;
+    EXPECT_EQ(trace.value, i * 100);
+    EXPECT_EQ(trace.blocks_visited, tree.height());
+  }
+}
+
+TEST(BlockTreeTest, MissingKeysNotFound) {
+  auto tree = BlockTree::Build(MakeKv(100)).ValueOrDie();
+  EXPECT_FALSE(tree.Lookup(1).found);   // odd keys absent
+  EXPECT_FALSE(tree.Lookup(-5).found);
+  EXPECT_FALSE(tree.Lookup(100000).found);
+}
+
+TEST(BlockTreeTest, HeightGrowsLogarithmically) {
+  BlockTree::Config config;
+  config.fanout = 4;
+  auto small = BlockTree::Build(MakeKv(4), config).ValueOrDie();
+  auto large = BlockTree::Build(MakeKv(4 * 4 * 4), config).ValueOrDie();
+  EXPECT_EQ(small.height(), 1u);
+  EXPECT_EQ(large.height(), 3u);
+}
+
+TEST(BlockTreeTest, RejectsUnsortedKeys) {
+  std::vector<std::pair<int64_t, int64_t>> kv = {{3, 0}, {1, 0}};
+  EXPECT_TRUE(BlockTree::Build(kv).status().IsInvalidArgument());
+}
+
+TEST(BlockTreeTest, RangeCountCountsInclusive) {
+  auto tree = BlockTree::Build(MakeKv(500)).ValueOrDie();
+  uint64_t count = 0;
+  tree.RangeCount(10, 20, &count);
+  // even keys 10,12,...,20 -> 6.
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(BlockTreeTest, TraversalCostShapes) {
+  BlockTree::Config config;
+  config.fanout = 8;
+  auto tree = BlockTree::Build(MakeKv(8 * 8 * 8 * 8), config).ValueOrDie();
+  auto trace = tree.Lookup(16);
+  ASSERT_TRUE(trace.found);
+  sim::Link link("ic", 32.0, 600);
+  const TraversalCost cpu = CpuTraversalCost(trace, config.block_bytes, link);
+  const TraversalCost nma =
+      NearMemoryTraversalCost(trace, config.block_bytes, 80.0, link);
+  // The near-memory unit ships only the entry and pays the link latency
+  // once, not once per level.
+  EXPECT_GT(cpu.bytes_moved, 10 * nma.bytes_moved);
+  EXPECT_GT(cpu.latency_ns, 2 * nma.latency_ns);
+}
+
+// --------------------------------------------------------- transpose ----
+
+Schema HtapSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"qty", DataType::kInt32},
+                 {"price", DataType::kDouble}});
+}
+
+DataChunk HtapChunk() {
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64({1, 2, 3}));
+  chunk.AddColumn(ColumnVector::FromInt32({10, 20, 30}));
+  chunk.AddColumn(ColumnVector::FromDouble({1.5, 2.5, 3.5}));
+  return chunk;
+}
+
+TEST(RowStoreTest, RoundtripThroughTranspose) {
+  auto store = RowStore::FromChunk(HtapSchema(), HtapChunk()).ValueOrDie();
+  EXPECT_EQ(store.num_rows(), 3u);
+  EXPECT_EQ(store.row_width(), 8u + 4u + 8u);
+  auto back = store.ToColumnar().ValueOrDie();
+  EXPECT_EQ(back.GetValue(1, 0).int64_value(), 2);
+  EXPECT_EQ(back.GetValue(2, 1).int32_value(), 30);
+  EXPECT_DOUBLE_EQ(back.GetValue(0, 2).double_value(), 1.5);
+}
+
+TEST(RowStoreTest, AppendRowThenTranspose) {
+  auto store = RowStore::Empty(HtapSchema()).ValueOrDie();
+  ASSERT_TRUE(store
+                  .AppendRow({Value::Int64(9), Value::Int32(90),
+                              Value::Double(9.9)})
+                  .ok());
+  EXPECT_EQ(store.num_rows(), 1u);
+  auto chunk = store.ToColumnar().ValueOrDie();
+  EXPECT_EQ(chunk.GetValue(0, 0).int64_value(), 9);
+}
+
+TEST(RowStoreTest, VirtualColumnViewWithoutFullTranspose) {
+  auto store = RowStore::FromChunk(HtapSchema(), HtapChunk()).ValueOrDie();
+  auto col = store.ReadColumn(2).ValueOrDie();
+  EXPECT_DOUBLE_EQ(col.f64()[1], 2.5);
+}
+
+TEST(RowStoreTest, RejectsStringsAndNulls) {
+  Schema with_string({{"s", DataType::kString}});
+  EXPECT_FALSE(RowStore::Empty(with_string).ok());
+
+  DataChunk chunk = HtapChunk();
+  chunk.column(0).SetNull(0);
+  EXPECT_TRUE(
+      RowStore::FromChunk(HtapSchema(), chunk).status().IsInvalidArgument());
+}
+
+TEST(RowStoreTest, TypeMismatchOnAppend) {
+  auto store = RowStore::Empty(HtapSchema()).ValueOrDie();
+  EXPECT_TRUE(store
+                  .AppendRow({Value::Int32(1), Value::Int32(1),
+                              Value::Double(1.0)})
+                  .IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- free list ----
+
+TEST(FreeListUnitTest, AllocateFreeCycle) {
+  FreeListUnit unit(4, 64);
+  EXPECT_EQ(unit.free_count(), 4u);
+  auto s0 = unit.Allocate().ValueOrDie();
+  auto s1 = unit.Allocate().ValueOrDie();
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(unit.allocated_count(), 2u);
+  ASSERT_TRUE(unit.Free(s0).ok());
+  EXPECT_EQ(unit.free_count(), 3u);
+}
+
+TEST(FreeListUnitTest, ExhaustionAndDoubleFree) {
+  FreeListUnit unit(2, 64);
+  (void)unit.Allocate();
+  (void)unit.Allocate();
+  EXPECT_TRUE(unit.Allocate().status().IsResourceExhausted());
+  EXPECT_TRUE(unit.Free(0).ok());
+  EXPECT_TRUE(unit.Free(0).IsInvalidArgument());
+  EXPECT_TRUE(unit.Free(99).IsOutOfRange());
+}
+
+TEST(FreeListUnitTest, SweepReclaimsDeadSlots) {
+  FreeListUnit unit(8, 64);
+  for (int i = 0; i < 6; ++i) (void)unit.Allocate();
+  // Keep slots 0 and 1 live; everything else dies.
+  std::vector<uint8_t> live(8, 0);
+  live[0] = live[1] = 1;
+  const size_t reclaimed = unit.Sweep(live).ValueOrDie();
+  EXPECT_EQ(reclaimed, 4u);
+  EXPECT_EQ(unit.allocated_count(), 2u);
+  EXPECT_TRUE(unit.IsAllocated(0));
+  EXPECT_FALSE(unit.IsAllocated(5));
+}
+
+TEST(FreeListUnitTest, SweepBitmapSizeMismatch) {
+  FreeListUnit unit(8, 64);
+  EXPECT_TRUE(unit.Sweep(std::vector<uint8_t>(4, 1)).status()
+                  .IsInvalidArgument());
+}
+
+// -------------------------------------------------------- near memory ----
+
+TEST(NearMemoryTest, FilterByValueAndRange) {
+  sim::Fabric fabric;
+  NearMemoryAccelerator nma(fabric.node(0).near_mem.get());
+  DataChunk region;
+  region.AddColumn(ColumnVector::FromInt64({1, 2, 3, 4, 5}));
+  auto eq = nma.FilterByValue(region, 0, Value::Int64(3)).ValueOrDie();
+  EXPECT_EQ(eq.num_rows(), 1u);
+  auto range =
+      nma.FilterByRange(region, 0, Value::Int64(2), Value::Int64(4))
+          .ValueOrDie();
+  EXPECT_EQ(range.num_rows(), 3u);
+}
+
+TEST(NearMemoryTest, InstalledFilterFunction) {
+  sim::Fabric fabric;
+  NearMemoryAccelerator nma(fabric.node(0).near_mem.get());
+  ASSERT_TRUE(nma.InstallFilterFunction(
+                     [](const DataChunk& in, std::vector<DataChunk>* out) {
+                       SelectionVector sel;
+                       for (size_t r = 0; r < in.num_rows(); ++r) {
+                         if (in.GetValue(r, 0).int64_value() % 2 == 0) {
+                           sel.Append(static_cast<uint32_t>(r));
+                         }
+                       }
+                       out->push_back(in.Gather(sel));
+                       return Status::OK();
+                     })
+                  .ok());
+  DataChunk region;
+  region.AddColumn(ColumnVector::FromInt64({1, 2, 3, 4}));
+  auto out = nma.FilterByFunction(region).ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(nma.registers().Read("ctrl_filter").ValueOrDie(), 1u);
+}
+
+TEST(NearMemoryTest, DecompressOnDemand) {
+  sim::Fabric fabric;
+  NearMemoryAccelerator nma(fabric.node(0).near_mem.get());
+  std::vector<int64_t> vals(4096, 7);
+  vals.back() = 9;
+  ColumnVector col = ColumnVector::FromInt64(std::move(vals));
+  EncodedColumn encoded = EncodeColumn(col, Encoding::kRle).ValueOrDie();
+  auto decoded = nma.Decompress(encoded).ValueOrDie();
+  EXPECT_EQ(decoded.i64()[4095], 9);
+  EXPECT_EQ(decoded.i64()[0], 7);
+  // The compressed form at rest is smaller than the decoded view.
+  EXPECT_LT(encoded.ByteSize(), decoded.ByteSize());
+}
+
+}  // namespace
+}  // namespace dflow

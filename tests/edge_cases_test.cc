@@ -1,0 +1,196 @@
+// Boundary conditions across the whole stack: empty tables, single rows,
+// NULLs flowing end to end, row-group boundaries, and degenerate query
+// shapes. These are the cases that silently break engines.
+
+#include <gtest/gtest.h>
+
+#include "dflow/common/logging.h"
+#include "dflow/engine/engine.h"
+#include "dflow/exec/local_executor.h"
+#include "dflow/plan/parser.h"
+
+namespace dflow {
+namespace {
+
+Schema EdgeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"val", DataType::kDouble},
+                 {"tag", DataType::kString}});
+}
+
+std::shared_ptr<Table> MakeEdgeTable(size_t rows, size_t row_group_size,
+                                     bool with_nulls) {
+  TableBuilder builder("edge", EdgeSchema(), row_group_size);
+  if (rows > 0) {
+    DataChunk chunk;
+    ColumnVector ids(DataType::kInt64), vals(DataType::kDouble),
+        tags(DataType::kString);
+    for (size_t i = 0; i < rows; ++i) {
+      ids.AppendValue(Value::Int64(static_cast<int64_t>(i)));
+      if (with_nulls && i % 3 == 0) {
+        vals.AppendNull();
+      } else {
+        vals.AppendValue(Value::Double(static_cast<double>(i) * 0.5));
+      }
+      if (with_nulls && i % 5 == 0) {
+        tags.AppendNull();
+      } else {
+        tags.AppendValue(Value::String(i % 2 ? "odd" : "even"));
+      }
+    }
+    chunk.AddColumn(std::move(ids));
+    chunk.AddColumn(std::move(vals));
+    chunk.AddColumn(std::move(tags));
+    DFLOW_CHECK(builder.Append(chunk).ok());
+  }
+  return std::make_shared<Table>(builder.Finish().ValueOrDie());
+}
+
+TEST(EdgeCaseTest, EmptyTableScanAndAggregate) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(0, 100, false)).ok());
+  // COUNT(*) over nothing is 0.
+  auto count = ParseQuery("SELECT COUNT(*) FROM edge").ValueOrDie();
+  auto result = engine.Execute(count).ValueOrDie();
+  ASSERT_EQ(TotalRows(result.chunks), 1u);
+  EXPECT_EQ(result.chunks[0].GetValue(0, 0).int64_value(), 0);
+  // SUM over nothing is NULL; plain select returns nothing.
+  auto sum = ParseQuery("SELECT SUM(val) AS s FROM edge").ValueOrDie();
+  auto sum_result = engine.Execute(sum).ValueOrDie();
+  EXPECT_TRUE(sum_result.chunks[0].GetValue(0, 0).is_null());
+  auto select = ParseQuery("SELECT id FROM edge").ValueOrDie();
+  EXPECT_EQ(TotalRows(engine.Execute(select).ValueOrDie().chunks), 0u);
+}
+
+TEST(EdgeCaseTest, SingleRowTable) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(1, 100, false)).ok());
+  auto spec =
+      ParseQuery("SELECT id, val FROM edge WHERE id = 0").ValueOrDie();
+  auto result = engine.Execute(spec).ValueOrDie();
+  EXPECT_EQ(TotalRows(result.chunks), 1u);
+}
+
+TEST(EdgeCaseTest, RowGroupBoundaryExactMultiple) {
+  // Rows exactly filling N row groups, and one more.
+  for (size_t rows : {200ul, 201ul, 199ul}) {
+    Engine engine;
+    ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(rows, 100, false)).ok());
+    auto spec = ParseQuery("SELECT COUNT(*) FROM edge").ValueOrDie();
+    auto result = engine.Execute(spec).ValueOrDie();
+    EXPECT_EQ(result.chunks[0].GetValue(0, 0).int64_value(),
+              static_cast<int64_t>(rows))
+        << rows << " rows";
+  }
+}
+
+TEST(EdgeCaseTest, NullsFlowThroughEveryPlacement) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(500, 128, true)).ok());
+  // Aggregates skip NULLs identically on every path.
+  auto spec = ParseQuery(
+                  "SELECT tag, COUNT(val) AS n, SUM(val) AS s FROM edge "
+                  "GROUP BY tag")
+                  .ValueOrDie();
+  ExecOptions cpu_only;
+  cpu_only.placement = PlacementChoice::kCpuOnly;
+  ExecOptions offload;
+  offload.placement = PlacementChoice::kFullOffload;
+  auto a = ConcatChunks(engine.Execute(spec, cpu_only).ValueOrDie().chunks);
+  auto b = ConcatChunks(engine.Execute(spec, offload).ValueOrDie().chunks);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  // Groups: "odd", "even", and the NULL tag group.
+  EXPECT_EQ(a.num_rows(), 3u);
+  int64_t total_a = 0, total_b = 0;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    total_a += a.GetValue(r, 1).int64_value();
+    total_b += b.GetValue(r, 1).int64_value();
+  }
+  EXPECT_EQ(total_a, total_b);
+  // COUNT(val) skips the ~1/3 NULL vals.
+  EXPECT_LT(total_a, 500);
+  EXPECT_GT(total_a, 300);
+}
+
+TEST(EdgeCaseTest, FilterOnNullableColumnNeverMatchesNull) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(300, 128, true)).ok());
+  // val >= 0 is true for every non-NULL val; NULL rows must be dropped.
+  auto ge = ParseQuery("SELECT COUNT(*) FROM edge WHERE val >= 0").ValueOrDie();
+  auto lt = ParseQuery("SELECT COUNT(*) FROM edge WHERE val < 0").ValueOrDie();
+  const int64_t n_ge =
+      engine.Execute(ge).ValueOrDie().chunks[0].GetValue(0, 0).int64_value();
+  const int64_t n_lt =
+      engine.Execute(lt).ValueOrDie().chunks[0].GetValue(0, 0).int64_value();
+  EXPECT_EQ(n_lt, 0);
+  EXPECT_EQ(n_ge, 200);  // 300 minus the 100 NULLs (every 3rd row)
+}
+
+TEST(EdgeCaseTest, LimitBeyondRowCount) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(10, 100, false)).ok());
+  auto spec = ParseQuery("SELECT * FROM edge LIMIT 1000").ValueOrDie();
+  EXPECT_EQ(TotalRows(engine.Execute(spec).ValueOrDie().chunks), 10u);
+}
+
+TEST(EdgeCaseTest, OrderByStringColumn) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(50, 100, false)).ok());
+  auto spec =
+      ParseQuery("SELECT * FROM edge ORDER BY tag DESC LIMIT 3").ValueOrDie();
+  auto rows = ConcatChunks(engine.Execute(spec).ValueOrDie().chunks);
+  ASSERT_EQ(rows.num_rows(), 3u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rows.GetValue(r, 2).string_value(), "odd");
+  }
+}
+
+TEST(EdgeCaseTest, GroupByHighCardinalityEqualsDistinctKeys) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(2000, 512, false)).ok());
+  // Group by the unique id: as many groups as rows.
+  auto spec =
+      ParseQuery("SELECT id, COUNT(*) AS n FROM edge GROUP BY id").ValueOrDie();
+  ExecOptions offload;
+  offload.placement = PlacementChoice::kFullOffload;
+  auto result = engine.Execute(spec, offload).ValueOrDie();
+  EXPECT_EQ(TotalRows(result.chunks), 2000u);
+}
+
+TEST(EdgeCaseTest, WholeTablePrunedStillAnswers) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(500, 100, false)).ok());
+  auto spec =
+      ParseQuery("SELECT SUM(val) AS s, COUNT(*) AS n FROM edge "
+                 "WHERE id > 100000")
+          .ValueOrDie();
+  auto result = engine.Execute(spec).ValueOrDie();
+  ASSERT_EQ(TotalRows(result.chunks), 1u);
+  EXPECT_TRUE(result.chunks[0].GetValue(0, 0).is_null());
+  EXPECT_EQ(result.chunks[0].GetValue(0, 1).int64_value(), 0);
+}
+
+TEST(EdgeCaseTest, ProjectionOfSameColumnTwice) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(10, 100, false)).ok());
+  auto spec =
+      ParseQuery("SELECT id AS a, id AS b, id + id AS c FROM edge LIMIT 1")
+          .ValueOrDie();
+  auto rows = ConcatChunks(engine.Execute(spec).ValueOrDie().chunks);
+  ASSERT_EQ(rows.num_rows(), 1u);
+  EXPECT_EQ(rows.GetValue(0, 0).int64_value(),
+            rows.GetValue(0, 1).int64_value());
+  EXPECT_EQ(rows.GetValue(0, 2).int64_value(), 0);
+}
+
+TEST(EdgeCaseTest, VolcanoHandlesEmptyAndNullTablesToo) {
+  Engine engine;
+  ASSERT_TRUE(engine.catalog().Register(MakeEdgeTable(0, 100, false)).ok());
+  auto count = ParseQuery("SELECT COUNT(*) FROM edge").ValueOrDie();
+  auto legacy = engine.ExecuteOnVolcano(count, 16).ValueOrDie();
+  ASSERT_EQ(legacy.rows.size(), 1u);
+  EXPECT_EQ(legacy.rows[0][0].int64_value(), 0);
+}
+
+}  // namespace
+}  // namespace dflow

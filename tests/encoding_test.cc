@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "dflow/common/random.h"
+#include "dflow/encode/byte_io.h"
+#include "dflow/encode/encoding.h"
+
+namespace dflow {
+namespace {
+
+TEST(ByteIoTest, RoundtripScalars) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.PutU8(7);
+  w.PutU32(123456);
+  w.PutI64(-99);
+  w.PutDouble(3.25);
+  w.PutString("hello");
+
+  ByteReader r(buf);
+  uint8_t u8;
+  uint32_t u32;
+  int64_t i64;
+  double d;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetDouble(&d).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(i64, -99);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteIoTest, TruncatedReadIsOutOfRange) {
+  std::vector<uint8_t> buf = {1, 2};
+  ByteReader r(buf);
+  uint64_t v;
+  EXPECT_TRUE(r.GetU64(&v).IsOutOfRange());
+}
+
+TEST(ByteIoTest, TruncatedStringIsOutOfRange) {
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  w.PutU32(100);  // claims 100 bytes follow
+  w.PutU8('x');
+  ByteReader r(buf);
+  std::string s;
+  EXPECT_TRUE(r.GetString(&s).IsOutOfRange());
+}
+
+void ExpectRoundtrip(const ColumnVector& col, Encoding enc) {
+  auto encoded = EncodeColumn(col, enc);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto decoded = DecodeColumn(encoded.ValueOrDie());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const ColumnVector& out = decoded.ValueOrDie();
+  ASSERT_EQ(out.size(), col.size());
+  ASSERT_EQ(out.type(), col.type());
+  for (size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(out.GetValue(i).is_null(), col.GetValue(i).is_null()) << i;
+    if (!col.GetValue(i).is_null()) {
+      EXPECT_EQ(out.GetValue(i).Compare(col.GetValue(i)), 0) << "row " << i;
+    }
+  }
+}
+
+TEST(EncodingTest, PlainRoundtripAllTypes) {
+  ExpectRoundtrip(ColumnVector::FromInt32({1, -2, 3}), Encoding::kPlain);
+  ExpectRoundtrip(ColumnVector::FromInt64({1LL << 40, -5, 0}), Encoding::kPlain);
+  ExpectRoundtrip(ColumnVector::FromDouble({1.5, -2.25, 0.0}), Encoding::kPlain);
+  ExpectRoundtrip(ColumnVector::FromString({"a", "", "long string here"}),
+                  Encoding::kPlain);
+  ExpectRoundtrip(ColumnVector::FromBool({1, 0, 1}), Encoding::kPlain);
+  ExpectRoundtrip(ColumnVector::FromDate32({100, 200}), Encoding::kPlain);
+}
+
+TEST(EncodingTest, PlainRoundtripWithNulls) {
+  ColumnVector c = ColumnVector::FromInt64({1, 2, 3});
+  c.SetNull(1);
+  ExpectRoundtrip(c, Encoding::kPlain);
+
+  ColumnVector s = ColumnVector::FromString({"x", "y"});
+  s.SetNull(0);
+  ExpectRoundtrip(s, Encoding::kPlain);
+}
+
+TEST(EncodingTest, RleRoundtrip) {
+  ExpectRoundtrip(ColumnVector::FromInt64({5, 5, 5, 7, 7, 1}), Encoding::kRle);
+  ExpectRoundtrip(ColumnVector::FromBool({1, 1, 1, 0, 0}), Encoding::kRle);
+  ExpectRoundtrip(ColumnVector::FromInt32({9}), Encoding::kRle);
+}
+
+TEST(EncodingTest, RleCompressesRuns) {
+  std::vector<int64_t> vals(10000, 42);
+  ColumnVector c = ColumnVector::FromInt64(std::move(vals));
+  auto plain = EncodeColumn(c, Encoding::kPlain).ValueOrDie();
+  auto rle = EncodeColumn(c, Encoding::kRle).ValueOrDie();
+  EXPECT_LT(rle.ByteSize() * 100, plain.ByteSize());
+}
+
+TEST(EncodingTest, RleRejectsDoubles) {
+  EXPECT_TRUE(EncodeColumn(ColumnVector::FromDouble({1.0}), Encoding::kRle)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EncodingTest, DictionaryRoundtrip) {
+  ExpectRoundtrip(
+      ColumnVector::FromString({"A", "B", "A", "A", "C", "B"}),
+      Encoding::kDictionary);
+}
+
+TEST(EncodingTest, DictionaryCompressesLowCardinality) {
+  std::vector<std::string> vals;
+  for (int i = 0; i < 5000; ++i) vals.push_back(i % 2 ? "RETURN_FLAG_A" : "RETURN_FLAG_B");
+  ColumnVector c = ColumnVector::FromString(std::move(vals));
+  auto plain = EncodeColumn(c, Encoding::kPlain).ValueOrDie();
+  auto dict = EncodeColumn(c, Encoding::kDictionary).ValueOrDie();
+  EXPECT_LT(dict.ByteSize() * 3, plain.ByteSize());
+}
+
+TEST(EncodingTest, DictionaryRejectsInts) {
+  EXPECT_TRUE(
+      EncodeColumn(ColumnVector::FromInt64({1}), Encoding::kDictionary)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(EncodingTest, ForBitPackRoundtrip) {
+  ExpectRoundtrip(ColumnVector::FromInt64({1000, 1001, 1007, 1003}),
+                  Encoding::kForBitPack);
+  ExpectRoundtrip(ColumnVector::FromInt32({-5, -4, -3}), Encoding::kForBitPack);
+  ExpectRoundtrip(ColumnVector::FromInt64({7}), Encoding::kForBitPack);
+}
+
+TEST(EncodingTest, ForBitPackCompressesNarrowRanges) {
+  std::vector<int64_t> vals;
+  Random rng(1);
+  for (int i = 0; i < 8192; ++i) {
+    vals.push_back(1'000'000 + rng.NextInt64(0, 255));
+  }
+  ColumnVector c = ColumnVector::FromInt64(std::move(vals));
+  auto plain = EncodeColumn(c, Encoding::kPlain).ValueOrDie();
+  auto packed = EncodeColumn(c, Encoding::kForBitPack).ValueOrDie();
+  // 8 bits instead of 64 -> close to 8x smaller.
+  EXPECT_LT(packed.ByteSize() * 6, plain.ByteSize());
+}
+
+TEST(EncodingTest, ForBitPackRejectsHugeRange) {
+  ColumnVector c =
+      ColumnVector::FromInt64({0, (1LL << 60)});
+  EXPECT_TRUE(EncodeColumn(c, Encoding::kForBitPack)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EncodingTest, ChooseEncodingHeuristics) {
+  // Long runs -> RLE.
+  std::vector<int64_t> runs;
+  for (int i = 0; i < 1000; ++i) runs.push_back(i / 100);
+  EXPECT_EQ(ChooseEncoding(ColumnVector::FromInt64(std::move(runs))),
+            Encoding::kRle);
+
+  // Narrow range, no runs -> FOR.
+  std::vector<int64_t> narrow;
+  Random rng(2);
+  for (int i = 0; i < 1000; ++i) narrow.push_back(rng.NextInt64(0, 100));
+  EXPECT_EQ(ChooseEncoding(ColumnVector::FromInt64(std::move(narrow))),
+            Encoding::kForBitPack);
+
+  // Low-cardinality strings -> dictionary.
+  std::vector<std::string> flags;
+  for (int i = 0; i < 1000; ++i) flags.push_back(i % 3 == 0 ? "A" : "B");
+  EXPECT_EQ(ChooseEncoding(ColumnVector::FromString(std::move(flags))),
+            Encoding::kDictionary);
+
+  // Doubles -> plain.
+  EXPECT_EQ(ChooseEncoding(ColumnVector::FromDouble({1.0, 2.0})),
+            Encoding::kPlain);
+}
+
+// Property-style sweep: random columns of every int width roundtrip through
+// every applicable encoding.
+class EncodingPropertyTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(EncodingPropertyTest, RandomIntColumnsRoundtrip) {
+  const Encoding enc = GetParam();
+  Random rng(static_cast<uint64_t>(enc) + 17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextUint64(3000);
+    std::vector<int64_t> vals(n);
+    // Mix of runs and noise, bounded range so FOR applies.
+    int64_t cur = rng.NextInt64(0, 1000);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(0.3)) cur = rng.NextInt64(0, 1000);
+      vals[i] = cur;
+    }
+    ColumnVector col = ColumnVector::FromInt64(std::move(vals));
+    if (rng.NextBool(0.5)) {
+      for (size_t i = 0; i < n; i += 7) col.SetNull(i);
+    }
+    ExpectRoundtrip(col, enc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IntEncodings, EncodingPropertyTest,
+                         ::testing::Values(Encoding::kPlain, Encoding::kRle,
+                                           Encoding::kForBitPack));
+
+TEST(EncodingTest, RandomStringColumnsRoundtripDictionary) {
+  Random rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 1 + rng.NextUint64(2000);
+    std::vector<std::string> pool;
+    for (int i = 0; i < 8; ++i) pool.push_back(rng.NextString(1 + rng.NextUint64(20)));
+    std::vector<std::string> vals(n);
+    for (size_t i = 0; i < n; ++i) vals[i] = pool[rng.NextUint64(pool.size())];
+    ColumnVector col = ColumnVector::FromString(std::move(vals));
+    ExpectRoundtrip(col, Encoding::kDictionary);
+    ExpectRoundtrip(col, Encoding::kPlain);
+  }
+}
+
+TEST(EncodingTest, CorruptRleIsRejected) {
+  ColumnVector c = ColumnVector::FromInt64({1, 1, 2});
+  EncodedColumn ec = EncodeColumn(c, Encoding::kRle).ValueOrDie();
+  ec.data.resize(ec.data.size() - 4);  // truncate
+  EXPECT_FALSE(DecodeColumn(ec).ok());
+}
+
+TEST(EncodingTest, CorruptDictionaryCodeIsRejected) {
+  ColumnVector c = ColumnVector::FromString({"a", "b"});
+  EncodedColumn ec = EncodeColumn(c, Encoding::kDictionary).ValueOrDie();
+  // Last 4 bytes are the code of row 1; point it beyond the dictionary.
+  ec.data[ec.data.size() - 4] = 0xff;
+  EXPECT_FALSE(DecodeColumn(ec).ok());
+}
+
+}  // namespace
+}  // namespace dflow

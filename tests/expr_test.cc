@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "dflow/plan/expr.h"
+
+namespace dflow {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"qty", DataType::kInt64}});
+}
+
+DataChunk TestChunk() {
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64({1, 2, 3, 4}));
+  chunk.AddColumn(ColumnVector::FromDouble({10.0, 20.0, 30.0, 40.0}));
+  chunk.AddColumn(
+      ColumnVector::FromString({"apple", "banana", "avocado", "plum"}));
+  chunk.AddColumn(ColumnVector::FromInt64({5, 6, 7, 8}));
+  return chunk;
+}
+
+ExprPtr MustResolve(ExprPtr e, const Schema& schema) {
+  auto r = Expr::Resolve(e, schema);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ValueOrDie();
+}
+
+TEST(ExprTest, ResolveColumnByName) {
+  auto e = MustResolve(Expr::Col("price"), TestSchema());
+  EXPECT_TRUE(e->is_resolved());
+  EXPECT_EQ(e->column_index(), 1u);
+}
+
+TEST(ExprTest, ResolveUnknownNameFails) {
+  EXPECT_TRUE(
+      Expr::Resolve(Expr::Col("nope"), TestSchema()).status().IsNotFound());
+}
+
+TEST(ExprTest, UnresolvedEvaluationFails) {
+  EXPECT_FALSE(Expr::Col("id")->Evaluate(TestChunk()).ok());
+}
+
+TEST(ExprTest, EvaluateColumnRef) {
+  auto e = MustResolve(Expr::Col("id"), TestSchema());
+  auto col = e->Evaluate(TestChunk()).ValueOrDie();
+  EXPECT_EQ(col.i64()[2], 3);
+}
+
+TEST(ExprTest, EvaluateLiteralBroadcasts) {
+  auto col = Expr::Lit(Value::Int64(9))->Evaluate(TestChunk()).ValueOrDie();
+  ASSERT_EQ(col.size(), 4u);
+  EXPECT_EQ(col.i64()[3], 9);
+}
+
+TEST(ExprTest, ArithColumnConstant) {
+  auto e = MustResolve(
+      Expr::Arith(ArithOp::kMul, Expr::Col("price"), Expr::Lit(Value::Double(2.0))),
+      TestSchema());
+  auto col = e->Evaluate(TestChunk()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(col.f64()[1], 40.0);
+}
+
+TEST(ExprTest, ArithColumnColumn) {
+  auto e = MustResolve(Expr::Arith(ArithOp::kAdd, Expr::Col("id"),
+                                   Expr::Col("qty")),
+                       TestSchema());
+  auto col = e->Evaluate(TestChunk()).ValueOrDie();
+  EXPECT_EQ(col.i64()[0], 6);
+  EXPECT_EQ(col.type(), DataType::kInt64);
+}
+
+TEST(ExprTest, NestedArithTypePromotion) {
+  // (id + qty) * price -> double
+  auto e = MustResolve(
+      Expr::Arith(ArithOp::kMul,
+                  Expr::Arith(ArithOp::kAdd, Expr::Col("id"), Expr::Col("qty")),
+                  Expr::Col("price")),
+      TestSchema());
+  EXPECT_EQ(e->OutputType(TestSchema()).ValueOrDie(), DataType::kDouble);
+  auto col = e->Evaluate(TestChunk()).ValueOrDie();
+  EXPECT_DOUBLE_EQ(col.f64()[0], 60.0);
+}
+
+TEST(ExprTest, ComparePredicate) {
+  auto e = MustResolve(
+      Expr::Cmp(CompareOp::kGt, Expr::Col("price"), Expr::Lit(Value::Double(15.0))),
+      TestSchema());
+  Mask mask;
+  ASSERT_TRUE(e->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{0, 1, 1, 1}));
+}
+
+TEST(ExprTest, CompareColumns) {
+  auto e = MustResolve(Expr::Cmp(CompareOp::kLt, Expr::Col("id"),
+                                 Expr::Col("qty")),
+                       TestSchema());
+  Mask mask;
+  ASSERT_TRUE(e->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{1, 1, 1, 1}));
+}
+
+TEST(ExprTest, LikePredicate) {
+  auto e = MustResolve(Expr::Like(Expr::Col("name"), "a%"), TestSchema());
+  Mask mask;
+  ASSERT_TRUE(e->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{1, 0, 1, 0}));
+}
+
+TEST(ExprTest, AndOrNot) {
+  auto gt1 = Expr::Cmp(CompareOp::kGt, Expr::Col("id"), Expr::Lit(Value::Int64(1)));
+  auto lt4 = Expr::Cmp(CompareOp::kLt, Expr::Col("id"), Expr::Lit(Value::Int64(4)));
+  auto e = MustResolve(Expr::And({gt1, lt4}), TestSchema());
+  Mask mask;
+  ASSERT_TRUE(e->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{0, 1, 1, 0}));
+
+  auto o = MustResolve(Expr::Or({gt1, lt4}), TestSchema());
+  ASSERT_TRUE(o->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{1, 1, 1, 1}));
+
+  auto n = MustResolve(Expr::Not(gt1), TestSchema());
+  ASSERT_TRUE(n->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{1, 0, 0, 0}));
+}
+
+TEST(ExprTest, BetweenHelper) {
+  auto e = MustResolve(Between("id", Value::Int64(2), Value::Int64(4)),
+                       TestSchema());
+  Mask mask;
+  ASSERT_TRUE(e->EvaluatePredicate(TestChunk(), &mask).ok());
+  EXPECT_EQ(mask, (Mask{0, 1, 1, 0}));
+}
+
+TEST(ExprTest, IsColumnConstantCompare) {
+  auto simple =
+      Expr::Cmp(CompareOp::kEq, Expr::Col("id"), Expr::Lit(Value::Int64(1)));
+  EXPECT_TRUE(simple->IsColumnConstantCompare());
+  auto colcol = Expr::Cmp(CompareOp::kEq, Expr::Col("id"), Expr::Col("qty"));
+  EXPECT_FALSE(colcol->IsColumnConstantCompare());
+}
+
+TEST(ExprTest, CollectColumnIndices) {
+  auto e = MustResolve(
+      Expr::And({Expr::Cmp(CompareOp::kGt, Expr::Col("price"),
+                           Expr::Lit(Value::Double(1.0))),
+                 Expr::Like(Expr::Col("name"), "%x%")}),
+      TestSchema());
+  std::vector<size_t> cols;
+  e->CollectColumnIndices(&cols);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 1u);
+  EXPECT_EQ(cols[1], 2u);
+}
+
+TEST(ExprTest, PredicateTyping) {
+  EXPECT_TRUE(Expr::Like(Expr::Col("name"), "%")->IsPredicate());
+  EXPECT_FALSE(Expr::Arith(ArithOp::kAdd, Expr::Col("id"),
+                           Expr::Lit(Value::Int64(1)))
+                   ->IsPredicate());
+}
+
+TEST(ExprTest, ToStringReadable) {
+  auto e = Expr::Cmp(CompareOp::kGe, Expr::Col("qty"), Expr::Lit(Value::Int64(3)));
+  EXPECT_EQ(e->ToString(), "(qty >= 3)");
+  auto l = Expr::Like(Expr::Col("name"), "ab%");
+  EXPECT_EQ(l->ToString(), "(name LIKE 'ab%')");
+}
+
+TEST(ExprTest, EvaluatePredicateAsBoolColumn) {
+  auto e = MustResolve(
+      Expr::Cmp(CompareOp::kEq, Expr::Col("id"), Expr::Lit(Value::Int64(2))),
+      TestSchema());
+  auto col = e->Evaluate(TestChunk()).ValueOrDie();
+  EXPECT_EQ(col.type(), DataType::kBool);
+  EXPECT_EQ(col.bool_data()[1], 1);
+  EXPECT_EQ(col.bool_data()[0], 0);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include "dflow/common/random.h"
+#include "dflow/exec/aggregate.h"
+#include "dflow/exec/filter.h"
+#include "dflow/exec/join.h"
+#include "dflow/exec/local_executor.h"
+#include "dflow/exec/misc_ops.h"
+#include "dflow/exec/partition.h"
+#include "dflow/exec/project.h"
+#include "dflow/plan/expr.h"
+
+namespace dflow {
+namespace {
+
+Schema SalesSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"region", DataType::kString},
+                 {"amount", DataType::kDouble}});
+}
+
+DataChunk SalesChunk() {
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64({1, 2, 3, 4, 5, 6}));
+  chunk.AddColumn(ColumnVector::FromString(
+      {"east", "west", "east", "west", "east", "north"}));
+  chunk.AddColumn(
+      ColumnVector::FromDouble({10.0, 20.0, 30.0, 40.0, 50.0, 60.0}));
+  return chunk;
+}
+
+ExprPtr Resolved(ExprPtr e, const Schema& s) {
+  return Expr::Resolve(e, s).ValueOrDie();
+}
+
+TEST(FilterOperatorTest, SelectsMatchingRows) {
+  auto pred = Resolved(Expr::Cmp(CompareOp::kGt, Expr::Col("amount"),
+                                 Expr::Lit(Value::Double(25.0))),
+                       SalesSchema());
+  auto op = FilterOperator::Make(pred, SalesSchema()).ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 4u);
+  EXPECT_EQ(out[0].GetValue(0, 0).int64_value(), 3);
+}
+
+TEST(FilterOperatorTest, AllPassIsPassthrough) {
+  auto pred = Resolved(Expr::Cmp(CompareOp::kGt, Expr::Col("amount"),
+                                 Expr::Lit(Value::Double(0.0))),
+                       SalesSchema());
+  auto op = FilterOperator::Make(pred, SalesSchema()).ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 6u);
+}
+
+TEST(FilterOperatorTest, NonePassEmitsNothing) {
+  auto pred = Resolved(Expr::Cmp(CompareOp::kLt, Expr::Col("amount"),
+                                 Expr::Lit(Value::Double(0.0))),
+                       SalesSchema());
+  auto op = FilterOperator::Make(pred, SalesSchema()).ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 0u);
+}
+
+TEST(FilterOperatorTest, RejectsNonPredicate) {
+  auto expr = Resolved(Expr::Arith(ArithOp::kAdd, Expr::Col("id"),
+                                   Expr::Lit(Value::Int64(1))),
+                       SalesSchema());
+  EXPECT_FALSE(FilterOperator::Make(expr, SalesSchema()).ok());
+}
+
+TEST(FilterOperatorTest, TraitsAreStreamingStateless) {
+  auto pred = Resolved(Expr::Like(Expr::Col("region"), "e%"), SalesSchema());
+  auto op = FilterOperator::Make(pred, SalesSchema()).ValueOrDie();
+  EXPECT_TRUE(op->traits().streaming);
+  EXPECT_TRUE(op->traits().stateless);
+  EXPECT_EQ(op->traits().cost_class, sim::CostClass::kFilter);
+}
+
+TEST(ProjectOperatorTest, SelectAndCompute) {
+  auto op = ProjectOperator::Make(
+                {Resolved(Expr::Col("region"), SalesSchema()),
+                 Resolved(Expr::Arith(ArithOp::kMul, Expr::Col("amount"),
+                                      Expr::Lit(Value::Double(0.5))),
+                          SalesSchema())},
+                {"region", "half"}, SalesSchema())
+                .ValueOrDie();
+  EXPECT_EQ(op->output_schema().field(1).name, "half");
+  EXPECT_EQ(op->output_schema().field(1).type, DataType::kDouble);
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  EXPECT_EQ(out[0].num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].GetValue(1, 1).double_value(), 10.0);
+}
+
+TEST(ProjectOperatorTest, NarrowingReducesBytes) {
+  auto op = ProjectOperator::Make({Resolved(Expr::Col("id"), SalesSchema())},
+                                  {"id"}, SalesSchema())
+                .ValueOrDie();
+  DataChunk input = SalesChunk();
+  auto out = RunLocalPipeline({input}, {op.get()}).ValueOrDie();
+  EXPECT_LT(TotalBytes(out), input.ByteSize());
+  EXPECT_LT(op->traits().reduction_hint, 1.0);
+}
+
+TEST(AggregateTest, CompleteGroupBy) {
+  auto op = HashAggregateOperator::Make(
+                SalesSchema(), {"region"},
+                {{AggFunc::kSum, "amount", "total"},
+                 {AggFunc::kCount, "", "n"}},
+                AggMode::kComplete)
+                .ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  DataChunk all = ConcatChunks(out);
+  ASSERT_EQ(all.num_rows(), 3u);
+  // Find the "east" row.
+  double east_total = 0;
+  int64_t east_n = 0;
+  for (size_t r = 0; r < all.num_rows(); ++r) {
+    if (all.GetValue(r, 0).string_value() == "east") {
+      east_total = all.GetValue(r, 1).double_value();
+      east_n = all.GetValue(r, 2).int64_value();
+    }
+  }
+  EXPECT_DOUBLE_EQ(east_total, 90.0);
+  EXPECT_EQ(east_n, 3);
+}
+
+TEST(AggregateTest, MinMax) {
+  auto op = HashAggregateOperator::Make(
+                SalesSchema(), {},
+                {{AggFunc::kMin, "amount", "lo"},
+                 {AggFunc::kMax, "amount", "hi"}},
+                AggMode::kComplete)
+                .ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  ASSERT_EQ(TotalRows(out), 1u);
+  EXPECT_DOUBLE_EQ(out[0].GetValue(0, 0).double_value(), 10.0);
+  EXPECT_DOUBLE_EQ(out[0].GetValue(0, 1).double_value(), 60.0);
+}
+
+TEST(AggregateTest, EmptyInputScalarAggregate) {
+  auto op = HashAggregateOperator::Make(SalesSchema(), {},
+                                        {{AggFunc::kCount, "", "n"},
+                                         {AggFunc::kSum, "amount", "s"}},
+                                        AggMode::kComplete)
+                .ValueOrDie();
+  auto out = RunLocalPipeline({}, {op.get()}).ValueOrDie();
+  ASSERT_EQ(TotalRows(out), 1u);
+  EXPECT_EQ(out[0].GetValue(0, 0).int64_value(), 0);
+  EXPECT_TRUE(out[0].GetValue(0, 1).is_null());
+}
+
+TEST(AggregateTest, AggregatesSkipNulls) {
+  DataChunk chunk = SalesChunk();
+  chunk.column(2).SetNull(0);
+  auto op = HashAggregateOperator::Make(SalesSchema(), {},
+                                        {{AggFunc::kCount, "amount", "n"},
+                                         {AggFunc::kSum, "amount", "s"}},
+                                        AggMode::kComplete)
+                .ValueOrDie();
+  auto out = RunLocalPipeline({chunk}, {op.get()}).ValueOrDie();
+  EXPECT_EQ(out[0].GetValue(0, 0).int64_value(), 5);
+  EXPECT_DOUBLE_EQ(out[0].GetValue(0, 1).double_value(), 200.0);
+}
+
+TEST(AggregateTest, PartialThenFinalMatchesComplete) {
+  // Two-stage aggregation (the NIC pre-aggregation pipeline) must be exact.
+  auto partial = HashAggregateOperator::Make(
+                     SalesSchema(), {"region"},
+                     {{AggFunc::kSum, "amount", "total"},
+                      {AggFunc::kCount, "", "n"}},
+                     AggMode::kPartial)
+                     .ValueOrDie();
+  auto* partial_agg = static_cast<HashAggregateOperator*>(partial.get());
+  auto final_op = HashAggregateOperator::Make(
+                      partial_agg->output_schema(), {"region"},
+                      MakeMergeSpecs({{AggFunc::kSum, "amount", "total"},
+                                      {AggFunc::kCount, "", "n"}}),
+                      AggMode::kFinal)
+                      .ValueOrDie();
+  auto out =
+      RunLocalPipeline({SalesChunk()}, {partial.get(), final_op.get()})
+          .ValueOrDie();
+  DataChunk all = ConcatChunks(out);
+  ASSERT_EQ(all.num_rows(), 3u);
+  for (size_t r = 0; r < all.num_rows(); ++r) {
+    if (all.GetValue(r, 0).string_value() == "west") {
+      EXPECT_DOUBLE_EQ(all.GetValue(r, 1).double_value(), 60.0);
+      EXPECT_EQ(all.GetValue(r, 2).int64_value(), 2);
+    }
+  }
+}
+
+TEST(AggregateTest, BoundedPartialFlushesAndStaysExact) {
+  // A partial aggregate with a 2-group budget over 26 distinct keys must
+  // flush repeatedly yet still produce exact totals after the final stage.
+  Schema schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+  Random rng(3);
+  DataChunk chunk;
+  std::vector<int64_t> keys, vals;
+  int64_t expected_total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    keys.push_back(rng.NextInt64(0, 25));
+    vals.push_back(i);
+    expected_total += i;
+  }
+  chunk.AddColumn(ColumnVector::FromInt64(keys));
+  chunk.AddColumn(ColumnVector::FromInt64(vals));
+
+  auto partial = HashAggregateOperator::Make(
+                     schema, {"k"}, {{AggFunc::kSum, "v", "s"}},
+                     AggMode::kPartial, /*max_groups=*/2)
+                     .ValueOrDie();
+  auto* partial_agg = static_cast<HashAggregateOperator*>(partial.get());
+  auto final_op =
+      HashAggregateOperator::Make(partial_agg->output_schema(), {"k"},
+                                  MakeMergeSpecs({{AggFunc::kSum, "v", "s"}}),
+                                  AggMode::kFinal)
+          .ValueOrDie();
+  auto out = RunLocalPipeline({chunk}, {partial.get(), final_op.get()})
+                 .ValueOrDie();
+  DataChunk all = ConcatChunks(out);
+  EXPECT_EQ(all.num_rows(), 26u);
+  int64_t total = 0;
+  for (size_t r = 0; r < all.num_rows(); ++r) {
+    total += all.GetValue(r, 1).int64_value();
+  }
+  EXPECT_EQ(total, expected_total);
+  EXPECT_GT(partial_agg->partial_flushes(), 0u);
+}
+
+TEST(AggregateTest, BoundedTableRequiresPartialMode) {
+  EXPECT_FALSE(HashAggregateOperator::Make(SalesSchema(), {"region"},
+                                           {{AggFunc::kCount, "", "n"}},
+                                           AggMode::kComplete, 10)
+                   .ok());
+}
+
+TEST(JoinTest, HashTableInsertAndProbe) {
+  Schema build_schema({{"k", DataType::kInt64}, {"payload", DataType::kString}});
+  auto table = std::make_shared<JoinHashTable>(build_schema, 0);
+  DataChunk build;
+  build.AddColumn(ColumnVector::FromInt64({1, 2, 2}));
+  build.AddColumn(ColumnVector::FromString({"a", "b", "c"}));
+  ASSERT_TRUE(table->Insert(build).ok());
+  EXPECT_EQ(table->num_rows(), 3u);
+
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  ASSERT_TRUE(
+      table->Probe(ColumnVector::FromInt64({2, 9, 1}), &matches).ok());
+  // key 2 matches two build rows, key 9 none, key 1 one.
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(JoinTest, NullKeysNeverJoin) {
+  Schema build_schema({{"k", DataType::kInt64}});
+  auto table = std::make_shared<JoinHashTable>(build_schema, 0);
+  DataChunk build;
+  ColumnVector keys = ColumnVector::FromInt64({1, 2});
+  keys.SetNull(0);
+  build.AddColumn(keys);
+  ASSERT_TRUE(table->Insert(build).ok());
+  ColumnVector probe = ColumnVector::FromInt64({1, 2});
+  probe.SetNull(1);
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  ASSERT_TRUE(table->Probe(probe, &matches).ok());
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(JoinTest, ProbeOperatorEmitsJoinedRows) {
+  Schema build_schema({{"id", DataType::kInt64}, {"cust", DataType::kString}});
+  auto table = std::make_shared<JoinHashTable>(build_schema, 0);
+  DataChunk build;
+  build.AddColumn(ColumnVector::FromInt64({1, 2, 3}));
+  build.AddColumn(ColumnVector::FromString({"ann", "bob", "cat"}));
+  ASSERT_TRUE(table->Insert(build).ok());
+
+  auto probe_op =
+      HashJoinProbeOperator::Make(table, SalesSchema(), 0).ValueOrDie();
+  // Output: id, region, amount, b_id, cust.
+  EXPECT_EQ(probe_op->output_schema().num_fields(), 5u);
+  EXPECT_EQ(probe_op->output_schema().field(3).name, "b_id");
+  auto out = RunLocalPipeline({SalesChunk()}, {probe_op.get()}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 3u);  // sales ids 1..6, build has 1..3
+  DataChunk all = ConcatChunks(out);
+  EXPECT_EQ(all.GetValue(0, 4).string_value(), "ann");
+}
+
+TEST(JoinTest, BuildOperatorFillsSharedTable) {
+  Schema build_schema({{"id", DataType::kInt64}});
+  auto table = std::make_shared<JoinHashTable>(build_schema, 0);
+  auto op = JoinBuildOperator::Make(table).ValueOrDie();
+  DataChunk build;
+  build.AddColumn(ColumnVector::FromInt64({7, 8}));
+  auto out = RunLocalPipeline({build}, {op.get()}).ValueOrDie();
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_FALSE(op->traits().streaming);
+}
+
+TEST(PartitionTest, SplitsAllRowsDisjointly) {
+  HashPartitioner part(0, 4);
+  std::vector<DataChunk> outs;
+  ASSERT_TRUE(part.Split(SalesChunk(), &outs).ok());
+  ASSERT_EQ(outs.size(), 4u);
+  size_t total = 0;
+  for (const DataChunk& c : outs) total += c.num_rows();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(PartitionTest, SameKeySamePartition) {
+  // Determinism across separately-constructed partitioners (NIC vs CPU).
+  HashPartitioner a(0, 8), b(0, 8);
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64({42, 42, 42}));
+  std::vector<DataChunk> outs_a, outs_b;
+  ASSERT_TRUE(a.Split(chunk, &outs_a).ok());
+  ASSERT_TRUE(b.Split(chunk, &outs_b).ok());
+  for (size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(outs_a[p].num_rows(), outs_b[p].num_rows());
+  }
+}
+
+TEST(PartitionTest, RoughlyBalancedOnUniformKeys) {
+  Random rng(11);
+  std::vector<int64_t> keys(20000);
+  for (auto& k : keys) k = static_cast<int64_t>(rng.Next());
+  DataChunk chunk;
+  chunk.AddColumn(ColumnVector::FromInt64(keys));
+  HashPartitioner part(0, 4);
+  std::vector<DataChunk> outs;
+  ASSERT_TRUE(part.Split(chunk, &outs).ok());
+  for (const DataChunk& c : outs) {
+    EXPECT_GT(c.num_rows(), 4000u);
+    EXPECT_LT(c.num_rows(), 6000u);
+  }
+}
+
+TEST(CountOperatorTest, CountsAndDiscards) {
+  CountOperator op;
+  std::vector<DataChunk> out;
+  ASSERT_TRUE(op.Push(SalesChunk(), &out).ok());
+  ASSERT_TRUE(op.Push(SalesChunk(), &out).ok());
+  EXPECT_TRUE(out.empty());  // nothing flows until Finish
+  ASSERT_TRUE(op.Finish(&out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetValue(0, 0).int64_value(), 12);
+  EXPECT_TRUE(op.traits().bounded_state);
+}
+
+TEST(LimitOperatorTest, CutsAtLimit) {
+  LimitOperator op(SalesSchema(), 4);
+  auto out = RunLocalPipeline({SalesChunk(), SalesChunk()}, {&op}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 4u);
+}
+
+TEST(SortOperatorTest, SortsAscendingAndDescending) {
+  auto asc = SortOperator::Make(SalesSchema(), "amount").ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {asc.get()}).ValueOrDie();
+  DataChunk all = ConcatChunks(out);
+  EXPECT_DOUBLE_EQ(all.GetValue(0, 2).double_value(), 10.0);
+  EXPECT_DOUBLE_EQ(all.GetValue(5, 2).double_value(), 60.0);
+
+  auto desc =
+      SortOperator::Make(SalesSchema(), "amount", /*descending=*/true)
+          .ValueOrDie();
+  out = RunLocalPipeline({SalesChunk()}, {desc.get()}).ValueOrDie();
+  all = ConcatChunks(out);
+  EXPECT_DOUBLE_EQ(all.GetValue(0, 2).double_value(), 60.0);
+}
+
+TEST(SortOperatorTest, TopNLimit) {
+  auto op = SortOperator::Make(SalesSchema(), "amount", true, 2).ValueOrDie();
+  auto out = RunLocalPipeline({SalesChunk()}, {op.get()}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 2u);
+  EXPECT_FALSE(op->traits().streaming);
+}
+
+TEST(EncodeOperatorTest, WireBytesShrinkOnCompressibleData) {
+  Schema schema({{"flag", DataType::kString}});
+  EncodeOperator op(schema);
+  DataChunk chunk;
+  std::vector<std::string> flags(2000, "RETURN");
+  chunk.AddColumn(ColumnVector::FromString(std::move(flags)));
+  EXPECT_LT(op.OutputWireBytes(chunk), chunk.ByteSize() / 2);
+}
+
+TEST(DecodeOperatorTest, IdentityOnData) {
+  DecodeOperator op(SalesSchema());
+  auto out = RunLocalPipeline({SalesChunk()}, {&op}).ValueOrDie();
+  EXPECT_EQ(TotalRows(out), 6u);
+  EXPECT_EQ(op.OutputWireBytes(out[0]), out[0].ByteSize());
+}
+
+TEST(LocalExecutorTest, ChainsOperators) {
+  auto pred = Resolved(Expr::Cmp(CompareOp::kGe, Expr::Col("amount"),
+                                 Expr::Lit(Value::Double(30.0))),
+                       SalesSchema());
+  auto filter = FilterOperator::Make(pred, SalesSchema()).ValueOrDie();
+  CountOperator count;
+  auto out =
+      RunLocalPipeline({SalesChunk()}, {filter.get(), &count}).ValueOrDie();
+  EXPECT_EQ(out[0].GetValue(0, 0).int64_value(), 4);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "dflow/opt/placement.h"
+#include "dflow/common/logging.h"
+#include "dflow/opt/selectivity.h"
+#include "dflow/storage/table.h"
+
+namespace dflow {
+namespace {
+
+Table MakeStatsTable() {
+  Schema schema({{"x", DataType::kInt64}, {"s", DataType::kString}});
+  TableBuilder builder("t", schema, 10'000);
+  DataChunk chunk;
+  std::vector<int64_t> xs;
+  std::vector<std::string> ss;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(i);  // x uniform in [0, 999]
+    ss.push_back("row");
+  }
+  chunk.AddColumn(ColumnVector::FromInt64(xs));
+  chunk.AddColumn(ColumnVector::FromString(ss));
+  DFLOW_CHECK(builder.Append(chunk).ok());
+  return builder.Finish().ValueOrDie();
+}
+
+TEST(SelectivityTest, RangePredicates) {
+  Table t = MakeStatsTable();
+  auto lt = Expr::Cmp(CompareOp::kLt, Expr::Col("x"),
+                      Expr::Lit(Value::Int64(250)));
+  const double s = EstimatePredicateSelectivity(lt, t);
+  EXPECT_NEAR(s, 0.25, 0.05);
+
+  auto gt = Expr::Cmp(CompareOp::kGt, Expr::Col("x"),
+                      Expr::Lit(Value::Int64(900)));
+  EXPECT_NEAR(EstimatePredicateSelectivity(gt, t), 0.1, 0.05);
+}
+
+TEST(SelectivityTest, OutOfRangeIsZeroOrOne) {
+  Table t = MakeStatsTable();
+  auto never = Expr::Cmp(CompareOp::kLt, Expr::Col("x"),
+                         Expr::Lit(Value::Int64(-5)));
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(never, t), 0.0);
+  auto always = Expr::Cmp(CompareOp::kGe, Expr::Col("x"),
+                          Expr::Lit(Value::Int64(-5)));
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(always, t), 1.0);
+}
+
+TEST(SelectivityTest, Combinators) {
+  Table t = MakeStatsTable();
+  auto half = Expr::Cmp(CompareOp::kLt, Expr::Col("x"),
+                        Expr::Lit(Value::Int64(500)));
+  auto conj = Expr::And({half, half});
+  EXPECT_NEAR(EstimatePredicateSelectivity(conj, t), 0.25, 0.05);
+  auto disj = Expr::Or({half, half});
+  EXPECT_NEAR(EstimatePredicateSelectivity(disj, t), 0.75, 0.05);
+  auto neg = Expr::Not(half);
+  EXPECT_NEAR(EstimatePredicateSelectivity(neg, t), 0.5, 0.05);
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(nullptr, t), 1.0);
+}
+
+TEST(SelectivityTest, LikeUsesDefault) {
+  Table t = MakeStatsTable();
+  auto like = Expr::Like(Expr::Col("s"), "%x%");
+  EXPECT_DOUBLE_EQ(EstimatePredicateSelectivity(like, t),
+                   kDefaultLikeSelectivity);
+}
+
+PlacementOptimizer::Input ScanFilterInput(double selectivity) {
+  PlacementOptimizer::Input input;
+  input.input_bytes = 100e6;  // 100 MB encoded
+  input.media_ns = 12.5e6;
+  input.stages = {
+      StageDesc{"decode", sim::CostClass::kDecode, 2.0, true},
+      StageDesc{"filter", sim::CostClass::kFilter, selectivity, true},
+      StageDesc{"agg", sim::CostClass::kAggregate, 0.001, false},
+  };
+  input.config = sim::FabricConfig();
+  return input;
+}
+
+TEST(PlacementTest, EnumerationIncludesCpuOnlyAndOffload) {
+  PlacementOptimizer opt(ScanFilterInput(0.05));
+  auto ranked = opt.Enumerate();
+  ASSERT_FALSE(ranked.empty());
+  bool has_cpu_only = false, has_storage = false;
+  for (const auto& rp : ranked) {
+    bool all_cpu = true;
+    for (Site s : rp.placement.sites) all_cpu &= s == Site::kCpu;
+    has_cpu_only |= all_cpu;
+    has_storage |= rp.placement.sites[0] == Site::kStorageProc;
+  }
+  EXPECT_TRUE(has_cpu_only);
+  EXPECT_TRUE(has_storage);
+}
+
+TEST(PlacementTest, SelectiveFilterPrefersStorageOffload) {
+  PlacementOptimizer opt(ScanFilterInput(0.01));
+  auto ranked = opt.Enumerate();
+  ASSERT_FALSE(ranked.empty());
+  // The winner should filter before the network.
+  EXPECT_LE(static_cast<int>(ranked.front().placement.sites[1]),
+            static_cast<int>(Site::kStorageNic));
+  // And move far fewer network bytes than CPU-only.
+  const auto cpu_cost = opt.Cost(opt.CpuOnly().sites).ValueOrDie();
+  EXPECT_LT(ranked.front().cost.network_bytes * 10, cpu_cost.network_bytes);
+}
+
+TEST(PlacementTest, MonotonicityEnforced) {
+  PlacementOptimizer opt(ScanFilterInput(0.5));
+  // Filter at storage but decode at CPU is backwards.
+  auto bad = opt.Cost({Site::kCpu, Site::kStorageProc, Site::kCpu});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(PlacementTest, NonOffloadableStagePinnedToCpu) {
+  PlacementOptimizer opt(ScanFilterInput(0.5));
+  auto bad = opt.Cost({Site::kStorageProc, Site::kStorageProc,
+                       Site::kComputeNic});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  for (const auto& rp : opt.Enumerate()) {
+    EXPECT_EQ(rp.placement.sites[2], Site::kCpu);
+  }
+}
+
+TEST(PlacementTest, FullOffloadUsesEarliestSites) {
+  PlacementOptimizer opt(ScanFilterInput(0.5));
+  const Placement p = opt.FullOffload();
+  EXPECT_EQ(p.sites[0], Site::kStorageProc);
+  EXPECT_EQ(p.sites[1], Site::kStorageProc);
+  EXPECT_EQ(p.sites[2], Site::kCpu);
+}
+
+TEST(PlacementTest, CostAccountsReductions) {
+  PlacementOptimizer opt(ScanFilterInput(0.1));
+  // Offloaded: decode (x2) then filter (x0.1) at storage -> network carries
+  // 100e6 * 2 * 0.1 = 20e6.
+  auto offload =
+      opt.Cost({Site::kStorageProc, Site::kStorageProc, Site::kCpu})
+          .ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(offload.network_bytes), 20e6, 1e5);
+  // CPU-only: the encoded 100 MB crosses the network untouched.
+  auto cpu = opt.Cost({Site::kCpu, Site::kCpu, Site::kCpu}).ValueOrDie();
+  EXPECT_NEAR(static_cast<double>(cpu.network_bytes), 100e6, 1e5);
+}
+
+TEST(PlacementTest, CrossoverAtHighSelectivity) {
+  // With selectivity ~1 and decode doubling the bytes, filtering at storage
+  // INFLATES network traffic (ships decoded data); the optimizer should
+  // notice CPU-side decode is better for movement.
+  PlacementOptimizer opt(ScanFilterInput(1.0));
+  auto ranked = opt.Enumerate();
+  const auto& best = ranked.front();
+  // Best placement decodes late (at or after the compute NIC) so the wire
+  // carries the encoded form.
+  EXPECT_GE(static_cast<int>(best.placement.sites[0]),
+            static_cast<int>(Site::kComputeNic));
+}
+
+TEST(PlacementTest, RankingIsSorted) {
+  PlacementOptimizer opt(ScanFilterInput(0.2));
+  auto ranked = opt.Enumerate();
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].cost.makespan_ns, ranked[i].cost.makespan_ns);
+  }
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "dflow/types/data_type.h"
+#include "dflow/types/schema.h"
+#include "dflow/types/value.h"
+
+namespace dflow {
+namespace {
+
+TEST(DataTypeTest, NamesAndWidths) {
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "INT64");
+  EXPECT_EQ(DataTypeToString(DataType::kString), "STRING");
+  EXPECT_EQ(FixedWidthBytes(DataType::kInt32), 4u);
+  EXPECT_EQ(FixedWidthBytes(DataType::kInt64), 8u);
+  EXPECT_EQ(FixedWidthBytes(DataType::kDouble), 8u);
+  EXPECT_EQ(FixedWidthBytes(DataType::kBool), 1u);
+  EXPECT_EQ(FixedWidthBytes(DataType::kDate32), 4u);
+  EXPECT_EQ(FixedWidthBytes(DataType::kString), 0u);
+  EXPECT_TRUE(IsFixedWidth(DataType::kDouble));
+  EXPECT_FALSE(IsFixedWidth(DataType::kString));
+  EXPECT_TRUE(IsNumeric(DataType::kInt64));
+  EXPECT_FALSE(IsNumeric(DataType::kBool));
+  EXPECT_FALSE(IsNumeric(DataType::kDate32));
+}
+
+TEST(ValueTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Value::Int64(42).int64_value(), 42);
+  EXPECT_EQ(Value::Int32(-7).int32_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Date32(100).date32_value(), 100);
+}
+
+TEST(ValueTest, NullBehaviour) {
+  Value v = Value::Null(DataType::kInt64);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kInt64);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, NumericComparisonAcrossTypes) {
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Int32(5)), 0);
+  EXPECT_LT(Value::Int64(4).Compare(Value::Double(4.5)), 0);
+  EXPECT_GT(Value::Double(10.1).Compare(Value::Int64(10)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("apple").Compare(Value::String("banana")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, NullsSortFirstAndEqualEachOther) {
+  Value null_v = Value::Null(DataType::kInt64);
+  EXPECT_LT(null_v.Compare(Value::Int64(-100)), 0);
+  EXPECT_EQ(null_v.Compare(Value::Null(DataType::kDouble)), 0);
+}
+
+TEST(ValueTest, AsInt64AndAsDouble) {
+  EXPECT_EQ(Value::Int32(3).AsInt64(), 3);
+  EXPECT_EQ(Value::Double(3.9).AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(Value::Int64(4).AsDouble(), 4.0);
+  EXPECT_EQ(Value::Bool(true).AsInt64(), 1);
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kString},
+                 {"c", DataType::kDouble}});
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.FieldIndex("b").ValueOrDie(), 1u);
+  EXPECT_TRUE(schema.FieldIndex("nope").status().IsNotFound());
+  EXPECT_TRUE(schema.HasField("c"));
+  EXPECT_FALSE(schema.HasField("d"));
+}
+
+TEST(SchemaTest, SelectReordersFields) {
+  Schema schema({{"a", DataType::kInt64},
+                 {"b", DataType::kString},
+                 {"c", DataType::kDouble}});
+  Schema sub = schema.Select({2, 0});
+  ASSERT_EQ(sub.num_fields(), 2u);
+  EXPECT_EQ(sub.field(0).name, "c");
+  EXPECT_EQ(sub.field(1).name, "a");
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  Schema a({{"x", DataType::kInt32}});
+  Schema b({{"x", DataType::kInt32}});
+  Schema c({{"x", DataType::kInt64}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  Schema schema({{"id", DataType::kInt64}, {"name", DataType::kString}});
+  EXPECT_EQ(schema.ToString(), "(id: INT64, name: STRING)");
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "dflow/common/logging.h"
+#include "dflow/volcano/buffer_pool.h"
+#include "dflow/volcano/heap_file.h"
+#include "dflow/volcano/iterators.h"
+#include "dflow/workload/tpch_like.h"
+
+namespace dflow::volcano {
+namespace {
+
+Schema KvSchema() {
+  return Schema({{"k", DataType::kInt64},
+                 {"v", DataType::kInt64},
+                 {"name", DataType::kString}});
+}
+
+Table MakeKv(size_t rows) {
+  TableBuilder builder("kv", KvSchema(), 10'000);
+  DataChunk chunk;
+  std::vector<int64_t> ks, vs;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < rows; ++i) {
+    ks.push_back(static_cast<int64_t>(i));
+    vs.push_back(static_cast<int64_t>(i % 10));
+    names.push_back(i % 2 ? "odd" : "even");
+  }
+  chunk.AddColumn(ColumnVector::FromInt64(ks));
+  chunk.AddColumn(ColumnVector::FromInt64(vs));
+  chunk.AddColumn(ColumnVector::FromString(names));
+  DFLOW_CHECK(builder.Append(chunk).ok());
+  return builder.Finish().ValueOrDie();
+}
+
+TEST(RowSerdeTest, Roundtrip) {
+  Schema schema = KvSchema();
+  Row row = {Value::Int64(7), Value::Int64(3), Value::String("hello")};
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  SerializeRow(schema, row, &w);
+  EXPECT_EQ(buf.size(), SerializedRowBytes(schema, row));
+  ByteReader r(buf);
+  Row back;
+  ASSERT_TRUE(DeserializeRow(schema, &r, &back).ok());
+  EXPECT_EQ(back[0].int64_value(), 7);
+  EXPECT_EQ(back[2].string_value(), "hello");
+}
+
+TEST(RowSerdeTest, NullsRoundtrip) {
+  Schema schema = KvSchema();
+  Row row = {Value::Null(DataType::kInt64), Value::Int64(1),
+             Value::Null(DataType::kString)};
+  std::vector<uint8_t> buf;
+  ByteWriter w(&buf);
+  SerializeRow(schema, row, &w);
+  ByteReader r(buf);
+  Row back;
+  ASSERT_TRUE(DeserializeRow(schema, &r, &back).ok());
+  EXPECT_TRUE(back[0].is_null());
+  EXPECT_TRUE(back[2].is_null());
+}
+
+TEST(HeapFileTest, PagesHoldAllRows) {
+  Table table = MakeKv(5'000);
+  HeapFile file = HeapFile::FromTable(table).ValueOrDie();
+  EXPECT_EQ(file.num_rows(), 5'000u);
+  EXPECT_GT(file.num_pages(), 1u);
+  size_t rows = 0;
+  for (size_t p = 0; p < file.num_pages(); ++p) {
+    EXPECT_LE(file.page(p).byte_size(), kPageBytes);
+    rows += file.page(p).num_rows();
+  }
+  EXPECT_EQ(rows, 5'000u);
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  Table table = MakeKv(2'000);
+  HeapFile file = HeapFile::FromTable(table).ValueOrDie();
+  sim::FabricConfig config;
+  CostMeter meter(config);
+  BufferPool pool(4, &meter);
+  ASSERT_TRUE(pool.GetPage(&file, 0).ok());
+  ASSERT_TRUE(pool.GetPage(&file, 0).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_GT(meter.bytes_fetched(), 0u);
+}
+
+TEST(BufferPoolTest, LruEvicts) {
+  Table table = MakeKv(20'000);
+  HeapFile file = HeapFile::FromTable(table).ValueOrDie();
+  ASSERT_GE(file.num_pages(), 5u);
+  sim::FabricConfig config;
+  CostMeter meter(config);
+  BufferPool pool(2, &meter);
+  (void)pool.GetPage(&file, 0);
+  (void)pool.GetPage(&file, 1);
+  (void)pool.GetPage(&file, 2);  // evicts page 0
+  EXPECT_GT(pool.evictions(), 0u);
+  (void)pool.GetPage(&file, 0);  // miss again
+  EXPECT_EQ(pool.misses(), 4u);
+  EXPECT_LE(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolTest, ResidentBytesTracked) {
+  Table table = MakeKv(20'000);
+  HeapFile file = HeapFile::FromTable(table).ValueOrDie();
+  sim::FabricConfig config;
+  CostMeter meter(config);
+  BufferPool pool(3, &meter);
+  (void)pool.GetPage(&file, 0);
+  (void)pool.GetPage(&file, 1);
+  EXPECT_GT(pool.resident_bytes(), 0u);
+  EXPECT_GE(pool.peak_resident_bytes(), pool.resident_bytes());
+  pool.Clear();
+  EXPECT_EQ(pool.resident_bytes(), 0u);
+}
+
+TEST(CostMeterTest, ChargesAccumulate) {
+  sim::FabricConfig config;
+  CostMeter meter(config);
+  meter.ChargePageFetch(8192);
+  const auto after_fetch = meter.total_ns();
+  EXPECT_GT(after_fetch, 0u);
+  meter.ChargeCpu(8192, sim::CostClass::kFilter);
+  EXPECT_GT(meter.total_ns(), after_fetch);
+  meter.ChargeRows(1000);
+  EXPECT_GT(meter.cpu_busy_ns(), 0u);
+}
+
+struct VolcanoFixture {
+  Table table = MakeKv(8'000);
+  HeapFile file = HeapFile::FromTable(table).ValueOrDie();
+  sim::FabricConfig config;
+  CostMeter meter{config};
+  BufferPool pool{64, &meter};
+  VolcanoContext ctx;
+
+  VolcanoFixture() {
+    ctx.pool = &pool;
+    ctx.meter = &meter;
+  }
+};
+
+TEST(IteratorTest, SeqScanProducesAllRows) {
+  VolcanoFixture fx;
+  SeqScanIterator scan(&fx.file, &fx.ctx);
+  auto rows = DrainIterator(&scan).ValueOrDie();
+  EXPECT_EQ(rows.size(), 8'000u);
+  EXPECT_EQ(rows[5][0].int64_value(), 5);
+}
+
+TEST(IteratorTest, FilterKeepsMatching) {
+  VolcanoFixture fx;
+  auto pred = Expr::Resolve(
+                  Expr::Cmp(CompareOp::kLt, Expr::Col("v"),
+                            Expr::Lit(Value::Int64(3))),
+                  fx.file.schema())
+                  .ValueOrDie();
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  FilterIterator filter(std::move(scan), pred, &fx.ctx);
+  auto rows = DrainIterator(&filter).ValueOrDie();
+  EXPECT_EQ(rows.size(), 8'000u * 3 / 10);
+}
+
+TEST(IteratorTest, ProjectComputes) {
+  VolcanoFixture fx;
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  auto doubled = Expr::Resolve(
+                     Expr::Arith(ArithOp::kMul, Expr::Col("k"),
+                                 Expr::Lit(Value::Int64(2))),
+                     fx.file.schema())
+                     .ValueOrDie();
+  auto proj =
+      ProjectIterator::Make(std::move(scan), {doubled}, {"k2"}, &fx.ctx)
+          .ValueOrDie();
+  auto rows = DrainIterator(proj.get()).ValueOrDie();
+  EXPECT_EQ(rows[3][0].int64_value(), 6);
+  EXPECT_EQ(proj->schema().field(0).name, "k2");
+}
+
+TEST(IteratorTest, HashAggMatchesExpectation) {
+  VolcanoFixture fx;
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  auto agg = HashAggIterator::Make(std::move(scan), {"name"},
+                                   {{AggFunc::kCount, "", "n"}}, &fx.ctx)
+                 .ValueOrDie();
+  auto rows = DrainIterator(agg.get()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].int64_value() + rows[1][1].int64_value(), 8'000);
+  EXPECT_GT(fx.ctx.peak_operator_state_bytes, 0u);
+}
+
+TEST(IteratorTest, HashJoinJoins) {
+  VolcanoFixture fx;
+  // Join the table with itself on k: 8000 matches.
+  RowIteratorPtr build(new SeqScanIterator(&fx.file, &fx.ctx));
+  RowIteratorPtr probe(new SeqScanIterator(&fx.file, &fx.ctx));
+  HashJoinIterator join(std::move(build), std::move(probe), 0, 0, &fx.ctx);
+  auto rows = DrainIterator(&join).ValueOrDie();
+  EXPECT_EQ(rows.size(), 8'000u);
+  EXPECT_EQ(rows[0].size(), 6u);  // probe cols + build cols
+  EXPECT_EQ(join.schema().field(3).name, "b_k");
+}
+
+TEST(IteratorTest, SortAndLimit) {
+  VolcanoFixture fx;
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  auto sort =
+      SortIterator::Make(std::move(scan), "k", /*descending=*/true, 5, &fx.ctx)
+          .ValueOrDie();
+  auto rows = DrainIterator(sort.get()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0].int64_value(), 7999);
+}
+
+TEST(IteratorTest, EvalOnRowMatchesKernelSemantics) {
+  Row row = {Value::Int64(4), Value::Null(DataType::kInt64),
+             Value::String("promo pack")};
+  auto lt = Expr::Cmp(CompareOp::kLt, Expr::ColAt(0),
+                      Expr::Lit(Value::Int64(5)));
+  EXPECT_TRUE(EvalOnRow(*lt, row).ValueOrDie().bool_value());
+  // NULL comparisons are false.
+  auto null_cmp = Expr::Cmp(CompareOp::kEq, Expr::ColAt(1),
+                            Expr::Lit(Value::Int64(0)));
+  EXPECT_FALSE(EvalOnRow(*null_cmp, row).ValueOrDie().bool_value());
+  auto like = Expr::Like(Expr::ColAt(2), "promo%");
+  EXPECT_TRUE(EvalOnRow(*like, row).ValueOrDie().bool_value());
+  // Integer division by zero is NULL.
+  auto div = Expr::Arith(ArithOp::kDiv, Expr::ColAt(0),
+                         Expr::Lit(Value::Int64(0)));
+  EXPECT_TRUE(EvalOnRow(*div, row).ValueOrDie().is_null());
+}
+
+}  // namespace
+}  // namespace dflow::volcano

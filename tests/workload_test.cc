@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dflow/workload/tpch_like.h"
+
+namespace dflow {
+namespace {
+
+TEST(LineitemTest, ShapeAndSchema) {
+  LineitemSpec spec;
+  spec.rows = 10'000;
+  auto table = MakeLineitemTable(spec).ValueOrDie();
+  EXPECT_EQ(table->name(), "lineitem");
+  EXPECT_EQ(table->num_rows(), 10'000u);
+  EXPECT_EQ(table->schema().num_fields(), 11u);
+  EXPECT_TRUE(table->schema().HasField("l_shipdate"));
+  EXPECT_EQ(table->schema().field(7).type, DataType::kString);
+}
+
+TEST(LineitemTest, DeterministicForSeed) {
+  LineitemSpec spec;
+  spec.rows = 1'000;
+  auto a = MakeLineitemTable(spec).ValueOrDie();
+  auto b = MakeLineitemTable(spec).ValueOrDie();
+  auto ca = a->ToChunks().ValueOrDie();
+  auto cb = b->ToChunks().ValueOrDie();
+  ASSERT_EQ(ca.size(), cb.size());
+  EXPECT_EQ(ca[0].GetValue(5, 0).int64_value(),
+            cb[0].GetValue(5, 0).int64_value());
+  EXPECT_EQ(ca[0].GetValue(7, 10).string_value(),
+            cb[0].GetValue(7, 10).string_value());
+}
+
+TEST(LineitemTest, DomainsHold) {
+  LineitemSpec spec;
+  spec.rows = 5'000;
+  auto table = MakeLineitemTable(spec).ValueOrDie();
+  auto chunks = table->ToChunks().ValueOrDie();
+  std::set<std::string> flags;
+  for (const DataChunk& chunk : chunks) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      const double qty = chunk.GetValue(r, 3).double_value();
+      EXPECT_GE(qty, 1.0);
+      EXPECT_LE(qty, 50.0);
+      const double disc = chunk.GetValue(r, 5).double_value();
+      EXPECT_GE(disc, 0.0);
+      EXPECT_LE(disc, 0.10001);
+      const int32_t ship = chunk.GetValue(r, 9).date32_value();
+      EXPECT_GE(ship, kShipdateLo);
+      EXPECT_LT(ship, kShipdateHi);
+      flags.insert(chunk.GetValue(r, 7).string_value());
+    }
+  }
+  EXPECT_EQ(flags.size(), 3u);  // A, N, R
+}
+
+TEST(LineitemTest, SpecialCommentFractionRoughlyHolds) {
+  LineitemSpec spec;
+  spec.rows = 20'000;
+  spec.special_comment_fraction = 0.2;
+  auto table = MakeLineitemTable(spec).ValueOrDie();
+  auto chunks = table->ToChunks().ValueOrDie();
+  size_t special = 0;
+  for (const DataChunk& chunk : chunks) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      if (chunk.GetValue(r, 10).string_value().find("special") !=
+          std::string::npos) {
+        ++special;
+      }
+    }
+  }
+  EXPECT_GT(special, 20000 * 0.15);
+  EXPECT_LT(special, 20000 * 0.25);
+}
+
+TEST(LineitemTest, ZipfSkewsOrderKeys) {
+  LineitemSpec spec;
+  spec.rows = 20'000;
+  spec.num_orders = 10'000;
+  spec.orderkey_zipf_theta = 0.99;
+  auto table = MakeLineitemTable(spec).ValueOrDie();
+  auto chunks = table->ToChunks().ValueOrDie();
+  size_t hot = 0;
+  for (const DataChunk& chunk : chunks) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      if (chunk.GetValue(r, 0).int64_value() < 100) ++hot;
+    }
+  }
+  // Uniform would put ~1% on the first 100 keys; Zipf 0.99 far more.
+  EXPECT_GT(hot, 20000u / 10);
+}
+
+TEST(OrdersTest, DenseKeysAndDomains) {
+  OrdersSpec spec;
+  spec.rows = 3'000;
+  auto table = MakeOrdersTable(spec).ValueOrDie();
+  EXPECT_EQ(table->num_rows(), 3'000u);
+  auto chunks = table->ToChunks().ValueOrDie();
+  int64_t expected = 0;
+  for (const DataChunk& chunk : chunks) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      EXPECT_EQ(chunk.GetValue(r, 0).int64_value(), expected++);
+    }
+  }
+}
+
+TEST(KvTest, KeySpaceRespected) {
+  KvSpec spec;
+  spec.rows = 4'000;
+  spec.key_space = 100;
+  auto table = MakeKvTable(spec).ValueOrDie();
+  auto chunks = table->ToChunks().ValueOrDie();
+  for (const DataChunk& chunk : chunks) {
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      const int64_t k = chunk.GetValue(r, 0).int64_value();
+      EXPECT_GE(k, 0);
+      EXPECT_LT(k, 100);
+      EXPECT_EQ(chunk.GetValue(r, 2).string_value().size(), 16u);
+    }
+  }
+}
+
+TEST(WorkloadTest, CompressionFriendlyColumnsActuallyCompress) {
+  LineitemSpec spec;
+  spec.rows = 50'000;
+  auto table = MakeLineitemTable(spec).ValueOrDie();
+  // Encoded footprint should be well under the decoded one thanks to
+  // dictionary flags and FOR-packed keys.
+  uint64_t decoded = 0;
+  const auto chunks = table->ToChunks().ValueOrDie();
+  for (const DataChunk& c : chunks) {
+    decoded += c.ByteSize();
+  }
+  EXPECT_LT(table->EncodedBytes(), decoded);
+}
+
+}  // namespace
+}  // namespace dflow
