@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_full_pipeline.dir/bench_fig6_full_pipeline.cc.o"
+  "CMakeFiles/bench_fig6_full_pipeline.dir/bench_fig6_full_pipeline.cc.o.d"
+  "bench_fig6_full_pipeline"
+  "bench_fig6_full_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_full_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

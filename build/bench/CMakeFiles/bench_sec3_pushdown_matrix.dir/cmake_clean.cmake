@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_pushdown_matrix.dir/bench_sec3_pushdown_matrix.cc.o"
+  "CMakeFiles/bench_sec3_pushdown_matrix.dir/bench_sec3_pushdown_matrix.cc.o.d"
+  "bench_sec3_pushdown_matrix"
+  "bench_sec3_pushdown_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_pushdown_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_nic_count.dir/bench_sec4_nic_count.cc.o"
+  "CMakeFiles/bench_sec4_nic_count.dir/bench_sec4_nic_count.cc.o.d"
+  "bench_sec4_nic_count"
+  "bench_sec4_nic_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_nic_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_staged_preagg.dir/bench_sec4_staged_preagg.cc.o"
+  "CMakeFiles/bench_sec4_staged_preagg.dir/bench_sec4_staged_preagg.cc.o.d"
+  "bench_sec4_staged_preagg"
+  "bench_sec4_staged_preagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_staged_preagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_transpose.dir/bench_sec5_transpose.cc.o"
+  "CMakeFiles/bench_sec5_transpose.dir/bench_sec5_transpose.cc.o.d"
+  "bench_sec5_transpose"
+  "bench_sec5_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

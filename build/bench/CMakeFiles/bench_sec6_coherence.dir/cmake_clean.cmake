@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_coherence.dir/bench_sec6_coherence.cc.o"
+  "CMakeFiles/bench_sec6_coherence.dir/bench_sec6_coherence.cc.o.d"
+  "bench_sec6_coherence"
+  "bench_sec6_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_flow_control.dir/bench_sec7_flow_control.cc.o"
+  "CMakeFiles/bench_sec7_flow_control.dir/bench_sec7_flow_control.cc.o.d"
+  "bench_sec7_flow_control"
+  "bench_sec7_flow_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_flow_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

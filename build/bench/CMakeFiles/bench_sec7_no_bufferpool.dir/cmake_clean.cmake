@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_no_bufferpool.dir/bench_sec7_no_bufferpool.cc.o"
+  "CMakeFiles/bench_sec7_no_bufferpool.dir/bench_sec7_no_bufferpool.cc.o.d"
+  "bench_sec7_no_bufferpool"
+  "bench_sec7_no_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_no_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

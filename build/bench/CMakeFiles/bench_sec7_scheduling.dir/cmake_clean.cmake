@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_scheduling.dir/bench_sec7_scheduling.cc.o"
+  "CMakeFiles/bench_sec7_scheduling.dir/bench_sec7_scheduling.cc.o.d"
+  "bench_sec7_scheduling"
+  "bench_sec7_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

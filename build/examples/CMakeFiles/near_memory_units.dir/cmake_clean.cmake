@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_memory_units.dir/near_memory_units.cpp.o"
+  "CMakeFiles/near_memory_units.dir/near_memory_units.cpp.o.d"
+  "near_memory_units"
+  "near_memory_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_memory_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

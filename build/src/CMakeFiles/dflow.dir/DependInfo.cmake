@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dflow/accel/accelerator.cc" "src/CMakeFiles/dflow.dir/dflow/accel/accelerator.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/accelerator.cc.o.d"
+  "/root/repo/src/dflow/accel/kernel.cc" "src/CMakeFiles/dflow.dir/dflow/accel/kernel.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/kernel.cc.o.d"
+  "/root/repo/src/dflow/accel/list_unit.cc" "src/CMakeFiles/dflow.dir/dflow/accel/list_unit.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/list_unit.cc.o.d"
+  "/root/repo/src/dflow/accel/near_memory.cc" "src/CMakeFiles/dflow.dir/dflow/accel/near_memory.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/near_memory.cc.o.d"
+  "/root/repo/src/dflow/accel/pointer_chase.cc" "src/CMakeFiles/dflow.dir/dflow/accel/pointer_chase.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/pointer_chase.cc.o.d"
+  "/root/repo/src/dflow/accel/register_file.cc" "src/CMakeFiles/dflow.dir/dflow/accel/register_file.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/register_file.cc.o.d"
+  "/root/repo/src/dflow/accel/smart_nic.cc" "src/CMakeFiles/dflow.dir/dflow/accel/smart_nic.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/smart_nic.cc.o.d"
+  "/root/repo/src/dflow/accel/smart_storage.cc" "src/CMakeFiles/dflow.dir/dflow/accel/smart_storage.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/smart_storage.cc.o.d"
+  "/root/repo/src/dflow/accel/transpose.cc" "src/CMakeFiles/dflow.dir/dflow/accel/transpose.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/accel/transpose.cc.o.d"
+  "/root/repo/src/dflow/common/logging.cc" "src/CMakeFiles/dflow.dir/dflow/common/logging.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/common/logging.cc.o.d"
+  "/root/repo/src/dflow/common/random.cc" "src/CMakeFiles/dflow.dir/dflow/common/random.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/common/random.cc.o.d"
+  "/root/repo/src/dflow/common/status.cc" "src/CMakeFiles/dflow.dir/dflow/common/status.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/common/status.cc.o.d"
+  "/root/repo/src/dflow/common/string_util.cc" "src/CMakeFiles/dflow.dir/dflow/common/string_util.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/common/string_util.cc.o.d"
+  "/root/repo/src/dflow/encode/encoding.cc" "src/CMakeFiles/dflow.dir/dflow/encode/encoding.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/encode/encoding.cc.o.d"
+  "/root/repo/src/dflow/engine/engine.cc" "src/CMakeFiles/dflow.dir/dflow/engine/engine.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/engine/engine.cc.o.d"
+  "/root/repo/src/dflow/engine/volcano_runner.cc" "src/CMakeFiles/dflow.dir/dflow/engine/volcano_runner.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/engine/volcano_runner.cc.o.d"
+  "/root/repo/src/dflow/exec/aggregate.cc" "src/CMakeFiles/dflow.dir/dflow/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/aggregate.cc.o.d"
+  "/root/repo/src/dflow/exec/dataflow.cc" "src/CMakeFiles/dflow.dir/dflow/exec/dataflow.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/dataflow.cc.o.d"
+  "/root/repo/src/dflow/exec/filter.cc" "src/CMakeFiles/dflow.dir/dflow/exec/filter.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/filter.cc.o.d"
+  "/root/repo/src/dflow/exec/join.cc" "src/CMakeFiles/dflow.dir/dflow/exec/join.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/join.cc.o.d"
+  "/root/repo/src/dflow/exec/local_executor.cc" "src/CMakeFiles/dflow.dir/dflow/exec/local_executor.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/local_executor.cc.o.d"
+  "/root/repo/src/dflow/exec/misc_ops.cc" "src/CMakeFiles/dflow.dir/dflow/exec/misc_ops.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/misc_ops.cc.o.d"
+  "/root/repo/src/dflow/exec/partition.cc" "src/CMakeFiles/dflow.dir/dflow/exec/partition.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/partition.cc.o.d"
+  "/root/repo/src/dflow/exec/project.cc" "src/CMakeFiles/dflow.dir/dflow/exec/project.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/project.cc.o.d"
+  "/root/repo/src/dflow/exec/scan.cc" "src/CMakeFiles/dflow.dir/dflow/exec/scan.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/exec/scan.cc.o.d"
+  "/root/repo/src/dflow/interconnect/coherence.cc" "src/CMakeFiles/dflow.dir/dflow/interconnect/coherence.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/interconnect/coherence.cc.o.d"
+  "/root/repo/src/dflow/opt/placement.cc" "src/CMakeFiles/dflow.dir/dflow/opt/placement.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/opt/placement.cc.o.d"
+  "/root/repo/src/dflow/opt/selectivity.cc" "src/CMakeFiles/dflow.dir/dflow/opt/selectivity.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/opt/selectivity.cc.o.d"
+  "/root/repo/src/dflow/plan/expr.cc" "src/CMakeFiles/dflow.dir/dflow/plan/expr.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/plan/expr.cc.o.d"
+  "/root/repo/src/dflow/plan/parser.cc" "src/CMakeFiles/dflow.dir/dflow/plan/parser.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/plan/parser.cc.o.d"
+  "/root/repo/src/dflow/sched/scheduler.cc" "src/CMakeFiles/dflow.dir/dflow/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/sched/scheduler.cc.o.d"
+  "/root/repo/src/dflow/sim/device.cc" "src/CMakeFiles/dflow.dir/dflow/sim/device.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/sim/device.cc.o.d"
+  "/root/repo/src/dflow/sim/dma.cc" "src/CMakeFiles/dflow.dir/dflow/sim/dma.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/sim/dma.cc.o.d"
+  "/root/repo/src/dflow/sim/fabric.cc" "src/CMakeFiles/dflow.dir/dflow/sim/fabric.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/sim/fabric.cc.o.d"
+  "/root/repo/src/dflow/sim/link.cc" "src/CMakeFiles/dflow.dir/dflow/sim/link.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/sim/link.cc.o.d"
+  "/root/repo/src/dflow/sim/simulator.cc" "src/CMakeFiles/dflow.dir/dflow/sim/simulator.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/sim/simulator.cc.o.d"
+  "/root/repo/src/dflow/storage/catalog.cc" "src/CMakeFiles/dflow.dir/dflow/storage/catalog.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/storage/catalog.cc.o.d"
+  "/root/repo/src/dflow/storage/object_store.cc" "src/CMakeFiles/dflow.dir/dflow/storage/object_store.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/storage/object_store.cc.o.d"
+  "/root/repo/src/dflow/storage/table.cc" "src/CMakeFiles/dflow.dir/dflow/storage/table.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/storage/table.cc.o.d"
+  "/root/repo/src/dflow/storage/table_io.cc" "src/CMakeFiles/dflow.dir/dflow/storage/table_io.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/storage/table_io.cc.o.d"
+  "/root/repo/src/dflow/storage/zone_map.cc" "src/CMakeFiles/dflow.dir/dflow/storage/zone_map.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/storage/zone_map.cc.o.d"
+  "/root/repo/src/dflow/types/data_type.cc" "src/CMakeFiles/dflow.dir/dflow/types/data_type.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/types/data_type.cc.o.d"
+  "/root/repo/src/dflow/types/schema.cc" "src/CMakeFiles/dflow.dir/dflow/types/schema.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/types/schema.cc.o.d"
+  "/root/repo/src/dflow/types/value.cc" "src/CMakeFiles/dflow.dir/dflow/types/value.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/types/value.cc.o.d"
+  "/root/repo/src/dflow/vector/column_vector.cc" "src/CMakeFiles/dflow.dir/dflow/vector/column_vector.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/vector/column_vector.cc.o.d"
+  "/root/repo/src/dflow/vector/data_chunk.cc" "src/CMakeFiles/dflow.dir/dflow/vector/data_chunk.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/vector/data_chunk.cc.o.d"
+  "/root/repo/src/dflow/vector/kernels.cc" "src/CMakeFiles/dflow.dir/dflow/vector/kernels.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/vector/kernels.cc.o.d"
+  "/root/repo/src/dflow/volcano/buffer_pool.cc" "src/CMakeFiles/dflow.dir/dflow/volcano/buffer_pool.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/volcano/buffer_pool.cc.o.d"
+  "/root/repo/src/dflow/volcano/cost_meter.cc" "src/CMakeFiles/dflow.dir/dflow/volcano/cost_meter.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/volcano/cost_meter.cc.o.d"
+  "/root/repo/src/dflow/volcano/heap_file.cc" "src/CMakeFiles/dflow.dir/dflow/volcano/heap_file.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/volcano/heap_file.cc.o.d"
+  "/root/repo/src/dflow/volcano/iterators.cc" "src/CMakeFiles/dflow.dir/dflow/volcano/iterators.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/volcano/iterators.cc.o.d"
+  "/root/repo/src/dflow/volcano/row.cc" "src/CMakeFiles/dflow.dir/dflow/volcano/row.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/volcano/row.cc.o.d"
+  "/root/repo/src/dflow/workload/tpch_like.cc" "src/CMakeFiles/dflow.dir/dflow/workload/tpch_like.cc.o" "gcc" "src/CMakeFiles/dflow.dir/dflow/workload/tpch_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
