@@ -1,0 +1,133 @@
+// §7 robustness: the data-flow architecture spreads one query over many
+// processing elements and links — multiplying the points of failure. This
+// bench measures what the recovery layer costs when the fabric misbehaves:
+//
+//   BM_FaultRecovery        sweeps the per-message fault rate (drops +
+//                           corruption) and reports retransmits and the
+//                           slowdown over a fault-free run. Results are
+//                           checked bit-identical to the clean run.
+//   BM_AcceleratorCrash     kills the smart-storage processor mid-query;
+//                           the engine degrades to the CPU-only plan and
+//                           still returns the right answer. Reported time
+//                           includes the wasted partial run.
+//
+// Shape: transient fault rates in the low percent cost low-double-digit
+// percent slowdown (retransmission is pipelined with useful work); a
+// permanent crash costs roughly the CPU-only time plus the time burned
+// before the crash was detected.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 400'000;
+
+// Per-mille fault rate -> drop and corrupt probabilities (half each).
+void BM_FaultRecovery(benchmark::State& state) {
+  const double fault_permille = static_cast<double>(state.range(0));
+  Engine& engine = LineitemEngine(kRows);
+  engine.DisableFaultInjection();
+  engine.ClearDeviceHealth();
+  const QuerySpec spec = Q6Like(0.3);
+  ExecOptions options;
+  options.placement = PlacementChoice::kCpuOnly;  // maximum link exposure
+
+  const QueryResult clean = Must(engine.Execute(spec, options));
+
+  sim::FaultConfig config;
+  config.seed = 7;
+  config.drop_prob = fault_permille / 2000.0;
+  config.corrupt_prob = fault_permille / 2000.0;
+  engine.EnableFaultInjection(config);
+  QueryResult faulty;
+  for (auto _ : state) {
+    faulty = Must(engine.Execute(spec, options));
+  }
+  engine.DisableFaultInjection();
+
+  // Recovery must be invisible in the results.
+  DFLOW_CHECK_EQ(clean.chunks[0].GetValue(0, 0).double_value(),
+                 faulty.chunks[0].GetValue(0, 0).double_value());
+
+  ReportExecution(state, faulty.report);
+  state.counters["fault_permille"] = fault_permille;
+  state.counters["retransmits"] =
+      static_cast<double>(faulty.report.fault.retransmits);
+  state.counters["checksum_fail"] =
+      static_cast<double>(faulty.report.fault.checksum_failures);
+  state.counters["slowdown_pct"] =
+      clean.report.sim_ns == 0
+          ? 0.0
+          : 100.0 * (static_cast<double>(faulty.report.sim_ns) /
+                         static_cast<double>(clean.report.sim_ns) -
+                     1.0);
+}
+
+BENCHMARK(BM_FaultRecovery)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AcceleratorCrash(benchmark::State& state) {
+  const bool crash = state.range(0) != 0;
+  Engine& engine = LineitemEngine(kRows);
+  engine.DisableFaultInjection();
+  engine.ClearDeviceHealth();
+  const QuerySpec spec = Q6Like(0.3);
+  ExecOptions options;
+  options.placement = PlacementChoice::kFullOffload;
+
+  const QueryResult clean = Must(engine.Execute(spec, options));
+
+  QueryResult result;
+  sim::SimTime total_ns = 0;
+  for (auto _ : state) {
+    engine.ClearDeviceHealth();
+    if (crash) {
+      engine.EnableFaultInjection(sim::FaultConfig{});
+      // Kill the offload target once the pipeline is warmed up.
+      engine.fault_injector()->CrashDeviceAt("storage_proc",
+                                             clean.report.sim_ns / 4);
+    }
+    result = Must(engine.Execute(spec, options));
+    // The fallback run resets the virtual clock, so charge the detection
+    // time (crash point) on top of the recovery run's own completion time.
+    total_ns = result.report.sim_ns +
+               (result.report.fault.cpu_fallback ? clean.report.sim_ns / 4 : 0);
+    engine.DisableFaultInjection();
+  }
+
+  DFLOW_CHECK_EQ(clean.chunks[0].GetValue(0, 0).double_value(),
+                 result.chunks[0].GetValue(0, 0).double_value());
+  DFLOW_CHECK(result.report.fault.cpu_fallback == crash);
+
+  ReportExecution(state, result.report);
+  state.counters["sim_ms"] = static_cast<double>(total_ns) / 1e6;
+  state.SetLabel(crash ? "crash at 25% -> " + result.report.variant
+                       : result.report.variant);
+}
+
+BENCHMARK(BM_AcceleratorCrash)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Sec 7 robustness: fault injection, retransmission, and "
+               "accelerator-crash degradation ==\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

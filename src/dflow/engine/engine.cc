@@ -38,6 +38,20 @@ std::string ExecutionReport::ToString() const {
      << " interconnect=" << FormatBytes(interconnect_bytes)
      << " membus=" << FormatBytes(membus_bytes)
      << " peak_queue=" << FormatBytes(peak_queue_bytes);
+  if (fault.Any()) {
+    os << " | faults: drops=" << fault.chunks_dropped
+       << " corrupt=" << fault.chunks_corrupted
+       << " retransmits=" << fault.retransmits
+       << " timeouts=" << fault.delivery_timeouts
+       << " checksum_fail=" << fault.checksum_failures
+       << " io_errors=" << fault.storage_io_errors
+       << " io_retries=" << fault.storage_retries
+       << " stalls=" << fault.device_stalls;
+    if (fault.cpu_fallback) os << " cpu_fallback";
+    if (!fault.failed_device.empty()) {
+      os << " failed_device=" << fault.failed_device;
+    }
+  }
   return os.str();
 }
 
@@ -65,6 +79,47 @@ struct Engine::PreparedQuery {
 
 Engine::Engine(sim::FabricConfig config)
     : config_(config), fabric_(config), volcano_(config) {}
+
+void Engine::EnableFaultInjection(const sim::FaultConfig& config,
+                                  const RecoveryPolicy& policy) {
+  fault_ = std::make_unique<sim::FaultInjector>(config, &fabric_.simulator());
+  recovery_policy_ = policy;
+  for (sim::Link* l : fabric_.AllLinks()) l->SetFaultInjector(fault_.get());
+  for (sim::Device* d : fabric_.AllDevices()) {
+    d->SetFaultInjector(fault_.get());
+  }
+}
+
+void Engine::DisableFaultInjection() {
+  for (sim::Link* l : fabric_.AllLinks()) l->SetFaultInjector(nullptr);
+  for (sim::Device* d : fabric_.AllDevices()) d->SetFaultInjector(nullptr);
+  fault_.reset();
+}
+
+void Engine::MarkDeviceUnhealthy(const std::string& name) {
+  unhealthy_.insert(name);
+}
+
+bool Engine::IsDeviceHealthy(const std::string& name) const {
+  return unhealthy_.count(name) == 0;
+}
+
+void Engine::ClearDeviceHealth() { unhealthy_.clear(); }
+
+bool Engine::PlacementHealthy(const Placement& placement, int node) {
+  if (unhealthy_.empty()) return true;
+  for (Site s : placement.sites) {
+    sim::Device* d = SiteDevice(s, node);
+    if (d != nullptr && unhealthy_.count(d->name()) > 0) return false;
+  }
+  return true;
+}
+
+void Engine::ArmGraph(DataflowGraph* graph) {
+  if (fault_ == nullptr) return;
+  graph->SetFaultInjector(fault_.get());
+  graph->SetRecoveryPolicy(recovery_policy_);
+}
 
 Result<Engine::PreparedQuery> Engine::Prepare(const QuerySpec& spec) const {
   PreparedQuery prepared;
@@ -279,6 +334,23 @@ ExecutionReport Engine::CollectReport(const DataflowGraph& graph,
     }
   }
   report.scan = scan;
+
+  FaultReport& f = report.fault;
+  const DataflowGraph::RecoveryStats& rs = graph.recovery_stats();
+  f.retransmits = rs.retransmits;
+  f.delivery_timeouts = rs.delivery_timeouts;
+  f.checksum_failures = rs.checksum_failures;
+  f.storage_io_errors = rs.storage_io_errors;
+  f.storage_retries = rs.storage_retries;
+  f.failed_device = graph.failed_device();
+  for (sim::Link* l : fabric_.AllLinks()) {
+    f.chunks_dropped += l->messages_dropped();
+    f.chunks_corrupted += l->messages_corrupted();
+  }
+  for (sim::Device* d : fabric_.AllDevices()) {
+    f.device_stalls += d->stalls();
+    f.device_stall_ns += d->stall_ns();
+  }
   return report;
 }
 
@@ -311,7 +383,15 @@ Result<QueryResult> Engine::Execute(const QuerySpec& spec,
   Placement placement;
   switch (options.placement) {
     case PlacementChoice::kAuto:
+      // Best-ranked variant whose devices are all healthy; if every variant
+      // touches a dead device, keep the best and let fallback handle it.
       placement = variants.front().placement;
+      for (const RankedPlacement& v : variants) {
+        if (PlacementHealthy(v.placement, options.node)) {
+          placement = v.placement;
+          break;
+        }
+      }
       break;
     case PlacementChoice::kCpuOnly: {
       DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
@@ -361,6 +441,14 @@ Result<std::vector<RankedPlacement>> Engine::PlanVariants(
 Result<QueryResult> Engine::ExecuteWithPlacement(const QuerySpec& spec,
                                                  const Placement& placement,
                                                  const ExecOptions& options) {
+  return ExecuteWithPlacementImpl(spec, placement, options,
+                                  /*allow_fallback=*/true);
+}
+
+Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
+                                                     const Placement& placement,
+                                                     const ExecOptions& options,
+                                                     bool allow_fallback) {
   DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
   if (placement.sites.size() != prepared.kinds.size()) {
     return Status::InvalidArgument("placement does not match query stages");
@@ -372,8 +460,15 @@ Result<QueryResult> Engine::ExecuteWithPlacement(const QuerySpec& spec,
   TableScanSource::ScanStats stats;
   DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce(&stats));
 
-  if (options.reset_fabric) fabric_.Reset();
+  if (options.reset_fabric) {
+    fabric_.Reset();
+  } else {
+    // Chained run: keep the clock and timing state but zero the byte/busy
+    // counters so this run's report counts only its own traffic.
+    fabric_.ResetMetrics();
+  }
   DataflowGraph graph(&fabric_.simulator());
+  ArmGraph(&graph);
   DFLOW_ASSIGN_OR_RETURN(
       BuiltPipeline built,
       BuildQueryPipeline(this, &fabric_, &graph, spec, prepared, placement,
@@ -382,7 +477,36 @@ Result<QueryResult> Engine::ExecuteWithPlacement(const QuerySpec& spec,
     DFLOW_RETURN_NOT_OK(graph.SetEdgeRateLimit(
         built.net_from, built.net_to, options.network_rate_limit_gbps));
   }
-  DFLOW_RETURN_NOT_OK(graph.Run());
+  const Status run_status = graph.Run();
+  if (!run_status.ok()) {
+    const std::string dead = graph.failed_device();
+    if (allow_fallback && !dead.empty()) {
+      // Graceful degradation (§7): a processing element died permanently
+      // mid-query. Quarantine it and re-run the traditional CPU-centric
+      // plan, which touches only the media, the links, and the CPU.
+      MarkDeviceUnhealthy(dead);
+      PlacementOptimizer::Input input;
+      input.stages = prepared.descs;
+      input.config = config_;
+      const Placement cpu_only = PlacementOptimizer(input).CpuOnly();
+      const bool dead_is_unavoidable =
+          dead == fabric_.store_media()->name() ||
+          dead == fabric_.node(options.node).cpu->name();
+      if (!dead_is_unavoidable && cpu_only.sites != placement.sites) {
+        ExecOptions retry = options;
+        retry.reset_fabric = true;  // fresh timeline for the recovery run
+        DFLOW_ASSIGN_OR_RETURN(
+            QueryResult result,
+            ExecuteWithPlacementImpl(spec, cpu_only, retry,
+                                     /*allow_fallback=*/false));
+        result.report.fault.cpu_fallback = true;
+        result.report.fault.failed_device = dead;
+        result.report.variant += "(fallback:" + dead + ")";
+        return result;
+      }
+    }
+    return run_status;
+  }
 
   QueryResult result;
   result.chunks = graph.sink_chunks(built.sink);
@@ -572,6 +696,7 @@ Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
   }
   fabric_.Reset();
   DataflowGraph graph(&fabric_.simulator());
+  ArmGraph(&graph);
   std::vector<BuiltPipeline> built;
   for (size_t q = 0; q < specs.size(); ++q) {
     DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(specs[q]));
@@ -627,7 +752,11 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
   const bool nic_scatter = spec.exchange == JoinSpec::Exchange::kNicScatter;
   const uint32_t p = static_cast<uint32_t>(spec.num_nodes);
 
-  if (options.reset_fabric) fabric_.Reset();
+  if (options.reset_fabric) {
+    fabric_.Reset();
+  } else {
+    fabric_.ResetMetrics();
+  }
 
   // Per-node shared hash tables, filled by the build phase.
   std::vector<std::shared_ptr<JoinHashTable>> tables;
@@ -654,6 +783,7 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
                            TableScanSource::Make(build_table, {}, nullptr));
     DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce());
     DataflowGraph graph(&fabric_.simulator());
+    ArmGraph(&graph);
     auto src = graph.AddSource("scan:" + spec.build_table,
                                fabric_.store_media(), sim::CostClass::kScan,
                                std::move(batches));
@@ -716,6 +846,7 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
     DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches,
                            scan.Produce(&stats));
     DataflowGraph graph(&fabric_.simulator());
+    ArmGraph(&graph);
     auto src = graph.AddSource("scan:" + spec.probe_table,
                                fabric_.store_media(), sim::CostClass::kScan,
                                std::move(batches));

@@ -2,6 +2,7 @@
 #define DFLOW_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,29 @@ class Engine {
   sim::Fabric& fabric() { return fabric_; }
   const sim::FabricConfig& config() const { return config_; }
 
+  // ------------------------------------------------- unreliable-fabric mode
+  /// Arms deterministic fault injection on every fabric link and device and
+  /// enables the matching recovery layer on graphs the engine builds:
+  /// checksummed transfers with timeout/backoff retransmission, bounded
+  /// storage-read retry, and CPU-only fallback when an accelerator crashes
+  /// permanently. Same config and seed => byte-identical event trace.
+  void EnableFaultInjection(const sim::FaultConfig& config,
+                            const RecoveryPolicy& policy = RecoveryPolicy());
+  void DisableFaultInjection();
+  /// The active injector (crash scheduling, trace, counters); null when
+  /// fault injection is off.
+  sim::FaultInjector* fault_injector() { return fault_.get(); }
+
+  /// Device-health registry: a device marked unhealthy (by fallback after a
+  /// crash, or manually) is excluded from kAuto placement and from the
+  /// scheduler's variant choices until cleared.
+  void MarkDeviceUnhealthy(const std::string& name);
+  bool IsDeviceHealthy(const std::string& name) const;
+  void ClearDeviceHealth();
+  const std::set<std::string>& unhealthy_devices() const { return unhealthy_; }
+  /// True iff every device this placement uses (on `node`) is healthy.
+  bool PlacementHealthy(const Placement& placement, int node);
+
   /// Runs a query on the data-flow architecture.
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecOptions& options = ExecOptions());
@@ -119,11 +143,21 @@ class Engine {
                                 DataflowGraph::NodeId sink,
                                 const std::string& variant,
                                 const TableScanSource::ScanStats& scan);
+  /// Attaches the active injector and recovery policy to a graph (no-op
+  /// when fault injection is off).
+  void ArmGraph(DataflowGraph* graph);
+  Result<QueryResult> ExecuteWithPlacementImpl(const QuerySpec& spec,
+                                               const Placement& placement,
+                                               const ExecOptions& options,
+                                               bool allow_fallback);
 
   sim::FabricConfig config_;
   sim::Fabric fabric_;
   Catalog catalog_;
   VolcanoRunner volcano_;
+  std::unique_ptr<sim::FaultInjector> fault_;
+  RecoveryPolicy recovery_policy_;
+  std::set<std::string> unhealthy_;
 };
 
 }  // namespace dflow

@@ -9,6 +9,30 @@
 
 namespace dflow {
 
+/// What the recovery layer did during one execution under an unreliable
+/// fabric (all zero when no fault injector is armed).
+struct FaultReport {
+  uint64_t chunks_dropped = 0;      // link-level drops observed
+  uint64_t chunks_corrupted = 0;    // link-level corruptions observed
+  uint64_t retransmits = 0;         // sender retries after delivery timeout
+  uint64_t delivery_timeouts = 0;   // watchdog expirations
+  uint64_t checksum_failures = 0;   // receiver-side verification failures
+  uint64_t storage_io_errors = 0;   // injected object-store request failures
+  uint64_t storage_retries = 0;     // storage read retries
+  uint64_t device_stalls = 0;       // transient device stalls served
+  uint64_t device_stall_ns = 0;     // total stall time
+  bool cpu_fallback = false;        // accelerator died; CPU-only plan re-ran
+  std::string failed_device;        // name of the crashed device, if any
+
+  bool Any() const {
+    return chunks_dropped + chunks_corrupted + retransmits +
+                   delivery_timeouts + checksum_failures + storage_io_errors +
+                   storage_retries + device_stalls >
+               0 ||
+           cpu_fallback || !failed_device.empty();
+  }
+};
+
 /// What one simulated execution measured. These are the paper's quantities:
 /// completion time, bytes over each segment of the data path, device busy
 /// time, and the engine's in-flight memory under credit flow control.
@@ -34,6 +58,8 @@ struct ExecutionReport {
   std::map<std::string, uint64_t> device_busy_ns;
 
   TableScanSource::ScanStats scan;
+
+  FaultReport fault;
 
   std::string ToString() const;
 };

@@ -1,14 +1,39 @@
 #include "dflow/exec/dataflow.h"
 
 #include <algorithm>
+#include <map>
 #include <tuple>
 
 #include "dflow/common/logging.h"
 
 namespace dflow {
 
+namespace {
+
+/// What the receiver-side checksum of a corrupted chunk looks like: the
+/// payload hash XORed with a fixed mask, so verification fails
+/// deterministically without mutating the (shared) chunk data.
+constexpr uint64_t kCorruptionMask = 0xBAD0C0DE5EEDULL;
+
+sim::SimTime BackoffNs(sim::SimTime base, uint32_t attempt, sim::SimTime cap) {
+  sim::SimTime v = base;
+  for (uint32_t i = 0; i < attempt && v < cap; ++i) v *= 2;
+  return std::min(v, cap);
+}
+
+}  // namespace
+
 struct DataflowGraph::Edge {
   explicit Edge(uint32_t credits) : gate(credits) {}
+
+  /// A chunk sent over an unreliable path, kept by the sender until its
+  /// delivery is confirmed (consumed off this map by DeliverPending).
+  struct PendingSend {
+    DataChunk chunk;
+    uint64_t wire = 0;
+    uint32_t attempt = 0;   // transmissions so far
+    uint64_t checksum = 0;  // sender-side ChecksumChunk
+  };
 
   Node* from = nullptr;
   Node* to = nullptr;
@@ -16,6 +41,13 @@ struct DataflowGraph::Edge {
   std::unique_ptr<sim::DmaEngine> dma;  // present iff path is non-empty
   sim::CreditGate gate;
   std::deque<std::pair<DataChunk, uint64_t>> send_queue;  // chunk, wire bytes
+  uint64_t next_seq = 0;
+  std::map<uint64_t, PendingSend> pending;
+  /// Verified chunks waiting for earlier sequence numbers (retransmission
+  /// reorders arrivals; handoff to the receiver stays in send order so a
+  /// faulty run computes bit-identical results).
+  uint64_t next_deliver_seq = 0;
+  std::map<uint64_t, std::pair<DataChunk, uint64_t>> reorder;
   bool eos_pending = false;
   bool eos_sent = false;
   sim::SimTime path_latency = 0;
@@ -37,6 +69,7 @@ struct DataflowGraph::Node {
   double cost_factor = 1.0;
   std::vector<ScanBatch> batches;
   size_t next_batch = 0;
+  uint32_t storage_retries = 0;  // consecutive failed reads of the next batch
   std::deque<std::tuple<DataChunk, uint64_t, Edge*>> inbox;
   size_t open_inputs = 0;
   std::vector<Edge*> outs;
@@ -165,14 +198,53 @@ bool DataflowGraph::SendQueuesEmpty(const Node* n) const {
   return true;
 }
 
+bool DataflowGraph::DeviceCrashed(Node* n) {
+  if (fault_ == nullptr || n->device == nullptr) return false;
+  if (!fault_->IsCrashed(n->device->name())) return false;
+  if (status_.ok()) {
+    failed_device_ = n->device->name();
+    Fail(Status::IOError("device '" + n->device->name() +
+                         "' crashed mid-query"));
+  }
+  return true;
+}
+
 void DataflowGraph::Pump(Node* n) {
   if (!status_.ok()) return;
   if (n->type == Node::Type::kSink) return;
   if (n->finished || n->device_busy) return;
+  if (DeviceCrashed(n)) return;
   if (!SendQueuesEmpty(n)) return;
 
   if (n->type == Node::Type::kSource) {
     if (n->next_batch < n->batches.size()) {
+      if (fault_ != nullptr &&
+          fault_->NextStorageRequestFails(n->device->name())) {
+        recovery_stats_.storage_io_errors += 1;
+        if (n->storage_retries >= policy_.max_storage_retries) {
+          Fail(Status::IOError("storage read for '" + n->name +
+                               "' failed after " +
+                               std::to_string(n->storage_retries) +
+                               " retries"));
+          return;
+        }
+        n->storage_retries += 1;
+        recovery_stats_.storage_retries += 1;
+        // The failed round trip still occupies the device; try again after
+        // a capped exponential backoff.
+        n->device_busy = true;
+        const auto work =
+            n->device->Process(sim_->now(), 0, n->source_cc, n->cost_factor);
+        const sim::SimTime backoff =
+            BackoffNs(policy_.storage_retry_backoff_ns, n->storage_retries - 1,
+                      policy_.max_backoff_ns);
+        sim_->ScheduleAt(work.end + backoff, [this, n] {
+          n->device_busy = false;
+          Pump(n);
+        });
+        return;
+      }
+      n->storage_retries = 0;
       const size_t idx = n->next_batch++;
       n->device_busy = true;
       const auto work = n->device->Process(
@@ -311,6 +383,17 @@ void DataflowGraph::PumpEdge(Edge* e) {
     e->peak_inflight_bytes = std::max(e->peak_inflight_bytes,
                                       e->inflight_bytes);
     e->bytes_sent += wire;
+    if (fault_ != nullptr && !e->path.empty()) {
+      // Unreliable path: keep the chunk until delivery is confirmed.
+      const uint64_t seq = e->next_seq++;
+      Edge::PendingSend p;
+      p.checksum = ChecksumChunk(chunk);
+      p.chunk = std::move(chunk);
+      p.wire = wire;
+      e->pending.emplace(seq, std::move(p));
+      Transmit(e, seq);
+      continue;
+    }
     sim::SimTime arrive = sim_->now();
     if (!e->path.empty()) {
       const auto first = e->dma->Transfer(arrive, wire);
@@ -325,12 +408,95 @@ void DataflowGraph::PumpEdge(Edge* e) {
                        Deliver(e, std::move(chunk), wire);
                      });
   }
-  if (e->send_queue.empty() && e->eos_pending && !e->eos_sent) {
+  if (e->send_queue.empty() && e->pending.empty() && e->reorder.empty() &&
+      e->eos_pending && !e->eos_sent) {
     e->eos_sent = true;
     const sim::SimTime t =
         std::max(e->last_arrive, sim_->now() + e->path_latency);
     sim_->ScheduleAt(t, [this, e] { HandleEos(e); });
   }
+}
+
+void DataflowGraph::Transmit(Edge* e, uint64_t seq) {
+  if (!status_.ok()) return;
+  auto it = e->pending.find(seq);
+  DFLOW_CHECK(it != e->pending.end());
+  Edge::PendingSend& p = it->second;
+  p.attempt += 1;
+
+  bool dropped = false;
+  bool corrupted = false;
+  const auto first = e->dma->Transfer(sim_->now(), p.wire);
+  sim::SimTime arrive = first.arrive;
+  dropped = first.outcome == sim::TransferOutcome::kDropped;
+  corrupted = first.outcome == sim::TransferOutcome::kCorrupted;
+  for (size_t i = 1; i < e->path.size() && !dropped; ++i) {
+    const auto hop = e->path[i]->Reserve(arrive, p.wire);
+    arrive = hop.arrive;
+    if (hop.outcome == sim::TransferOutcome::kDropped) dropped = true;
+    if (hop.outcome == sim::TransferOutcome::kCorrupted) corrupted = true;
+  }
+  e->last_arrive = std::max(e->last_arrive, arrive);
+  if (!dropped) {
+    sim_->ScheduleAt(arrive, [this, e, seq, corrupted] {
+      DeliverPending(e, seq, corrupted);
+    });
+  }
+  // Watchdog: if the chunk is still pending past its (backed-off) deadline,
+  // it was lost or discarded — retransmit.
+  const uint32_t attempt = p.attempt;
+  const sim::SimTime deadline =
+      arrive + BackoffNs(policy_.delivery_timeout_ns, attempt - 1,
+                         policy_.max_backoff_ns);
+  sim_->ScheduleAt(deadline,
+                   [this, e, seq, attempt] { CheckDelivery(e, seq, attempt); });
+}
+
+void DataflowGraph::DeliverPending(Edge* e, uint64_t seq, bool corrupted) {
+  if (!status_.ok()) return;
+  auto it = e->pending.find(seq);
+  if (it == e->pending.end()) return;  // late duplicate; already consumed
+  Edge::PendingSend& p = it->second;
+  uint64_t v = ChecksumChunk(p.chunk);
+  if (corrupted) v ^= kCorruptionMask;
+  if (v != p.checksum) {
+    // Receiver discards the damaged chunk; the sender's watchdog will
+    // retransmit from its pending copy.
+    recovery_stats_.checksum_failures += 1;
+    return;
+  }
+  e->reorder.emplace(seq, std::make_pair(std::move(p.chunk), p.wire));
+  e->pending.erase(it);
+  // Hand off every verified chunk that is next in send order. Credits stay
+  // held while a chunk sits in the reorder buffer, so flow control still
+  // bounds sender-side memory plus at most the credit window per edge.
+  while (!e->reorder.empty() &&
+         e->reorder.begin()->first == e->next_deliver_seq) {
+    auto [chunk, wire] = std::move(e->reorder.begin()->second);
+    e->reorder.erase(e->reorder.begin());
+    e->next_deliver_seq += 1;
+    Deliver(e, std::move(chunk), wire);
+  }
+  // The pending set may have drained: a held-back EOS may now be due.
+  PumpEdge(e);
+}
+
+void DataflowGraph::CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt) {
+  if (!status_.ok()) return;
+  auto it = e->pending.find(seq);
+  if (it == e->pending.end()) return;         // delivered in time
+  if (it->second.attempt != attempt) return;  // superseded watchdog
+  recovery_stats_.delivery_timeouts += 1;
+  if (it->second.attempt >= policy_.max_delivery_attempts) {
+    Fail(Status::IOError(
+        "edge " + e->from->name + "->" + e->to->name + " gave up after " +
+        std::to_string(it->second.attempt) + " delivery attempts"));
+    return;
+  }
+  recovery_stats_.retransmits += 1;
+  // Retransmit without re-acquiring credit: the credit from the original
+  // send is still held and is released when the chunk is finally consumed.
+  Transmit(e, seq);
 }
 
 void DataflowGraph::Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes) {

@@ -13,9 +13,27 @@
 #include "dflow/sim/credit.h"
 #include "dflow/sim/dma.h"
 #include "dflow/sim/device.h"
+#include "dflow/sim/fault.h"
 #include "dflow/sim/simulator.h"
 
 namespace dflow {
+
+/// How the recovery layer reacts to an unreliable fabric. All times are
+/// virtual, so recovery behaviour is exactly reproducible.
+struct RecoveryPolicy {
+  /// Grace period after a chunk's nominal arrival before the sender
+  /// declares it lost and retransmits (first attempt; doubles per retry).
+  sim::SimTime delivery_timeout_ns = 500'000;
+  /// Cap on the backed-off delivery timeout.
+  sim::SimTime max_backoff_ns = 8'000'000;
+  /// Transmissions per chunk before the edge gives up (kIOError).
+  uint32_t max_delivery_attempts = 10;
+  /// Retries of a failed storage read before the source gives up.
+  uint32_t max_storage_retries = 4;
+  /// Backoff before a storage read retry (doubles per retry, capped at
+  /// max_backoff_ns).
+  sim::SimTime storage_retry_backoff_ns = 200'000;
+};
 
 /// The executable form of a query plan laid out over the fabric: a DAG of
 /// stages, each pinned to a processing element, connected by credit-
@@ -77,6 +95,36 @@ class DataflowGraph {
   /// Sets a rate limit (Gbps) on the DMA engine of the edge from->to.
   Status SetEdgeRateLimit(NodeId from, NodeId to, double gbps);
 
+  /// Arms the recovery layer against `injector`'s faults: chunks sent over
+  /// link paths carry checksums and are retransmitted on delivery timeout
+  /// with capped exponential backoff; source storage reads that fail with
+  /// an injected kIOError are retried with backoff; stages whose device the
+  /// injector crashed fail the run with kIOError, and failed_device() names
+  /// the casualty so the engine can degrade to a CPU-only plan.
+  ///
+  /// Must be armed whenever the graph's links have this injector attached —
+  /// otherwise dropped chunks are simply lost. Colocated edges (empty link
+  /// path) are function calls, not fabric transfers; they are always
+  /// reliable. Retransmitted chunks can arrive after later chunks; the
+  /// receiver reorders verified chunks back into send order before handing
+  /// them to the operator, so a recovered run computes bit-identical
+  /// results to a fault-free one.
+  void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
+  void SetRecoveryPolicy(const RecoveryPolicy& policy) { policy_ = policy; }
+
+  struct RecoveryStats {
+    uint64_t retransmits = 0;
+    uint64_t delivery_timeouts = 0;
+    uint64_t checksum_failures = 0;
+    uint64_t storage_io_errors = 0;
+    uint64_t storage_retries = 0;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Name of the crashed device that failed the run ("" if the run
+  /// succeeded or failed for another reason).
+  const std::string& failed_device() const { return failed_device_; }
+
   /// Runs the whole graph to completion on the simulator. Fails if any
   /// operator errored or the event budget was exceeded.
   Status Run(uint64_t max_events = 200'000'000);
@@ -104,16 +152,24 @@ class DataflowGraph {
   void RouteScanBatch(Node* n, size_t batch_index);
   void PumpEdges(Node* n);
   void PumpEdge(Edge* e);
+  void Transmit(Edge* e, uint64_t seq);
+  void DeliverPending(Edge* e, uint64_t seq, bool corrupted);
+  void CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt);
   void Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes);
   void PopCredit(Edge* e, uint64_t wire_bytes);
   void HandleEos(Edge* e);
   void MarkNodeDone(Node* n);
   bool SendQueuesEmpty(const Node* n) const;
+  bool DeviceCrashed(Node* n);
   void Fail(Status status);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Edge>> edges_;
+  sim::FaultInjector* fault_ = nullptr;
+  RecoveryPolicy policy_;
+  RecoveryStats recovery_stats_;
+  std::string failed_device_;
   Status status_;
   bool started_ = false;
 };

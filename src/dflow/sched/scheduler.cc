@@ -11,12 +11,28 @@ Scheduler::Scheduler(Engine* engine) : engine_(engine) {
   DFLOW_CHECK(engine != nullptr);
 }
 
+// Drops variants that place stages on devices the engine has quarantined
+// (accelerators that crashed in earlier runs). Keeps the original list when
+// every variant is tainted — there is nothing better to offer, and the
+// engine's own fallback still applies. Concurrent queries run on node 0.
+static std::vector<RankedPlacement> HealthyVariants(
+    Engine* engine, std::vector<RankedPlacement> variants) {
+  std::vector<RankedPlacement> healthy;
+  for (RankedPlacement& v : variants) {
+    if (engine->PlacementHealthy(v.placement, /*node=*/0)) {
+      healthy.push_back(std::move(v));
+    }
+  }
+  return healthy.empty() ? variants : healthy;
+}
+
 Result<ScheduleDecision> Scheduler::PlanNaive(
     const std::vector<QuerySpec>& specs) const {
   ScheduleDecision decision;
   for (const QuerySpec& spec : specs) {
     DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
                            engine_->PlanVariants(spec));
+    variants = HealthyVariants(engine_, std::move(variants));
     decision.placements.push_back(variants.front().placement);
     decision.network_rate_limits_gbps.push_back(0.0);
     decision.rationale.push_back("individually optimal (no contention model)");
@@ -39,6 +55,7 @@ Result<ScheduleDecision> Scheduler::Plan(
   for (size_t q = 0; q < specs.size(); ++q) {
     DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
                            engine_->PlanVariants(specs[q]));
+    variants = HealthyVariants(engine_, std::move(variants));
     double best_completion = 0;
     size_t best = 0;
     for (size_t v = 0; v < variants.size(); ++v) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dflow/common/logging.h"
+#include "dflow/sim/fault.h"
 
 namespace dflow::sim {
 
@@ -73,8 +74,16 @@ SimTime Device::CostNs(uint64_t bytes, CostClass c, double factor) const {
 
 Device::Work Device::Process(SimTime ready, uint64_t bytes, CostClass c,
                              double factor) {
+  SimTime stall = 0;
+  if (fault_ != nullptr) {
+    stall = fault_->StallNs(name_);
+    if (stall > 0) {
+      stalls_ += 1;
+      stall_ns_ += stall;
+    }
+  }
   const SimTime cost = CostNs(bytes, c, factor);
-  const SimTime start = std::max(ready, next_free_);
+  const SimTime start = std::max(ready, next_free_) + stall;
   const SimTime end = start + cost;
   next_free_ = end;
   busy_ns_ += cost;
@@ -83,11 +92,17 @@ Device::Work Device::Process(SimTime ready, uint64_t bytes, CostClass c,
   return Work{start, end};
 }
 
-void Device::ResetStats() {
-  next_free_ = 0;
+void Device::ResetMetrics() {
   busy_ns_ = 0;
   bytes_processed_ = 0;
   items_processed_ = 0;
+  stalls_ = 0;
+  stall_ns_ = 0;
+}
+
+void Device::ResetStats() {
+  ResetMetrics();
+  next_free_ = 0;
 }
 
 }  // namespace dflow::sim

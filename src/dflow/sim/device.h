@@ -10,6 +10,8 @@
 
 namespace dflow::sim {
 
+class FaultInjector;
+
 /// A processing element on the fabric: CPU core set, smart storage
 /// processor, NIC processor, near-memory accelerator, or the storage media
 /// controller itself.
@@ -58,7 +60,18 @@ class Device {
   uint64_t busy_ns() const { return busy_ns_; }
   uint64_t bytes_processed() const { return bytes_processed_; }
   uint64_t items_processed() const { return items_processed_; }
+  uint64_t stalls() const { return stalls_; }
+  SimTime stall_ns() const { return stall_ns_; }
 
+  /// Attaches a fault injector; subsequent Process calls may be delayed by
+  /// injected transient stalls. nullptr detaches.
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
+  /// Clears busy/byte/item/stall counters but keeps timing state
+  /// (next_free), so chained runs report only their own work.
+  void ResetMetrics();
+
+  /// Full reset: metrics and timing state (fresh simulation).
   void ResetStats();
 
  private:
@@ -67,10 +80,13 @@ class Device {
   std::string name_;
   SimTime per_item_overhead_ns_;
   std::array<double, kNumCostClasses> rates_gbps_{};
+  FaultInjector* fault_ = nullptr;
   SimTime next_free_ = 0;
   uint64_t busy_ns_ = 0;
   uint64_t bytes_processed_ = 0;
   uint64_t items_processed_ = 0;
+  uint64_t stalls_ = 0;
+  SimTime stall_ns_ = 0;
 };
 
 }  // namespace dflow::sim

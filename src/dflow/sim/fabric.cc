@@ -130,6 +130,11 @@ void Fabric::Reset() {
   for (Link* l : AllLinks()) l->ResetStats();
 }
 
+void Fabric::ResetMetrics() {
+  for (Device* d : AllDevices()) d->ResetMetrics();
+  for (Link* l : AllLinks()) l->ResetMetrics();
+}
+
 std::vector<Link*> Fabric::AllLinks() {
   std::vector<Link*> links = {storage_uplink_.get()};
   for (ComputeNode& n : nodes_) {

@@ -103,6 +103,12 @@ class Fabric {
   /// same topology).
   void Reset();
 
+  /// Clears link/device byte and busy counters only; the virtual clock and
+  /// per-element timing state survive. Used when chaining runs
+  /// (ExecOptions::reset_fabric = false) so each run's report counts only
+  /// its own traffic instead of double-counting earlier phases.
+  void ResetMetrics();
+
   /// All links / all devices, for reporting.
   std::vector<Link*> AllLinks();
   std::vector<Device*> AllDevices();

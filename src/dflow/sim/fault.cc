@@ -1,0 +1,94 @@
+#include "dflow/sim/fault.h"
+
+#include <sstream>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::sim {
+
+FaultInjector::FaultInjector(FaultConfig config, const Simulator* sim)
+    : config_(config), sim_(sim), rng_(config.seed) {
+  DFLOW_CHECK_GE(config.drop_prob, 0.0);
+  DFLOW_CHECK_GE(config.corrupt_prob, 0.0);
+  DFLOW_CHECK_LE(config.drop_prob + config.corrupt_prob, 1.0);
+  DFLOW_CHECK_GE(config.stall_prob, 0.0);
+  DFLOW_CHECK_LE(config.stall_prob, 1.0);
+  DFLOW_CHECK_GE(config.storage_error_prob, 0.0);
+  DFLOW_CHECK_LE(config.storage_error_prob, 1.0);
+}
+
+void FaultInjector::Record(const std::string& kind, const std::string& target) {
+  trace_.push_back(Event{Now(), kind, target});
+}
+
+TransferOutcome FaultInjector::ClassifyTransfer(const std::string& link_name) {
+  counters_.transfers_seen++;
+  // One draw per message, partitioned into [0, drop) -> drop,
+  // [drop, drop + corrupt) -> corrupt, rest -> deliver. A fixed draw count
+  // per decision point keeps the schedule stable under config tweaks.
+  const double u = rng_.NextDouble();
+  if (u < config_.drop_prob) {
+    counters_.drops++;
+    Record("drop", link_name);
+    return TransferOutcome::kDropped;
+  }
+  if (u < config_.drop_prob + config_.corrupt_prob) {
+    counters_.corruptions++;
+    Record("corrupt", link_name);
+    return TransferOutcome::kCorrupted;
+  }
+  return TransferOutcome::kDelivered;
+}
+
+SimTime FaultInjector::StallNs(const std::string& device_name) {
+  counters_.stall_decisions++;
+  if (config_.stall_prob <= 0.0) return 0;
+  if (rng_.NextDouble() >= config_.stall_prob) return 0;
+  counters_.stalls++;
+  counters_.stall_ns_total += config_.stall_ns;
+  Record("stall", device_name);
+  return config_.stall_ns;
+}
+
+bool FaultInjector::NextStorageRequestFails(const std::string& target) {
+  const uint64_t n = counters_.storage_requests_seen++;
+  bool fail = scheduled_storage_failures_.erase(n) > 0;
+  if (config_.storage_error_prob > 0.0 &&
+      rng_.NextDouble() < config_.storage_error_prob) {
+    fail = true;
+  }
+  if (fail) {
+    counters_.storage_errors++;
+    Record("io_error", target);
+  }
+  return fail;
+}
+
+void FaultInjector::FailStorageRequest(uint64_t nth) {
+  scheduled_storage_failures_.insert(nth);
+}
+
+void FaultInjector::CrashDeviceAt(const std::string& device_name,
+                                  SimTime when) {
+  crash_at_[device_name] = when;
+}
+
+bool FaultInjector::IsCrashed(const std::string& device_name) {
+  auto it = crash_at_.find(device_name);
+  if (it == crash_at_.end() || Now() < it->second) return false;
+  if (crash_seen_.insert(device_name).second) {
+    counters_.crashes_observed++;
+    Record("crash", device_name);
+  }
+  return true;
+}
+
+std::string FaultInjector::TraceString() const {
+  std::ostringstream os;
+  for (const Event& e : trace_) {
+    os << e.time << " " << e.kind << " " << e.target << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dflow::sim

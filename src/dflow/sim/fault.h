@@ -1,0 +1,143 @@
+#ifndef DFLOW_SIM_FAULT_H_
+#define DFLOW_SIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dflow/common/random.h"
+#include "dflow/sim/simulator.h"
+
+namespace dflow::sim {
+
+/// What happened to one message on a faulty link.
+enum class TransferOutcome : uint8_t {
+  kDelivered = 0,
+  kDropped,    // never arrives; the sender's delivery timeout must recover
+  kCorrupted,  // arrives, but checksum verification at the receiver fails
+};
+
+/// Knobs of the unreliable-fabric mode. All probabilities are per decision
+/// point (per link message, per device work item, per storage request) and
+/// are drawn from one seeded PRNG, so a given (config, workload) pair
+/// produces exactly the same fault schedule on every run.
+struct FaultConfig {
+  uint64_t seed = 1;
+
+  /// Probability a link message is silently dropped.
+  double drop_prob = 0.0;
+  /// Probability a link message arrives bit-flipped (caught by checksum).
+  double corrupt_prob = 0.0;
+
+  /// Probability a device work item hits a transient stall, and how long
+  /// the stall lasts (virtual time).
+  double stall_prob = 0.0;
+  SimTime stall_ns = 100'000;
+
+  /// Probability a storage read request fails with kIOError.
+  double storage_error_prob = 0.0;
+};
+
+/// Deterministic, seed-driven fault source for the simulated fabric.
+///
+/// The data-flow architecture spreads a query over many processing
+/// elements — which multiplies the points of failure. This injector is the
+/// adversary: it decides, reproducibly, which link messages are lost or
+/// corrupted, which device work items stall, which storage requests error
+/// out, and when a processing element dies for good. Because every decision
+/// is drawn from one seeded PRNG inside the deterministic event loop, the
+/// whole fault schedule — and therefore the recovered execution — is
+/// byte-for-byte reproducible (see `TraceString()`).
+///
+/// Wiring: `Link::SetFaultInjector` stamps outcomes onto transfers,
+/// `Device::SetFaultInjector` injects stalls into `Process`, `ObjectStore`
+/// turns `NextStorageRequestFails` into kIOError responses, and
+/// `DataflowGraph::SetFaultInjector` arms the recovery layer (timeouts,
+/// retransmission, checksum verification, storage retry, crash detection).
+/// When links have an injector attached, any DataflowGraph running over
+/// them must be armed too, or dropped chunks are lost with no retry —
+/// `Engine::EnableFaultInjection` does both sides consistently.
+class FaultInjector {
+ public:
+  /// `sim` (optional) timestamps the fault trace with virtual time.
+  explicit FaultInjector(FaultConfig config, const Simulator* sim = nullptr);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultConfig& config() const { return config_; }
+
+  // ------------------------------------------------------------ link hook
+  /// Classifies the next message on `link_name`. One PRNG draw per call.
+  TransferOutcome ClassifyTransfer(const std::string& link_name);
+
+  // ---------------------------------------------------------- device hook
+  /// Extra stall (ns) injected before the next work item on `device_name`
+  /// starts; 0 for no fault. One PRNG draw per call.
+  SimTime StallNs(const std::string& device_name);
+
+  // --------------------------------------------------------- storage hook
+  /// Whether the next storage read request against `target` fails with
+  /// kIOError. Counts the request; honours both the probabilistic
+  /// `storage_error_prob` and requests scheduled via FailStorageRequest.
+  bool NextStorageRequestFails(const std::string& target);
+
+  /// Schedules the `nth` storage request (0-based, counted across all
+  /// targets) to fail deterministically, independent of probabilities.
+  void FailStorageRequest(uint64_t nth);
+
+  // ------------------------------------------------------ scheduled crash
+  /// Permanently kills `device_name` at virtual time `when`. From then on
+  /// IsCrashed() returns true forever (crashes do not heal).
+  void CrashDeviceAt(const std::string& device_name, SimTime when);
+
+  /// True once the device's crash time has passed. Records the first
+  /// observation in the trace.
+  bool IsCrashed(const std::string& device_name);
+
+  // ------------------------------------------------------------ reporting
+  struct Counters {
+    uint64_t transfers_seen = 0;
+    uint64_t drops = 0;
+    uint64_t corruptions = 0;
+    uint64_t stall_decisions = 0;
+    uint64_t stalls = 0;
+    SimTime stall_ns_total = 0;
+    uint64_t storage_requests_seen = 0;
+    uint64_t storage_errors = 0;
+    uint64_t crashes_observed = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// One injected fault (decisions that resulted in no fault are not
+  /// recorded; counters cover those).
+  struct Event {
+    SimTime time;
+    std::string kind;    // "drop" | "corrupt" | "stall" | "io_error" | "crash"
+    std::string target;  // link / device / storage target name
+  };
+  const std::vector<Event>& trace() const { return trace_; }
+
+  /// The full fault schedule as one line per event — byte-identical across
+  /// runs with the same seed and workload (the determinism contract tests
+  /// assert on this string).
+  std::string TraceString() const;
+
+ private:
+  SimTime Now() const { return sim_ != nullptr ? sim_->now() : 0; }
+  void Record(const std::string& kind, const std::string& target);
+
+  FaultConfig config_;
+  const Simulator* sim_;
+  Random rng_;
+  std::map<std::string, SimTime> crash_at_;
+  std::set<std::string> crash_seen_;
+  std::set<uint64_t> scheduled_storage_failures_;
+  Counters counters_;
+  std::vector<Event> trace_;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_FAULT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dflow/common/logging.h"
+#include "dflow/sim/fault.h"
 
 namespace dflow::sim {
 
@@ -26,14 +27,26 @@ Link::Transfer Link::Reserve(SimTime ready, uint64_t bytes) {
   bytes_transferred_ += bytes;
   busy_ns_ += wire;
   num_messages_ += 1;
-  return Transfer{depart, depart + latency_ns_};
+  Transfer t{depart, depart + latency_ns_, TransferOutcome::kDelivered};
+  if (fault_ != nullptr) {
+    t.outcome = fault_->ClassifyTransfer(name_);
+    if (t.outcome == TransferOutcome::kDropped) messages_dropped_ += 1;
+    if (t.outcome == TransferOutcome::kCorrupted) messages_corrupted_ += 1;
+  }
+  return t;
 }
 
-void Link::ResetStats() {
-  next_free_ = 0;
+void Link::ResetMetrics() {
   bytes_transferred_ = 0;
   busy_ns_ = 0;
   num_messages_ = 0;
+  messages_dropped_ = 0;
+  messages_corrupted_ = 0;
+}
+
+void Link::ResetStats() {
+  ResetMetrics();
+  next_free_ = 0;
 }
 
 }  // namespace dflow::sim

@@ -8,6 +8,9 @@
 
 namespace dflow::sim {
 
+class FaultInjector;
+enum class TransferOutcome : uint8_t;
+
 /// A shared transfer medium between two points of the fabric: network hop,
 /// PCIe/CXL interconnect, or memory bus. Transfers serialize (one at a
 /// time), which is how link contention between concurrent queries emerges in
@@ -23,6 +26,10 @@ class Link {
   struct Transfer {
     SimTime depart;  // when the last byte leaves the sender
     SimTime arrive;  // when the last byte reaches the receiver
+    /// What the fault injector decided for this message (kDelivered when no
+    /// injector is attached). A dropped message still occupies the wire —
+    /// the bytes were transmitted, they just never reach the receiver.
+    TransferOutcome outcome = static_cast<TransferOutcome>(0);
   };
 
   const std::string& name() const { return name_; }
@@ -40,17 +47,31 @@ class Link {
   uint64_t bytes_transferred() const { return bytes_transferred_; }
   uint64_t busy_ns() const { return busy_ns_; }
   uint64_t num_messages() const { return num_messages_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t messages_corrupted() const { return messages_corrupted_; }
 
+  /// Attaches a fault injector; every subsequent Reserve consults it for the
+  /// message's outcome. nullptr detaches (perfect link again).
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+
+  /// Clears byte/busy/message counters but keeps timing state (next_free),
+  /// so chained runs on a warm fabric report only their own traffic.
+  void ResetMetrics();
+
+  /// Full reset: metrics and timing state (fresh simulation).
   void ResetStats();
 
  private:
   std::string name_;
   double bandwidth_gbps_;
   SimTime latency_ns_;
+  FaultInjector* fault_ = nullptr;
   SimTime next_free_ = 0;
   uint64_t bytes_transferred_ = 0;
   uint64_t busy_ns_ = 0;
   uint64_t num_messages_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t messages_corrupted_ = 0;
 };
 
 }  // namespace dflow::sim

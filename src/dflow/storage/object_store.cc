@@ -1,6 +1,15 @@
 #include "dflow/storage/object_store.h"
 
+#include "dflow/sim/fault.h"
+
 namespace dflow {
+
+bool ObjectStore::InjectRequestFailure() const {
+  if (fault_ == nullptr) return false;
+  if (!fault_->NextStorageRequestFails("object_store")) return false;
+  stats_.io_errors++;
+  return true;
+}
 
 Status ObjectStore::Put(const std::string& key, std::vector<uint8_t> data) {
   stats_.put_requests++;
@@ -15,6 +24,9 @@ Result<std::vector<uint8_t>> ObjectStore::Get(const std::string& key) const {
     return Status::NotFound("object '" + key + "' not found");
   }
   stats_.get_requests++;
+  if (InjectRequestFailure()) {
+    return Status::IOError("GET '" + key + "' failed (injected fault)");
+  }
   stats_.bytes_read += it->second.size();
   return it->second;
 }
@@ -30,9 +42,37 @@ Result<std::vector<uint8_t>> ObjectStore::GetRange(const std::string& key,
     return Status::OutOfRange("range beyond object size");
   }
   stats_.get_requests++;
+  if (InjectRequestFailure()) {
+    return Status::IOError("GET range '" + key + "' failed (injected fault)");
+  }
   stats_.bytes_read += length;
   return std::vector<uint8_t>(it->second.begin() + offset,
                               it->second.begin() + offset + length);
+}
+
+Result<std::vector<uint8_t>> ObjectStore::GetWithRetry(
+    const std::string& key, uint32_t max_retries) const {
+  Result<std::vector<uint8_t>> r = Get(key);
+  for (uint32_t i = 0;
+       i < max_retries && !r.ok() && r.status().code() == StatusCode::kIOError;
+       ++i) {
+    stats_.retries++;
+    r = Get(key);
+  }
+  return r;
+}
+
+Result<std::vector<uint8_t>> ObjectStore::GetRangeWithRetry(
+    const std::string& key, uint64_t offset, uint64_t length,
+    uint32_t max_retries) const {
+  Result<std::vector<uint8_t>> r = GetRange(key, offset, length);
+  for (uint32_t i = 0;
+       i < max_retries && !r.ok() && r.status().code() == StatusCode::kIOError;
+       ++i) {
+    stats_.retries++;
+    r = GetRange(key, offset, length);
+  }
+  return r;
 }
 
 Result<uint64_t> ObjectStore::Size(const std::string& key) const {

@@ -10,6 +10,10 @@
 
 namespace dflow {
 
+namespace sim {
+class FaultInjector;
+}  // namespace sim
+
 /// Simulated disaggregated object store (the S3-like layer of §3.2).
 ///
 /// Semantics follow cloud object stores: immutable whole-object PUT, GET and
@@ -25,6 +29,8 @@ class ObjectStore {
     uint64_t get_requests = 0;
     uint64_t bytes_written = 0;
     uint64_t bytes_read = 0;
+    uint64_t io_errors = 0;  // injected request failures served
+    uint64_t retries = 0;    // re-issues by the *WithRetry wrappers
   };
 
   ObjectStore() = default;
@@ -44,6 +50,17 @@ class ObjectStore {
                                         uint64_t offset,
                                         uint64_t length) const;
 
+  /// Like Get/GetRange, but re-issues the request up to `max_retries` times
+  /// when it fails with an injected kIOError — the client-side retry every
+  /// real object-store SDK performs. Other errors (NotFound, OutOfRange) are
+  /// not retried.
+  Result<std::vector<uint8_t>> GetWithRetry(const std::string& key,
+                                            uint32_t max_retries = 4) const;
+  Result<std::vector<uint8_t>> GetRangeWithRetry(const std::string& key,
+                                                 uint64_t offset,
+                                                 uint64_t length,
+                                                 uint32_t max_retries = 4) const;
+
   /// Object size without transferring data (HEAD request; not counted as a
   /// data-bearing GET).
   Result<uint64_t> Size(const std::string& key) const;
@@ -58,12 +75,20 @@ class ObjectStore {
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
 
+  /// Arms request-level fault injection: data-bearing GETs consult the
+  /// injector and fail with kIOError when it says so (null detaches).
+  void SetFaultInjector(sim::FaultInjector* fault) { fault_ = fault; }
+
   /// Total bytes at rest across all objects.
   uint64_t TotalBytes() const;
 
  private:
+  /// Charges one data-bearing request against the injector; true = fail it.
+  bool InjectRequestFailure() const;
+
   std::map<std::string, std::vector<uint8_t>> objects_;
   mutable Stats stats_;
+  sim::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace dflow

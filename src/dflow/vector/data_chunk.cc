@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "dflow/common/hash.h"
 #include "dflow/common/logging.h"
 
 namespace dflow {
@@ -70,6 +71,43 @@ std::string DataChunk::ToString(size_t max_rows) const {
   }
   if (limit < num_rows()) os << "  ... (" << (num_rows() - limit) << " more)\n";
   return os.str();
+}
+
+uint64_t ChecksumChunk(const DataChunk& chunk) {
+  uint64_t h = HashInt64(chunk.num_columns());
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    const ColumnVector& col = chunk.column(c);
+    h = HashCombine(h, static_cast<uint64_t>(col.type()));
+    h = HashCombine(h, col.size());
+    switch (col.type()) {
+      case DataType::kBool:
+        h = HashCombine(
+            h, HashBytes(col.bool_data().data(), col.bool_data().size()));
+        break;
+      case DataType::kInt32:
+      case DataType::kDate32:
+        h = HashCombine(h, HashBytes(col.i32().data(),
+                                     col.i32().size() * sizeof(int32_t)));
+        break;
+      case DataType::kInt64:
+        h = HashCombine(h, HashBytes(col.i64().data(),
+                                     col.i64().size() * sizeof(int64_t)));
+        break;
+      case DataType::kDouble:
+        h = HashCombine(h, HashBytes(col.f64().data(),
+                                     col.f64().size() * sizeof(double)));
+        break;
+      case DataType::kString:
+        for (const std::string& s : col.strs()) {
+          h = HashCombine(h, HashString(s));
+        }
+        break;
+    }
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (!col.IsValid(i)) h = HashCombine(h, i);
+    }
+  }
+  return h;
 }
 
 }  // namespace dflow

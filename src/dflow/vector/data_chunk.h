@@ -61,6 +61,12 @@ class DataChunk {
   std::vector<ColumnVector> columns_;
 };
 
+/// Content checksum over every column's data and validity, independent of
+/// object identity. Computed at the sender and verified at the receiver by
+/// the unreliable-fabric recovery layer — the same hash everywhere, like the
+/// partitioning hash (see common/hash.h).
+uint64_t ChecksumChunk(const DataChunk& chunk);
+
 /// Splits `rows` rows worth of columns into kVectorSize-sized chunks.
 /// `make_chunk(start, count)` must return the chunk covering that row range.
 template <typename MakeChunkFn>

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "dflow/engine/engine.h"
+#include "dflow/exec/local_executor.h"
+#include "dflow/sched/scheduler.h"
+#include "dflow/sim/fault.h"
+#include "dflow/storage/object_store.h"
+#include "dflow/workload/tpch_like.h"
+
+namespace dflow {
+namespace {
+
+// Same dataset as the engine tests: faults must not change answers.
+class FaultTest : public ::testing::Test {
+ protected:
+  static sim::FabricConfig Config() {
+    sim::FabricConfig config;
+    config.num_compute_nodes = 2;
+    return config;
+  }
+
+  static void RegisterTables(Engine* engine) {
+    LineitemSpec li;
+    li.rows = 30'000;
+    li.num_orders = 5'000;
+    li.row_group_size = 8'192;
+    DFLOW_CHECK(
+        engine->catalog().Register(MakeLineitemTable(li).ValueOrDie()).ok());
+  }
+
+  FaultTest() : engine_(Config()) { RegisterTables(&engine_); }
+
+  static QuerySpec Q6Like() {
+    QuerySpec spec;
+    spec.table = "lineitem";
+    spec.filter = Expr::And(
+        {Between("l_shipdate", Value::Date32(kShipdateLo),
+                 Value::Date32(kShipdateLo + 500)),
+         Expr::Cmp(CompareOp::kLe, Expr::Col("l_discount"),
+                   Expr::Lit(Value::Double(0.05)))});
+    spec.projections = {Expr::Arith(ArithOp::kMul, Expr::Col("l_extendedprice"),
+                                    Expr::Col("l_discount"))};
+    spec.projection_names = {"revenue"};
+    spec.aggregates = {{AggFunc::kSum, "revenue", "total_revenue"},
+                       {AggFunc::kCount, "", "n"}};
+    return spec;
+  }
+
+  Engine engine_;
+};
+
+// -------------------------------------------------------------- injector
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  sim::FaultConfig config;
+  config.seed = 42;
+  config.drop_prob = 0.1;
+  config.corrupt_prob = 0.1;
+  config.stall_prob = 0.2;
+  config.storage_error_prob = 0.3;
+
+  sim::FaultInjector a(config);
+  sim::FaultInjector b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.ClassifyTransfer("net"), b.ClassifyTransfer("net"));
+    EXPECT_EQ(a.StallNs("cpu0"), b.StallNs("cpu0"));
+    EXPECT_EQ(a.NextStorageRequestFails("s"), b.NextStorageRequestFails("s"));
+  }
+  EXPECT_EQ(a.TraceString(), b.TraceString());
+  EXPECT_EQ(a.counters().drops, b.counters().drops);
+  EXPECT_EQ(a.counters().corruptions, b.counters().corruptions);
+  EXPECT_EQ(a.counters().stalls, b.counters().stalls);
+  EXPECT_EQ(a.counters().storage_errors, b.counters().storage_errors);
+  EXPECT_GT(a.counters().drops + a.counters().corruptions, 0u);
+  EXPECT_GT(a.counters().stalls, 0u);
+  EXPECT_GT(a.counters().storage_errors, 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  sim::FaultConfig config;
+  config.drop_prob = 0.2;
+  config.seed = 1;
+  sim::FaultInjector a(config);
+  config.seed = 2;
+  sim::FaultInjector b(config);
+  bool diverged = false;
+  for (int i = 0; i < 500 && !diverged; ++i) {
+    diverged = a.ClassifyTransfer("net") != b.ClassifyTransfer("net");
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, CrashIsPermanentAndTimed) {
+  sim::Simulator sim;
+  sim::FaultConfig config;
+  sim::FaultInjector injector(config, &sim);
+  injector.CrashDeviceAt("nma0", 1'000);
+  EXPECT_FALSE(injector.IsCrashed("nma0"));
+  sim.Schedule(2'000, [] {});
+  sim.Run();
+  EXPECT_TRUE(injector.IsCrashed("nma0"));
+  EXPECT_TRUE(injector.IsCrashed("nma0"));  // does not heal
+  EXPECT_FALSE(injector.IsCrashed("cpu0"));
+  EXPECT_EQ(injector.counters().crashes_observed, 1u);  // first sighting only
+}
+
+// ---------------------------------------------------------- object store
+
+TEST(ObjectStoreFaultTest, ScheduledFailureAndRetry) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Put("k", {1, 2, 3, 4}).ok());
+
+  sim::FaultConfig config;
+  sim::FaultInjector injector(config);
+  injector.FailStorageRequest(0);  // first data-bearing GET fails
+  store.SetFaultInjector(&injector);
+
+  auto direct = store.Get("k");
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kIOError);
+
+  // The retry wrapper recovers from the next scheduled failure.
+  injector.FailStorageRequest(1);
+  auto retried = store.GetWithRetry("k", /*max_retries=*/3);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.ValueOrDie().size(), 4u);
+  EXPECT_EQ(store.stats().io_errors, 2u);
+  EXPECT_EQ(store.stats().retries, 1u);
+
+  // NotFound is not retried.
+  auto missing = store.GetWithRetry("absent");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreFaultTest, RetryGivesUpAfterBudget) {
+  ObjectStore store;
+  ASSERT_TRUE(store.Put("k", {9}).ok());
+  sim::FaultConfig config;
+  config.storage_error_prob = 1.0;  // every request fails
+  sim::FaultInjector injector(config);
+  store.SetFaultInjector(&injector);
+  auto r = store.GetRangeWithRetry("k", 0, 1, /*max_retries=*/2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(store.stats().retries, 2u);
+  EXPECT_EQ(store.stats().io_errors, 3u);
+}
+
+// ------------------------------------------------- transient-fault runs
+
+TEST_F(FaultTest, TransientFaultsDoNotChangeResults) {
+  const QuerySpec spec = Q6Like();
+  // CPU-only streams every scan chunk across all four links — the placement
+  // with the most exposure to an unreliable fabric.
+  ExecOptions options;
+  options.placement = PlacementChoice::kCpuOnly;
+
+  // Fault-free reference.
+  auto clean = engine_.Execute(spec, options).ValueOrDie();
+  ASSERT_EQ(TotalRows(clean.chunks), 1u);
+  EXPECT_FALSE(clean.report.fault.Any());
+
+  // Drops + corruption + one injected storage IOError, fixed seed.
+  sim::FaultConfig config;
+  config.seed = 7;
+  config.drop_prob = 0.05;
+  config.corrupt_prob = 0.05;
+  config.stall_prob = 0.02;
+  engine_.EnableFaultInjection(config);
+  engine_.fault_injector()->FailStorageRequest(1);
+  auto faulty = engine_.Execute(spec, options).ValueOrDie();
+  engine_.DisableFaultInjection();
+
+  ASSERT_EQ(TotalRows(faulty.chunks), 1u);
+  EXPECT_EQ(clean.chunks[0].GetValue(0, 0).double_value(),
+            faulty.chunks[0].GetValue(0, 0).double_value());
+  EXPECT_EQ(clean.chunks[0].GetValue(0, 1).int64_value(),
+            faulty.chunks[0].GetValue(0, 1).int64_value());
+
+  const FaultReport& f = faulty.report.fault;
+  EXPECT_GT(f.chunks_dropped + f.chunks_corrupted, 0u);
+  EXPECT_GT(f.retransmits, 0u);
+  EXPECT_EQ(f.delivery_timeouts, f.retransmits);  // none gave up
+  EXPECT_GT(f.storage_io_errors, 0u);
+  EXPECT_GT(f.storage_retries, 0u);
+  EXPECT_FALSE(f.cpu_fallback);
+  // Recovery costs time: the faulty run cannot be faster.
+  EXPECT_GE(faulty.report.sim_ns, clean.report.sim_ns);
+}
+
+TEST_F(FaultTest, SameSeedReproducesRunExactly) {
+  const QuerySpec spec = Q6Like();
+  ExecOptions options;
+  options.placement = PlacementChoice::kCpuOnly;
+  sim::FaultConfig config;
+  config.seed = 1234;
+  config.drop_prob = 0.05;
+  config.corrupt_prob = 0.02;
+  config.stall_prob = 0.05;
+
+  auto run = [&](Engine* engine) {
+    engine->EnableFaultInjection(config);
+    auto result = engine->Execute(spec, options).ValueOrDie();
+    std::string trace = engine->fault_injector()->TraceString();
+    return std::make_pair(result, trace);
+  };
+  Engine other(Config());
+  RegisterTables(&other);
+  auto [ra, ta] = run(&engine_);
+  auto [rb, tb] = run(&other);
+
+  EXPECT_FALSE(ta.empty());
+  EXPECT_EQ(ta, tb);  // byte-identical fault schedule
+  EXPECT_EQ(ra.report.sim_ns, rb.report.sim_ns);
+  EXPECT_EQ(ra.report.fault.retransmits, rb.report.fault.retransmits);
+  EXPECT_EQ(ra.report.fault.checksum_failures,
+            rb.report.fault.checksum_failures);
+  EXPECT_EQ(ra.chunks[0].GetValue(0, 0).double_value(),
+            rb.chunks[0].GetValue(0, 0).double_value());
+}
+
+TEST_F(FaultTest, TotalLossExhaustsDeliveryAttempts) {
+  sim::FaultConfig config;
+  config.drop_prob = 1.0;  // nothing ever gets through
+  RecoveryPolicy policy;
+  policy.max_delivery_attempts = 3;
+  engine_.EnableFaultInjection(config, policy);
+  auto result = engine_.Execute(Q6Like());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("delivery attempts"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- crash and degradation
+
+TEST_F(FaultTest, AcceleratorCrashFallsBackToCpu) {
+  const QuerySpec spec = Q6Like();
+  ExecOptions options;
+  options.placement = PlacementChoice::kFullOffload;
+  auto clean = engine_.Execute(spec, options).ValueOrDie();
+
+  sim::FaultConfig config;
+  engine_.EnableFaultInjection(config);
+  // Kill the smart-storage processor a moment into the query.
+  engine_.fault_injector()->CrashDeviceAt("storage_proc", 1'000'000);
+  auto degraded = engine_.Execute(spec, options).ValueOrDie();
+
+  EXPECT_TRUE(degraded.report.fault.cpu_fallback);
+  EXPECT_EQ(degraded.report.fault.failed_device, "storage_proc");
+  EXPECT_NE(degraded.report.variant.find("fallback"), std::string::npos);
+  EXPECT_FALSE(engine_.IsDeviceHealthy("storage_proc"));
+  // Still the right answer, off the CPU-only data path.
+  ASSERT_EQ(TotalRows(degraded.chunks), 1u);
+  EXPECT_EQ(clean.chunks[0].GetValue(0, 0).double_value(),
+            degraded.chunks[0].GetValue(0, 0).double_value());
+  EXPECT_EQ(clean.chunks[0].GetValue(0, 1).int64_value(),
+            degraded.chunks[0].GetValue(0, 1).int64_value());
+}
+
+TEST_F(FaultTest, AutoPlacementAvoidsDeadDevice) {
+  const QuerySpec spec = Q6Like();
+  sim::FaultConfig config;
+  engine_.EnableFaultInjection(config);
+  engine_.fault_injector()->CrashDeviceAt("storage_proc", 1'000'000);
+
+  // First auto run hits the crash and degrades.
+  auto first = engine_.Execute(spec).ValueOrDie();
+  EXPECT_TRUE(first.report.fault.cpu_fallback);
+
+  // The next auto run plans around the quarantined device up front: it
+  // completes without ever touching the dead accelerator.
+  auto second = engine_.Execute(spec).ValueOrDie();
+  EXPECT_FALSE(second.report.fault.cpu_fallback);
+  EXPECT_TRUE(second.report.fault.failed_device.empty());
+  EXPECT_EQ(first.chunks[0].GetValue(0, 0).double_value(),
+            second.chunks[0].GetValue(0, 0).double_value());
+}
+
+TEST_F(FaultTest, FirstObservedCrashWinsWithConcurrentFailures) {
+  sim::FaultConfig config;
+  engine_.EnableFaultInjection(config);
+  // Both storage-side accelerators die before any work reaches them. The
+  // decode stage (storage_proc) sits upstream of the NIC scatter, so its
+  // crash is observed first and names the failure — later observations
+  // must not overwrite it.
+  engine_.fault_injector()->CrashDeviceAt("storage_proc", 0);
+  engine_.fault_injector()->CrashDeviceAt("storage_nic", 0);
+  ExecOptions options;
+  options.placement = PlacementChoice::kFullOffload;
+  auto result = engine_.Execute(Q6Like(), options).ValueOrDie();
+  EXPECT_TRUE(result.report.fault.cpu_fallback);
+  EXPECT_EQ(result.report.fault.failed_device, "storage_proc");
+}
+
+TEST_F(FaultTest, SchedulerExcludesUnhealthyDevices) {
+  engine_.MarkDeviceUnhealthy("storage_proc");
+  engine_.MarkDeviceUnhealthy("storage_nic");
+  Scheduler scheduler(&engine_);
+  const std::vector<QuerySpec> specs = {Q6Like(), Q6Like()};
+  auto naive = scheduler.PlanNaive(specs).ValueOrDie();
+  auto planned = scheduler.Plan(specs).ValueOrDie();
+  for (const Placement& p : naive.placements) {
+    EXPECT_TRUE(engine_.PlacementHealthy(p, 0)) << p.name;
+  }
+  for (const Placement& p : planned.placements) {
+    EXPECT_TRUE(engine_.PlacementHealthy(p, 0)) << p.name;
+  }
+  engine_.ClearDeviceHealth();
+  EXPECT_TRUE(engine_.IsDeviceHealthy("storage_proc"));
+}
+
+// ------------------------------------------------------- metric hygiene
+
+TEST_F(FaultTest, ChainedRunsDoNotDoubleCountFabricMetrics) {
+  const QuerySpec spec = Q6Like();
+  ExecOptions options;
+  options.placement = PlacementChoice::kCpuOnly;
+  auto first = engine_.Execute(spec, options).ValueOrDie();
+  // Chained run on the same fabric timeline: per-run counters must match a
+  // fresh run, not accumulate.
+  options.reset_fabric = false;
+  auto second = engine_.Execute(spec, options).ValueOrDie();
+  EXPECT_EQ(first.report.network_bytes, second.report.network_bytes);
+  EXPECT_EQ(first.report.media_bytes, second.report.media_bytes);
+  EXPECT_EQ(first.report.membus_bytes, second.report.membus_bytes);
+  // The virtual clock kept running across the chained pair.
+  EXPECT_GT(second.report.sim_ns, first.report.sim_ns);
+}
+
+TEST(LinkMetricsTest, ResetMetricsKeepsTimingState) {
+  sim::Link link("l", 10.0, 100);
+  auto t1 = link.Reserve(0, 1'000);
+  EXPECT_GT(link.bytes_transferred(), 0u);
+  link.ResetMetrics();
+  EXPECT_EQ(link.bytes_transferred(), 0u);
+  EXPECT_EQ(link.num_messages(), 0u);
+  // Timing state survives: the next reservation still queues behind the
+  // first transfer instead of restarting the link at t = 0.
+  auto t2 = link.Reserve(0, 1'000);
+  EXPECT_GE(t2.depart, t1.depart);
+  EXPECT_GT(t2.arrive, t1.arrive);
+  link.ResetStats();
+  auto t3 = link.Reserve(0, 1'000);
+  EXPECT_EQ(t3.arrive, t1.arrive);  // full reset restarts the timeline
+}
+
+}  // namespace
+}  // namespace dflow
