@@ -27,6 +27,7 @@ Engine& EngineWithConfig(const sim::FabricConfig& config) {
   spec.rows = kRows;
   DFLOW_CHECK(
       engine->catalog().Register(MakeLineitemTable(spec).ValueOrDie()).ok());
+  MaybeEnableBenchTracing(*engine);
   return *engine;
 }
 
@@ -41,7 +42,10 @@ void BM_Ablation_Interconnect(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  std::string("interconnect/") +
+                      (config.use_cxl ? "cxl" : "pcie5"),
+                  &engine);
   state.SetLabel(config.use_cxl ? "cxl" : "pcie5");
 }
 
@@ -64,7 +68,10 @@ void BM_Ablation_NetworkSpeed(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  "network/GBps=" + std::to_string(state.range(0)) +
+                      (state.range(1) == 1 ? "/pushdown" : "/cpu"),
+                  &engine);
   state.SetLabel(std::string(state.range(1) == 1 ? "pushdown" : "cpu") + "/" +
                  std::to_string(state.range(0)) + "GBps");
 }
@@ -84,7 +91,9 @@ void BM_Ablation_StorageProcSpeed(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  "storage_cell/GBps10=" + std::to_string(state.range(0)),
+                  &engine);
   const bool offloaded =
       report.variant.find("filter@storage") != std::string::npos;
   state.counters["optimizer_offloaded"] = offloaded ? 1 : 0;
@@ -105,8 +114,10 @@ BENCHMARK(BM_Ablation_StorageProcSpeed)
 int main(int argc, char** argv) {
   std::cout << "== Ablations: interconnect generation, network speed, "
                "storage-cell speed ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_ablation_fabric");
   benchmark::Shutdown();
   return 0;
 }

@@ -12,7 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 
+#include "bench_io.h"
 #include "dflow/engine/engine.h"
 #include "dflow/workload/tpch_like.h"
 
@@ -31,6 +33,7 @@ inline Engine& LineitemEngine(uint64_t rows, int nodes = 1) {
     spec.rows = rows;
     DFLOW_CHECK(
         engine->catalog().Register(MakeLineitemTable(spec).ValueOrDie()).ok());
+    MaybeEnableBenchTracing(*engine);
     cached_rows = rows;
     cached_nodes = nodes;
   }
@@ -65,13 +68,19 @@ inline QuerySpec Q1Like() {
   return spec;
 }
 
+/// Exposes the simulated metrics as benchmark counters and, when `name` is
+/// non-empty, records the report for the --dflow_report_json artifact
+/// (passing `engine` also snapshots its trace for --dflow_trace_out).
 inline void ReportExecution(benchmark::State& state,
-                            const ExecutionReport& report) {
+                            const ExecutionReport& report,
+                            const std::string& name = "",
+                            Engine* engine = nullptr) {
   state.counters["sim_ms"] = static_cast<double>(report.sim_ns) / 1e6;
   state.counters["net_MB"] =
       static_cast<double>(report.network_bytes) / (1024.0 * 1024.0);
   state.counters["membus_MB"] =
       static_cast<double>(report.membus_bytes) / (1024.0 * 1024.0);
+  RecordBenchEntry(name, report, engine);
 }
 
 /// Fails the whole bench process loudly on setup/execution errors.

@@ -31,7 +31,10 @@ void BM_Fig2(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  "q6/sel=" + std::to_string(state.range(0)) +
+                      (pushdown ? "/pushdown" : "/cpu"),
+                  &engine);
   state.SetLabel(pushdown ? "pushdown" : "conventional");
 }
 
@@ -60,7 +63,10 @@ void BM_Fig2_Projectivity(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  "wide/cols=" + std::to_string(num_cols) +
+                      (pushdown ? "/pushdown" : "/cpu"),
+                  &engine);
   state.SetLabel(pushdown ? "pushdown" : "conventional");
 }
 
@@ -75,8 +81,10 @@ BENCHMARK(BM_Fig2_Projectivity)
 int main(int argc, char** argv) {
   std::cout << "== Figure 2: selection/projection pushdown to remote storage "
                "(selectivity_pct, pushdown?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_fig2_storage_pushdown");
   benchmark::Shutdown();
   return 0;
 }

@@ -56,7 +56,7 @@ void BM_Fig3(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.ExecuteWithPlacement(spec, placement)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report, "groupby/" + placement.name, &engine);
   state.counters["cpu_busy_ms"] =
       static_cast<double>(report.device_busy_ns.count("cpu0")
                               ? report.device_busy_ns.at("cpu0")
@@ -76,8 +76,10 @@ BENCHMARK(BM_Fig3)->DenseRange(0, 2)->Iterations(1)->Unit(
 int main(int argc, char** argv) {
   std::cout << "== Figure 3: projection on storage + hashing on the "
                "receiving NIC ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_fig3_nic_pipeline");
   benchmark::Shutdown();
   return 0;
 }

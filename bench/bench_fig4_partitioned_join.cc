@@ -31,6 +31,7 @@ Engine& JoinEngine(int nodes) {
     DFLOW_CHECK(engine->catalog()
                     .Register(MakeLineitemTable(lineitem).ValueOrDie())
                     .ok());
+    MaybeEnableBenchTracing(*engine);
     cached_nodes = nodes;
   }
   return *engine;
@@ -52,7 +53,10 @@ void BM_Fig4(benchmark::State& state) {
   for (auto _ : state) {
     result = Must(engine.ExecutePartitionedJoin(join));
   }
-  ReportExecution(state, result.report);
+  ReportExecution(state, result.report,
+                  std::string(nic_scatter ? "nic-scatter" : "cpu-exchange") +
+                      "/nodes=" + std::to_string(nodes),
+                  &engine);
   state.counters["joined_rows"] = static_cast<double>(result.total_rows);
   state.counters["node0_cpu_ms"] =
       static_cast<double>(result.report.device_busy_ns.count("cpu0")
@@ -73,8 +77,10 @@ BENCHMARK(BM_Fig4)
 int main(int argc, char** argv) {
   std::cout << "== Figure 4: NIC-scattered distributed partitioned hash "
                "join (nodes, nic?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_fig4_partitioned_join");
   benchmark::Shutdown();
   return 0;
 }

@@ -33,7 +33,10 @@ void BM_Fig5(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.ExecuteWithPlacement(spec, placement)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  "filter/sel=" + std::to_string(state.range(0)) + "/" +
+                      placement.name,
+                  &engine);
   state.SetLabel(placement.name);
 }
 
@@ -61,7 +64,7 @@ void BM_Fig5_DecompressOnDemand(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.ExecuteWithPlacement(spec, placement)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report, "decompress/" + placement.name, &engine);
   state.counters["cpu_busy_ms"] =
       static_cast<double>(report.device_busy_ns.count("cpu0")
                               ? report.device_busy_ns.at("cpu0")
@@ -81,8 +84,10 @@ BENCHMARK(BM_Fig5_DecompressOnDemand)
 int main(int argc, char** argv) {
   std::cout << "== Figure 5: near-memory filtering along the memory->cache "
                "path (selectivity_pct, nearmem?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_fig5_near_memory");
   benchmark::Shutdown();
   return 0;
 }

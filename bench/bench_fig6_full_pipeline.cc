@@ -67,9 +67,11 @@ void BM_Fig6_Dataflow(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
-  state.SetLabel(std::string(QueryName(static_cast<int>(state.range(0)))) +
-                 (offload ? "/dataflow" : "/cpu-centric"));
+  const std::string label =
+      std::string(QueryName(static_cast<int>(state.range(0)))) +
+      (offload ? "/dataflow" : "/cpu-centric");
+  ReportExecution(state, report, label, &engine);
+  state.SetLabel(label);
 }
 
 BENCHMARK(BM_Fig6_Dataflow)
@@ -104,8 +106,10 @@ BENCHMARK(BM_Fig6_Volcano)
 int main(int argc, char** argv) {
   std::cout << "== Figure 6: full data-path pipeline vs CPU-centric vs "
                "legacy engine (query, offload?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_fig6_full_pipeline");
   benchmark::Shutdown();
   return 0;
 }

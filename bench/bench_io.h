@@ -1,0 +1,123 @@
+#ifndef DFLOW_BENCH_BENCH_IO_H_
+#define DFLOW_BENCH_BENCH_IO_H_
+
+// Observability flags shared by every bench binary. Parsed (and stripped)
+// before benchmark::Initialize so Google Benchmark never sees them:
+//
+//   --dflow_trace_out=PATH        write a Chrome trace (chrome://tracing /
+//                                 ui.perfetto.dev) of the last reported run
+//   --dflow_report_json=PATH      write every reported ExecutionReport as
+//                                 one "dflow.bench_report.v1" JSON document
+//   --dflow_trace_capacity=N      tracer ring capacity in events
+//
+// The CI bench-smoke job runs each binary with --dflow_report_json and
+// feeds the outputs to tools/check_report.py against bench/expectations/.
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "dflow/engine/engine.h"
+#include "dflow/trace/chrome_export.h"
+#include "dflow/trace/json.h"
+#include "dflow/trace/report_json.h"
+
+namespace dflow::bench {
+
+struct BenchIoState {
+  std::string trace_out;
+  std::string report_json;
+  size_t trace_capacity = 1 << 18;
+  /// Chrome-trace snapshot of the most recent reported traced run.
+  std::string chrome_trace;
+  /// Reports keyed by entry name (sorted => deterministic output order).
+  std::map<std::string, ExecutionReport> entries;
+};
+
+inline BenchIoState& BenchIo() {
+  static BenchIoState state;
+  return state;
+}
+
+/// Strips the --dflow_* flags out of argc/argv; call before
+/// benchmark::Initialize.
+inline void InitBenchIo(int* argc, char** argv) {
+  BenchIoState& io = BenchIo();
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [arg](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value_of("--dflow_trace_out=")) {
+      io.trace_out = v;
+    } else if (const char* v = value_of("--dflow_report_json=")) {
+      io.report_json = v;
+    } else if (const char* v = value_of("--dflow_trace_capacity=")) {
+      io.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Turns tracing on for `engine` iff --dflow_trace_out was given.
+/// LineitemEngine does this automatically; benches that build their own
+/// Engine call it once after construction.
+inline void MaybeEnableBenchTracing(Engine& engine) {
+  const BenchIoState& io = BenchIo();
+  if (io.trace_out.empty()) return;
+  trace::TraceOptions options;
+  options.enabled = true;
+  options.ring_capacity = io.trace_capacity;
+  engine.EnableTracing(options);
+}
+
+/// Records one named report for the JSON artifact and, when the engine is
+/// traced, snapshots its trace (the file keeps the last snapshot).
+inline void RecordBenchEntry(const std::string& name,
+                             const ExecutionReport& report, Engine* engine) {
+  BenchIoState& io = BenchIo();
+  if (!name.empty()) io.entries[name] = report;
+  if (engine != nullptr && !io.trace_out.empty() &&
+      engine->tracer() != nullptr) {
+    io.chrome_trace = trace::ChromeTraceString(*engine->tracer());
+  }
+}
+
+/// Writes the artifacts requested on the command line; call after
+/// benchmark::RunSpecifiedBenchmarks.
+inline void FinishBenchIo(const std::string& bench_name) {
+  BenchIoState& io = BenchIo();
+  if (!io.report_json.empty()) {
+    std::ofstream out(io.report_json);
+    out << "{\n"
+        << "  \"schema\": \"dflow.bench_report.v1\",\n"
+        << "  \"bench\": " << trace::JsonQuote(bench_name) << ",\n"
+        << "  \"entries\": [";
+    bool first = true;
+    for (const auto& [name, report] : io.entries) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    {\"name\": " << trace::JsonQuote(name)
+          << ", \"report\": " << trace::ExecutionReportToJson(report) << "}";
+    }
+    out << (io.entries.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  }
+  if (!io.trace_out.empty()) {
+    std::ofstream out(io.trace_out);
+    if (io.chrome_trace.empty()) {
+      // No traced run was reported; still emit a loadable (empty) trace.
+      out << "{\"traceEvents\": []}\n";
+    } else {
+      out << io.chrome_trace;
+    }
+  }
+}
+
+}  // namespace dflow::bench
+
+#endif  // DFLOW_BENCH_BENCH_IO_H_

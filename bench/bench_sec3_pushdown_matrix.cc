@@ -80,7 +80,10 @@ void BM_PushdownMatrix(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  std::string(OperatorName(static_cast<int>(state.range(0)))) +
+                      (pushdown ? "/pushdown" : "/cpu"),
+                  &engine);
   state.SetLabel(std::string(OperatorName(static_cast<int>(state.range(0)))) +
                  (pushdown ? "/storage" : "/cpu"));
 }
@@ -96,8 +99,10 @@ BENCHMARK(BM_PushdownMatrix)
 int main(int argc, char** argv) {
   std::cout << "== Sec 3.3: per-operator storage pushdown gain matrix "
                "(operator, pushdown?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec3_pushdown_matrix");
   benchmark::Shutdown();
   return 0;
 }

@@ -45,7 +45,7 @@ void BM_NicCount(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.ExecuteWithPlacement(spec, placement)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report, label, &engine);
   state.counters["ic_B"] = static_cast<double>(report.interconnect_bytes);
   state.counters["membus_B"] = static_cast<double>(report.membus_bytes);
   state.SetLabel(label);
@@ -59,8 +59,10 @@ BENCHMARK(BM_NicCount)->DenseRange(0, 3)->Iterations(1)->Unit(
 
 int main(int argc, char** argv) {
   std::cout << "== Sec 4.4: COUNT(*) executed on the data path (site) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec4_nic_count");
   benchmark::Shutdown();
   return 0;
 }

@@ -139,8 +139,10 @@ BENCHMARK(BM_StagedPreagg)
 int main(int argc, char** argv) {
   std::cout << "== Sec 4.4: staged pre-aggregation pipeline "
                "(group_cardinality, num_preagg_stages) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec4_staged_preagg");
   benchmark::Shutdown();
   return 0;
 }

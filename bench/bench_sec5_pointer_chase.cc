@@ -69,8 +69,10 @@ BENCHMARK(BM_PointerChase)
 int main(int argc, char** argv) {
   std::cout << "== Sec 5.4: pointer chasing near memory (index_entries, "
                "nearmem?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec5_pointer_chase");
   benchmark::Shutdown();
   return 0;
 }

@@ -105,8 +105,10 @@ BENCHMARK(BM_VirtualColumnView)->DenseRange(0, 1)->Iterations(1)->Unit(
 
 int main(int argc, char** argv) {
   std::cout << "== Sec 5.4: HTAP transposition unit (rows, nearmem?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec5_transpose");
   benchmark::Shutdown();
   return 0;
 }

@@ -65,8 +65,10 @@ BENCHMARK(BM_Coherence)
 int main(int argc, char** argv) {
   std::cout << "== Sec 6: coherence traffic, CXL hardware vs RDMA software "
                "(agents, write_pct, cxl?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec6_coherence");
   benchmark::Shutdown();
   return 0;
 }

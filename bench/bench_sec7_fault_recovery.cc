@@ -52,7 +52,9 @@ void BM_FaultRecovery(benchmark::State& state) {
   DFLOW_CHECK_EQ(clean.chunks[0].GetValue(0, 0).double_value(),
                  faulty.chunks[0].GetValue(0, 0).double_value());
 
-  ReportExecution(state, faulty.report);
+  ReportExecution(state, faulty.report,
+                  "faults/permille=" + std::to_string(state.range(0)),
+                  &engine);
   state.counters["fault_permille"] = fault_permille;
   state.counters["retransmits"] =
       static_cast<double>(faulty.report.fault.retransmits);
@@ -108,7 +110,8 @@ void BM_AcceleratorCrash(benchmark::State& state) {
                  result.chunks[0].GetValue(0, 0).double_value());
   DFLOW_CHECK(result.report.fault.cpu_fallback == crash);
 
-  ReportExecution(state, result.report);
+  ReportExecution(state, result.report,
+                  crash ? "crash/fallback" : "crash/clean", &engine);
   state.counters["sim_ms"] = static_cast<double>(total_ns) / 1e6;
   state.SetLabel(crash ? "crash at 25% -> " + result.report.variant
                        : result.report.variant);
@@ -126,8 +129,10 @@ BENCHMARK(BM_AcceleratorCrash)
 int main(int argc, char** argv) {
   std::cout << "== Sec 7 robustness: fault injection, retransmission, and "
                "accelerator-crash degradation ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec7_fault_recovery");
   benchmark::Shutdown();
   return 0;
 }

@@ -30,7 +30,8 @@ void BM_FlowControl(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine.Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report, "credits=" + std::to_string(credits),
+                  &engine);
   state.counters["peak_queue_KB"] =
       static_cast<double>(report.peak_queue_bytes) / 1024.0;
   state.counters["credits"] = credits;
@@ -59,6 +60,7 @@ void BM_FlowControlRateMismatch(benchmark::State& state) {
   li.rows = 200'000;
   DFLOW_CHECK(
       engine->catalog().Register(MakeLineitemTable(li).ValueOrDie()).ok());
+  MaybeEnableBenchTracing(*engine);
   QuerySpec spec = Q1Like();
   ExecOptions options;
   options.placement = PlacementChoice::kCpuOnly;
@@ -67,7 +69,9 @@ void BM_FlowControlRateMismatch(benchmark::State& state) {
   for (auto _ : state) {
     report = Must(engine->Execute(spec, options)).report;
   }
-  ReportExecution(state, report);
+  ReportExecution(state, report,
+                  "cpu_scale_pct=" + std::to_string(state.range(0)),
+                  engine.get());
   state.counters["peak_queue_KB"] =
       static_cast<double>(report.peak_queue_bytes) / 1024.0;
   state.SetLabel("cpu_scale=" + std::to_string(cpu_scale));
@@ -87,8 +91,10 @@ BENCHMARK(BM_FlowControlRateMismatch)
 int main(int argc, char** argv) {
   std::cout << "== Sec 7.1: credit-based flow control (credits | "
                "consumer speed) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec7_flow_control");
   benchmark::Shutdown();
   return 0;
 }

@@ -95,8 +95,10 @@ BENCHMARK(BM_RelocationState)->DenseRange(0, 1)->Iterations(1)->Unit(
 int main(int argc, char** argv) {
   std::cout << "== Sec 7.4/7.5: buffer-pool engine vs stateless streaming "
                "engine ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec7_no_bufferpool");
   benchmark::Shutdown();
   return 0;
 }

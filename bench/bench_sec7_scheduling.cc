@@ -82,8 +82,10 @@ BENCHMARK(BM_Scheduling)
 int main(int argc, char** argv) {
   std::cout << "== Sec 7.3: interference-aware scheduling with plan "
                "variants + rate limits (queries, smart?) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_sec7_scheduling");
   benchmark::Shutdown();
   return 0;
 }

@@ -96,6 +96,18 @@ void Engine::DisableFaultInjection() {
   fault_.reset();
 }
 
+void Engine::EnableTracing(const trace::TraceOptions& options) {
+  trace::TraceOptions effective = options;
+  effective.enabled = true;
+  tracer_ = std::make_unique<trace::Tracer>(effective);
+  fabric_.AttachTracer(tracer_.get());
+}
+
+void Engine::DisableTracing() {
+  fabric_.AttachTracer(nullptr);
+  tracer_.reset();
+}
+
 void Engine::MarkDeviceUnhealthy(const std::string& name) {
   unhealthy_.insert(name);
 }
@@ -116,6 +128,7 @@ bool Engine::PlacementHealthy(const Placement& placement, int node) {
 }
 
 void Engine::ArmGraph(DataflowGraph* graph) {
+  if (tracer_ != nullptr) graph->SetTracer(tracer_.get());
   if (fault_ == nullptr) return;
   graph->SetFaultInjector(fault_.get());
   graph->SetRecoveryPolicy(recovery_policy_);
@@ -460,8 +473,13 @@ Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
   TableScanSource::ScanStats stats;
   DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce(&stats));
 
+  if (options.trace.enabled && tracer_ == nullptr) {
+    EnableTracing(options.trace);
+  }
   if (options.reset_fabric) {
     fabric_.Reset();
+    // Trace and report describe the same window: the events of this run.
+    if (tracer_ != nullptr) tracer_->Clear();
   } else {
     // Chained run: keep the clock and timing state but zero the byte/busy
     // counters so this run's report counts only its own traffic.
@@ -469,6 +487,9 @@ Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
   }
   DataflowGraph graph(&fabric_.simulator());
   ArmGraph(&graph);
+  DFLOW_TRACE(tracer_.get(),
+              Instant("engine", "engine", "plan_choice",
+                      fabric_.simulator().now(), /*value=*/0, placement.name));
   DFLOW_ASSIGN_OR_RETURN(
       BuiltPipeline built,
       BuildQueryPipeline(this, &fabric_, &graph, spec, prepared, placement,
@@ -502,6 +523,9 @@ Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
         result.report.fault.cpu_fallback = true;
         result.report.fault.failed_device = dead;
         result.report.variant += "(fallback:" + dead + ")";
+        DFLOW_TRACE(tracer_.get(),
+                    Instant("engine", "engine", "cpu_fallback",
+                            fabric_.simulator().now(), /*value=*/0, dead));
         return result;
       }
     }
@@ -695,6 +719,7 @@ Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
     return Status::InvalidArgument("rate limit list length mismatch");
   }
   fabric_.Reset();
+  if (tracer_ != nullptr) tracer_->Clear();
   DataflowGraph graph(&fabric_.simulator());
   ArmGraph(&graph);
   std::vector<BuiltPipeline> built;
@@ -752,8 +777,12 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
   const bool nic_scatter = spec.exchange == JoinSpec::Exchange::kNicScatter;
   const uint32_t p = static_cast<uint32_t>(spec.num_nodes);
 
+  if (options.trace.enabled && tracer_ == nullptr) {
+    EnableTracing(options.trace);
+  }
   if (options.reset_fabric) {
     fabric_.Reset();
+    if (tracer_ != nullptr) tracer_->Clear();
   } else {
     fabric_.ResetMetrics();
   }

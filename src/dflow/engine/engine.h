@@ -12,6 +12,7 @@
 #include "dflow/opt/placement.h"
 #include "dflow/plan/query_spec.h"
 #include "dflow/storage/catalog.h"
+#include "dflow/trace/tracer.h"
 
 namespace dflow {
 
@@ -33,6 +34,10 @@ struct ExecOptions {
   int node = 0;
   /// Reset fabric clock/stats before running (disable to chain phases).
   bool reset_fabric = true;
+  /// Observability: when trace.enabled, the engine records a virtual-time
+  /// event trace of the run (device/link/stage/edge timelines), retrievable
+  /// via Engine::tracer(). Tracing never changes scheduling or results.
+  trace::TraceOptions trace;
 };
 
 struct QueryResult {
@@ -74,6 +79,16 @@ class Engine {
   /// The active injector (crash scheduling, trace, counters); null when
   /// fault injection is off.
   sim::FaultInjector* fault_injector() { return fault_.get(); }
+
+  // ------------------------------------------------------- observability
+  /// Attaches an event tracer to every fabric device/link and to graphs the
+  /// engine builds. The trace covers the most recent run whose options had
+  /// reset_fabric set (chained runs append). Also enabled lazily by
+  /// ExecOptions::trace.enabled.
+  void EnableTracing(const trace::TraceOptions& options);
+  void DisableTracing();
+  /// The active tracer; null when tracing is off.
+  trace::Tracer* tracer() { return tracer_.get(); }
 
   /// Device-health registry: a device marked unhealthy (by fallback after a
   /// crash, or manually) is excluded from kAuto placement and from the
@@ -156,6 +171,7 @@ class Engine {
   Catalog catalog_;
   VolcanoRunner volcano_;
   std::unique_ptr<sim::FaultInjector> fault_;
+  std::unique_ptr<trace::Tracer> tracer_;
   RecoveryPolicy recovery_policy_;
   std::set<std::string> unhealthy_;
 };

@@ -37,6 +37,7 @@ struct DataflowGraph::Edge {
 
   Node* from = nullptr;
   Node* to = nullptr;
+  std::string label;  // "from->to", the edge's trace track
   std::vector<sim::Link*> path;
   std::unique_ptr<sim::DmaEngine> dma;  // present iff path is non-empty
   sim::CreditGate gate;
@@ -50,6 +51,8 @@ struct DataflowGraph::Edge {
   std::map<uint64_t, std::pair<DataChunk, uint64_t>> reorder;
   bool eos_pending = false;
   bool eos_sent = false;
+  /// Edge is currently blocked on credits (one trace instant per episode).
+  bool credit_blocked = false;
   sim::SimTime path_latency = 0;
   sim::SimTime last_arrive = 0;
   uint64_t inflight_bytes = 0;
@@ -153,14 +156,15 @@ Status DataflowGraph::Connect(NodeId from, NodeId to,
   auto e = std::make_unique<Edge>(credits);
   e->from = GetNode(from);
   e->to = GetNode(to);
+  e->label = e->from->name + "->" + e->to->name;
   e->path = std::move(path);
   for (sim::Link* l : e->path) {
     if (l == nullptr) return Status::InvalidArgument("Connect: null link");
     e->path_latency += l->latency_ns();
   }
   if (!e->path.empty()) {
-    e->dma = std::make_unique<sim::DmaEngine>(
-        e->from->name + "->" + e->to->name, e->path[0]);
+    e->dma = std::make_unique<sim::DmaEngine>(e->label, e->path[0]);
+    e->dma->SetTracer(tracer_);
   }
   e->from->outs.push_back(e.get());
   e->to->ins.push_back(e.get());
@@ -175,6 +179,13 @@ DataflowGraph::Edge* DataflowGraph::FindEdge(NodeId from, NodeId to) const {
     }
   }
   return nullptr;
+}
+
+void DataflowGraph::SetTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& e : edges_) {
+    if (e->dma != nullptr) e->dma->SetTracer(tracer);
+  }
 }
 
 Status DataflowGraph::SetEdgeRateLimit(NodeId from, NodeId to, double gbps) {
@@ -230,6 +241,9 @@ void DataflowGraph::Pump(Node* n) {
         }
         n->storage_retries += 1;
         recovery_stats_.storage_retries += 1;
+        DFLOW_TRACE(tracer_, Instant("fault", n->name, "storage_retry",
+                                     sim_->now(),
+                                     /*value=*/n->storage_retries));
         // The failed round trip still occupies the device; try again after
         // a capped exponential backoff.
         n->device_busy = true;
@@ -250,6 +264,9 @@ void DataflowGraph::Pump(Node* n) {
       const auto work = n->device->Process(
           sim_->now(), n->batches[idx].device_bytes, n->source_cc,
           n->cost_factor);
+      DFLOW_TRACE(tracer_, Span("stage", n->name, "read_batch", work.start,
+                                work.end,
+                                /*value=*/n->batches[idx].device_bytes));
       sim_->ScheduleAt(work.end, [this, n, idx] {
         n->device_busy = false;
         RouteScanBatch(n, idx);
@@ -286,6 +303,8 @@ void DataflowGraph::Pump(Node* n) {
     n->device_busy = true;
     const auto work = n->device->Process(sim_->now(), bytes, cc,
                                          n->cost_factor);
+    DFLOW_TRACE(tracer_, Span("stage", n->name, "finish", work.start, work.end,
+                              /*value=*/bytes));
     sim_->ScheduleAt(work.end, [this, n, outputs = std::move(outputs)]() mutable {
       n->device_busy = false;
       RouteOutputs(n, std::move(outputs));
@@ -327,6 +346,8 @@ void DataflowGraph::StartWork(Node* n) {
   const auto work = n->device->Process(
       sim_->now(), static_cast<uint64_t>(wire * work_scale), cc,
       n->cost_factor);
+  DFLOW_TRACE(tracer_, Span("stage", n->name, "process", work.start, work.end,
+                            /*value=*/wire));
   sim_->ScheduleAt(work.end, [this, n, outputs = std::move(outputs)]() mutable {
     n->device_busy = false;
     RouteOutputs(n, std::move(outputs));
@@ -383,6 +404,9 @@ void DataflowGraph::PumpEdge(Edge* e) {
     e->peak_inflight_bytes = std::max(e->peak_inflight_bytes,
                                       e->inflight_bytes);
     e->bytes_sent += wire;
+    e->credit_blocked = false;
+    DFLOW_TRACE(tracer_, Counter("edge", e->label, "inflight_bytes",
+                                 sim_->now(), e->inflight_bytes));
     if (fault_ != nullptr && !e->path.empty()) {
       // Unreliable path: keep the chunk until delivery is confirmed.
       const uint64_t seq = e->next_seq++;
@@ -407,6 +431,13 @@ void DataflowGraph::PumpEdge(Edge* e) {
                      [this, e, chunk = std::move(chunk), wire]() mutable {
                        Deliver(e, std::move(chunk), wire);
                      });
+  }
+  if (!e->send_queue.empty() && !e->gate.HasCredit() && !e->credit_blocked) {
+    // One instant per stall episode; the flag clears when a send gets
+    // through again.
+    e->credit_blocked = true;
+    DFLOW_TRACE(tracer_, Instant("edge", e->label, "credit_stall", sim_->now(),
+                                 /*value=*/e->send_queue.size()));
   }
   if (e->send_queue.empty() && e->pending.empty() && e->reorder.empty() &&
       e->eos_pending && !e->eos_sent) {
@@ -463,6 +494,8 @@ void DataflowGraph::DeliverPending(Edge* e, uint64_t seq, bool corrupted) {
     // Receiver discards the damaged chunk; the sender's watchdog will
     // retransmit from its pending copy.
     recovery_stats_.checksum_failures += 1;
+    DFLOW_TRACE(tracer_, Instant("fault", e->label, "checksum_fail",
+                                 sim_->now(), /*value=*/seq));
     return;
   }
   e->reorder.emplace(seq, std::make_pair(std::move(p.chunk), p.wire));
@@ -487,6 +520,8 @@ void DataflowGraph::CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt) {
   if (it == e->pending.end()) return;         // delivered in time
   if (it->second.attempt != attempt) return;  // superseded watchdog
   recovery_stats_.delivery_timeouts += 1;
+  DFLOW_TRACE(tracer_, Instant("fault", e->label, "delivery_timeout",
+                               sim_->now(), /*value=*/seq));
   if (it->second.attempt >= policy_.max_delivery_attempts) {
     Fail(Status::IOError(
         "edge " + e->from->name + "->" + e->to->name + " gave up after " +
@@ -494,6 +529,8 @@ void DataflowGraph::CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt) {
     return;
   }
   recovery_stats_.retransmits += 1;
+  DFLOW_TRACE(tracer_, Instant("fault", e->label, "retransmit", sim_->now(),
+                               /*value=*/seq));
   // Retransmit without re-acquiring credit: the credit from the original
   // send is still held and is released when the chunk is finally consumed.
   Transmit(e, seq);
@@ -514,6 +551,8 @@ void DataflowGraph::Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes) {
 void DataflowGraph::PopCredit(Edge* e, uint64_t wire_bytes) {
   DFLOW_CHECK_GE(e->inflight_bytes, wire_bytes);
   e->inflight_bytes -= wire_bytes;
+  DFLOW_TRACE(tracer_, Counter("edge", e->label, "inflight_bytes", sim_->now(),
+                               e->inflight_bytes));
   // The credit message travels the reverse path.
   sim_->Schedule(e->path_latency, [this, e] {
     e->gate.Release();
@@ -524,6 +563,7 @@ void DataflowGraph::PopCredit(Edge* e, uint64_t wire_bytes) {
 
 void DataflowGraph::HandleEos(Edge* e) {
   if (!status_.ok()) return;
+  DFLOW_TRACE(tracer_, Instant("edge", e->label, "eos", sim_->now()));
   Node* to = e->to;
   DFLOW_CHECK_GT(to->open_inputs, 0u);
   to->open_inputs -= 1;

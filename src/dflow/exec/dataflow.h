@@ -15,6 +15,7 @@
 #include "dflow/sim/device.h"
 #include "dflow/sim/fault.h"
 #include "dflow/sim/simulator.h"
+#include "dflow/trace/tracer.h"
 
 namespace dflow {
 
@@ -112,6 +113,13 @@ class DataflowGraph {
   void SetFaultInjector(sim::FaultInjector* injector) { fault_ = injector; }
   void SetRecoveryPolicy(const RecoveryPolicy& policy) { policy_ = policy; }
 
+  /// Attaches an event tracer: stages emit per-chunk process/finish spans,
+  /// edges emit in-flight-byte counters, credit-stall instants, and
+  /// recovery events (retransmit/timeout/checksum) on their own tracks, and
+  /// the edges' DMA engines emit injection spans. nullptr detaches.
+  /// Tracing never changes scheduling or results.
+  void SetTracer(trace::Tracer* tracer);
+
   struct RecoveryStats {
     uint64_t retransmits = 0;
     uint64_t delivery_timeouts = 0;
@@ -167,6 +175,7 @@ class DataflowGraph {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Edge>> edges_;
   sim::FaultInjector* fault_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   RecoveryPolicy policy_;
   RecoveryStats recovery_stats_;
   std::string failed_device_;

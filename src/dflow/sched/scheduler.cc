@@ -36,6 +36,11 @@ Result<ScheduleDecision> Scheduler::PlanNaive(
     decision.placements.push_back(variants.front().placement);
     decision.network_rate_limits_gbps.push_back(0.0);
     decision.rationale.push_back("individually optimal (no contention model)");
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("sched", "scheduler", "naive_choice",
+                        engine_->fabric().simulator().now(),
+                        /*value=*/decision.placements.size() - 1,
+                        variants.front().placement.name));
   }
   return decision;
 }
@@ -86,6 +91,11 @@ Result<ScheduleDecision> Scheduler::Plan(
         best == 0 ? "uncontended optimum"
                   : "diverted to variant #" + std::to_string(best) +
                         " to avoid contention");
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("sched", "scheduler", "plan_choice",
+                        engine_->fabric().simulator().now(), /*value=*/q,
+                        variants[best].placement.name + " (" +
+                            decision.rationale.back() + ")"));
   }
 
   // Fair-share rate caps when the chosen variants oversubscribe the

@@ -4,6 +4,7 @@
 
 #include "dflow/common/logging.h"
 #include "dflow/sim/fault.h"
+#include "dflow/trace/tracer.h"
 
 namespace dflow::sim {
 
@@ -89,6 +90,13 @@ Device::Work Device::Process(SimTime ready, uint64_t bytes, CostClass c,
   busy_ns_ += cost;
   bytes_processed_ += bytes;
   items_processed_ += 1;
+  if (stall > 0) {
+    DFLOW_TRACE(tracer_, Instant("fault", name_, "stall", start - stall,
+                                 /*value=*/stall));
+  }
+  DFLOW_TRACE(tracer_, Span("device", name_,
+                            std::string(CostClassToString(c)), start, end,
+                            /*value=*/bytes));
   return Work{start, end};
 }
 

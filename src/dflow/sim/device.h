@@ -8,6 +8,10 @@
 #include "dflow/sim/cost_class.h"
 #include "dflow/sim/simulator.h"
 
+namespace dflow::trace {
+class Tracer;
+}
+
 namespace dflow::sim {
 
 class FaultInjector;
@@ -67,6 +71,11 @@ class Device {
   /// injected transient stalls. nullptr detaches.
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
+  /// Attaches an event tracer; every Process emits a busy-interval span on
+  /// this device's timeline track (and injected stalls an instant event).
+  /// nullptr detaches. Tracing never changes timing.
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Clears busy/byte/item/stall counters but keeps timing state
   /// (next_free), so chained runs report only their own work.
   void ResetMetrics();
@@ -81,6 +90,7 @@ class Device {
   SimTime per_item_overhead_ns_;
   std::array<double, kNumCostClasses> rates_gbps_{};
   FaultInjector* fault_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   SimTime next_free_ = 0;
   uint64_t busy_ns_ = 0;
   uint64_t bytes_processed_ = 0;

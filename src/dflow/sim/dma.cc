@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dflow/common/logging.h"
+#include "dflow/trace/tracer.h"
 
 namespace dflow::sim {
 
@@ -29,6 +30,8 @@ Link::Transfer DmaEngine::Transfer(SimTime ready, uint64_t bytes) {
     next_free_ = inject_ready + link_->WireTimeNs(bytes);
   }
   bytes_transferred_ += bytes;
+  DFLOW_TRACE(tracer_, Span("dma", name_, "inject", inject_ready, next_free_,
+                            /*value=*/bytes));
   return link_->Reserve(inject_ready, bytes);
 }
 

@@ -6,6 +6,10 @@
 
 #include "dflow/sim/link.h"
 
+namespace dflow::trace {
+class Tracer;
+}
+
 namespace dflow::sim {
 
 /// A DMA engine pushing one flow's data over a (possibly shared) link.
@@ -34,11 +38,16 @@ class DmaEngine {
 
   uint64_t bytes_transferred() const { return bytes_transferred_; }
 
+  /// Attaches an event tracer; every Transfer emits an injection-pacing
+  /// span on this engine's timeline track. nullptr detaches.
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   void ResetStats();
 
  private:
   std::string name_;
   Link* link_;
+  trace::Tracer* tracer_ = nullptr;
   double rate_limit_gbps_ = 0.0;  // 0 = unlimited
   SimTime next_free_ = 0;
   uint64_t bytes_transferred_ = 0;

@@ -135,6 +135,12 @@ void Fabric::ResetMetrics() {
   for (Link* l : AllLinks()) l->ResetMetrics();
 }
 
+void Fabric::AttachTracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  for (Device* d : AllDevices()) d->SetTracer(tracer);
+  for (Link* l : AllLinks()) l->SetTracer(tracer);
+}
+
 std::vector<Link*> Fabric::AllLinks() {
   std::vector<Link*> links = {storage_uplink_.get()};
   for (ComputeNode& n : nodes_) {

@@ -113,12 +113,19 @@ class Fabric {
   std::vector<Link*> AllLinks();
   std::vector<Device*> AllDevices();
 
+  /// Attaches `tracer` to every device and link on the fabric (nullptr
+  /// detaches). The fabric does not own the tracer; the caller keeps it
+  /// alive while attached.
+  void AttachTracer(trace::Tracer* tracer);
+  trace::Tracer* tracer() { return tracer_; }
+
   /// Human-readable utilization report at the current sim time.
   std::string ReportString();
 
  private:
   FabricConfig config_;
   Simulator sim_;
+  trace::Tracer* tracer_ = nullptr;
   std::unique_ptr<Device> store_media_;
   std::unique_ptr<Device> storage_proc_;
   std::unique_ptr<Device> storage_nic_;

@@ -4,6 +4,7 @@
 
 #include "dflow/common/logging.h"
 #include "dflow/sim/fault.h"
+#include "dflow/trace/tracer.h"
 
 namespace dflow::sim {
 
@@ -32,6 +33,15 @@ Link::Transfer Link::Reserve(SimTime ready, uint64_t bytes) {
     t.outcome = fault_->ClassifyTransfer(name_);
     if (t.outcome == TransferOutcome::kDropped) messages_dropped_ += 1;
     if (t.outcome == TransferOutcome::kCorrupted) messages_corrupted_ += 1;
+  }
+  DFLOW_TRACE(tracer_, Span("link", name_, "xfer", start, depart,
+                            /*value=*/bytes));
+  if (t.outcome == TransferOutcome::kDropped) {
+    DFLOW_TRACE(tracer_, Instant("fault", name_, "drop", depart,
+                                 /*value=*/bytes));
+  } else if (t.outcome == TransferOutcome::kCorrupted) {
+    DFLOW_TRACE(tracer_, Instant("fault", name_, "corrupt", depart,
+                                 /*value=*/bytes));
   }
   return t;
 }

@@ -6,6 +6,10 @@
 
 #include "dflow/sim/simulator.h"
 
+namespace dflow::trace {
+class Tracer;
+}
+
 namespace dflow::sim {
 
 class FaultInjector;
@@ -54,6 +58,11 @@ class Link {
   /// message's outcome. nullptr detaches (perfect link again).
   void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
 
+  /// Attaches an event tracer; every Reserve emits a wire-occupancy span on
+  /// this link's timeline track (drops/corruptions an instant event).
+  /// nullptr detaches. Tracing never changes timing.
+  void SetTracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
   /// Clears byte/busy/message counters but keeps timing state (next_free),
   /// so chained runs on a warm fabric report only their own traffic.
   void ResetMetrics();
@@ -66,6 +75,7 @@ class Link {
   double bandwidth_gbps_;
   SimTime latency_ns_;
   FaultInjector* fault_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
   SimTime next_free_ = 0;
   uint64_t bytes_transferred_ = 0;
   uint64_t busy_ns_ = 0;

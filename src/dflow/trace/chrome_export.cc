@@ -1,0 +1,126 @@
+#include "dflow/trace/chrome_export.h"
+
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "dflow/trace/json.h"
+
+namespace dflow::trace {
+
+namespace {
+
+/// Row ordering in the timeline view: the data path first (where bytes are
+/// processed), then the wires they cross, then control/annotation rows.
+int CategoryRank(const std::string& category) {
+  if (category == "device") return 0;
+  if (category == "stage") return 1;
+  if (category == "link") return 2;
+  if (category == "dma") return 3;
+  if (category == "edge") return 4;
+  if (category == "fault") return 5;
+  if (category == "engine") return 6;
+  if (category == "sched") return 7;
+  return 8;
+}
+
+/// Virtual ns -> Chrome's microsecond timestamps, fixed 3 decimals so the
+/// text output is byte-stable.
+std::string Micros(sim::SimTime ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void WriteChromeTrace(const Tracer& tracer, std::ostream& os) {
+  const std::vector<TraceEvent> events = tracer.Events();
+
+  // Stable tid assignment: sort the distinct (category, track) rows.
+  std::map<std::pair<int, std::pair<std::string, std::string>>, int> rows;
+  for (const TraceEvent& e : events) {
+    rows.emplace(std::make_pair(CategoryRank(e.category),
+                                std::make_pair(e.category, e.track)),
+                 0);
+  }
+  int next_tid = 1;
+  for (auto& [key, tid] : rows) tid = next_tid++;
+  auto tid_of = [&rows](const TraceEvent& e) {
+    return rows.at(std::make_pair(CategoryRank(e.category),
+                                  std::make_pair(e.category, e.track)));
+  };
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&os, &first](const std::string& line) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":"
+       "\"dflow fabric (virtual time)\"}}");
+  for (const auto& [key, tid] : rows) {
+    const auto& [category, track] = key.second;
+    std::ostringstream line;
+    line << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+         << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+         << JsonQuote(category + ":" + track) << "}}";
+    emit(line.str());
+    // sort_index pins the row order to the category ranking above.
+    std::ostringstream sort_line;
+    sort_line << "{\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+              << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":"
+              << tid << "}}";
+    emit(sort_line.str());
+  }
+
+  for (const TraceEvent& e : events) {
+    std::ostringstream line;
+    switch (e.kind) {
+      case EventKind::kSpan:
+        line << "{\"ph\":\"X\",\"pid\":0,\"tid\":" << tid_of(e)
+             << ",\"ts\":" << Micros(e.start)
+             << ",\"dur\":" << Micros(e.end - e.start)
+             << ",\"name\":" << JsonQuote(e.name)
+             << ",\"cat\":" << JsonQuote(e.category)
+             << ",\"args\":{\"bytes\":" << e.value;
+        if (!e.detail.empty()) line << ",\"detail\":" << JsonQuote(e.detail);
+        line << "}}";
+        break;
+      case EventKind::kInstant:
+        line << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << tid_of(e)
+             << ",\"ts\":" << Micros(e.start)
+             << ",\"name\":" << JsonQuote(e.name)
+             << ",\"cat\":" << JsonQuote(e.category)
+             << ",\"args\":{\"value\":" << e.value;
+        if (!e.detail.empty()) line << ",\"detail\":" << JsonQuote(e.detail);
+        line << "}}";
+        break;
+      case EventKind::kCounter:
+        line << "{\"ph\":\"C\",\"pid\":0,\"tid\":" << tid_of(e)
+             << ",\"ts\":" << Micros(e.start)
+             << ",\"name\":" << JsonQuote(e.track + "/" + e.name)
+             << ",\"cat\":" << JsonQuote(e.category) << ",\"args\":{"
+             << JsonQuote(e.name) << ":" << e.value << "}}";
+        break;
+    }
+    emit(line.str());
+  }
+
+  os << "\n],\"otherData\":{\"dropped_events\":" << tracer.dropped() << "}}\n";
+}
+
+std::string ChromeTraceString(const Tracer& tracer) {
+  std::ostringstream os;
+  WriteChromeTrace(tracer, os);
+  return os.str();
+}
+
+}  // namespace dflow::trace

@@ -1,0 +1,27 @@
+#ifndef DFLOW_TRACE_CHROME_EXPORT_H_
+#define DFLOW_TRACE_CHROME_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "dflow/trace/tracer.h"
+
+namespace dflow::trace {
+
+/// Serializes the tracer's events as Chrome Trace Event JSON, loadable in
+/// chrome://tracing or https://ui.perfetto.dev. One process; one timeline
+/// row (tid) per (category, track) pair, ordered devices -> stages ->
+/// links -> dma -> edges -> fault/engine/sched, so the data path reads
+/// top-to-bottom the way Figure 6 draws it.
+///
+/// The output is deterministic: rows are sorted by name, events by
+/// (virtual time, emission seq), and timestamps are virtual nanoseconds
+/// printed as fixed-point microseconds — no wall clock, no pointers.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& os);
+
+/// Same, as a string (tests, golden comparisons).
+std::string ChromeTraceString(const Tracer& tracer);
+
+}  // namespace dflow::trace
+
+#endif  // DFLOW_TRACE_CHROME_EXPORT_H_

@@ -1,0 +1,65 @@
+#ifndef DFLOW_TRACE_JSON_H_
+#define DFLOW_TRACE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+
+namespace dflow::trace {
+
+/// Minimal JSON support for the observability exporters: a deterministic
+/// writer (used for Chrome traces and report files) and a recursive-descent
+/// parser (used by the round-trip tests and anyone consuming report JSON
+/// from C++). No external dependency; the dialect is plain RFC 8259.
+
+/// Escapes `s` into a double-quoted JSON string literal.
+std::string JsonQuote(const std::string& s);
+
+/// A parsed JSON value. Numbers keep their raw token so 64-bit counters
+/// survive the round trip exactly (a double would lose precision past
+/// 2^53 — think bytes-moved counters on long runs).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool AsBool() const;
+  uint64_t AsUInt64() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member lookup; null value if absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// Nested lookup along a dotted path ("fault.retransmits").
+  const JsonValue* FindPath(const std::string& dotted_path) const;
+
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(std::string raw_token);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number token or string payload
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace dflow::trace
+
+#endif  // DFLOW_TRACE_JSON_H_

@@ -1,0 +1,123 @@
+#include "dflow/trace/report_json.h"
+
+#include <sstream>
+
+#include "dflow/trace/json.h"
+
+namespace dflow::trace {
+
+namespace {
+
+void AppendMap(std::ostringstream& os, const char* key,
+               const std::map<std::string, uint64_t>& m) {
+  os << "\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [name, value] : m) {  // std::map: sorted, deterministic
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":" << value;
+  }
+  os << "}";
+}
+
+uint64_t GetU64(const JsonValue& root, const std::string& path) {
+  const JsonValue* v = root.FindPath(path);
+  return v != nullptr && v->type() == JsonValue::Type::kNumber ? v->AsUInt64()
+                                                               : 0;
+}
+
+std::string GetString(const JsonValue& root, const std::string& path) {
+  const JsonValue* v = root.FindPath(path);
+  return v != nullptr && v->type() == JsonValue::Type::kString ? v->AsString()
+                                                               : "";
+}
+
+}  // namespace
+
+std::string ExecutionReportToJson(const ExecutionReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"dflow.execution_report.v1\"";
+  os << ",\"variant\":" << JsonQuote(report.variant);
+  os << ",\"sim_ns\":" << report.sim_ns;
+  os << ",\"result_rows\":" << report.result_rows;
+  os << ",\"media_bytes\":" << report.media_bytes;
+  os << ",\"network_bytes\":" << report.network_bytes;
+  os << ",\"interconnect_bytes\":" << report.interconnect_bytes;
+  os << ",\"membus_bytes\":" << report.membus_bytes;
+  os << ",\"peak_queue_bytes\":" << report.peak_queue_bytes;
+  os << ",";
+  AppendMap(os, "link_bytes", report.link_bytes);
+  os << ",";
+  AppendMap(os, "device_busy_ns", report.device_busy_ns);
+  os << ",\"scan\":{"
+     << "\"row_groups_total\":" << report.scan.row_groups_total
+     << ",\"row_groups_pruned\":" << report.scan.row_groups_pruned
+     << ",\"rows_produced\":" << report.scan.rows_produced
+     << ",\"encoded_bytes_read\":" << report.scan.encoded_bytes_read << "}";
+  const FaultReport& f = report.fault;
+  os << ",\"fault\":{"
+     << "\"chunks_dropped\":" << f.chunks_dropped
+     << ",\"chunks_corrupted\":" << f.chunks_corrupted
+     << ",\"retransmits\":" << f.retransmits
+     << ",\"delivery_timeouts\":" << f.delivery_timeouts
+     << ",\"checksum_failures\":" << f.checksum_failures
+     << ",\"storage_io_errors\":" << f.storage_io_errors
+     << ",\"storage_retries\":" << f.storage_retries
+     << ",\"device_stalls\":" << f.device_stalls
+     << ",\"device_stall_ns\":" << f.device_stall_ns
+     << ",\"cpu_fallback\":" << (f.cpu_fallback ? "true" : "false")
+     << ",\"failed_device\":" << JsonQuote(f.failed_device) << "}";
+  os << "}";
+  return os.str();
+}
+
+Result<ExecutionReport> ExecutionReportFromJson(const std::string& json) {
+  DFLOW_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (root.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("report json: not an object");
+  }
+  const std::string schema = GetString(root, "schema");
+  if (schema != "dflow.execution_report.v1") {
+    return Status::InvalidArgument("report json: unknown schema '" + schema +
+                                   "'");
+  }
+  ExecutionReport report;
+  report.variant = GetString(root, "variant");
+  report.sim_ns = GetU64(root, "sim_ns");
+  report.result_rows = GetU64(root, "result_rows");
+  report.media_bytes = GetU64(root, "media_bytes");
+  report.network_bytes = GetU64(root, "network_bytes");
+  report.interconnect_bytes = GetU64(root, "interconnect_bytes");
+  report.membus_bytes = GetU64(root, "membus_bytes");
+  report.peak_queue_bytes = GetU64(root, "peak_queue_bytes");
+  for (const char* key : {"link_bytes", "device_busy_ns"}) {
+    const JsonValue* m = root.Find(key);
+    if (m == nullptr || m->type() != JsonValue::Type::kObject) continue;
+    auto& dest = std::string(key) == "link_bytes" ? report.link_bytes
+                                                  : report.device_busy_ns;
+    for (const auto& [name, value] : m->AsObject()) {
+      dest[name] = value.AsUInt64();
+    }
+  }
+  report.scan.row_groups_total = GetU64(root, "scan.row_groups_total");
+  report.scan.row_groups_pruned = GetU64(root, "scan.row_groups_pruned");
+  report.scan.rows_produced = GetU64(root, "scan.rows_produced");
+  report.scan.encoded_bytes_read = GetU64(root, "scan.encoded_bytes_read");
+  FaultReport& f = report.fault;
+  f.chunks_dropped = GetU64(root, "fault.chunks_dropped");
+  f.chunks_corrupted = GetU64(root, "fault.chunks_corrupted");
+  f.retransmits = GetU64(root, "fault.retransmits");
+  f.delivery_timeouts = GetU64(root, "fault.delivery_timeouts");
+  f.checksum_failures = GetU64(root, "fault.checksum_failures");
+  f.storage_io_errors = GetU64(root, "fault.storage_io_errors");
+  f.storage_retries = GetU64(root, "fault.storage_retries");
+  f.device_stalls = GetU64(root, "fault.device_stalls");
+  f.device_stall_ns = GetU64(root, "fault.device_stall_ns");
+  const JsonValue* fb = root.FindPath("fault.cpu_fallback");
+  f.cpu_fallback = fb != nullptr && fb->type() == JsonValue::Type::kBool &&
+                   fb->AsBool();
+  f.failed_device = GetString(root, "fault.failed_device");
+  return report;
+}
+
+}  // namespace dflow::trace

@@ -1,0 +1,22 @@
+#ifndef DFLOW_TRACE_REPORT_JSON_H_
+#define DFLOW_TRACE_REPORT_JSON_H_
+
+#include <string>
+
+#include "dflow/common/result.h"
+#include "dflow/engine/report.h"
+
+namespace dflow::trace {
+
+/// Machine-readable form of one execution's measurements, for the figure
+/// benchmarks' --dflow_report_json artifacts and the CI regression gate.
+/// Deterministic: keys in fixed order, integer counters only, no wall-clock
+/// or address values. Schema tag: "dflow.execution_report.v1".
+std::string ExecutionReportToJson(const ExecutionReport& report);
+
+/// Inverse of ExecutionReportToJson (round-trip exact for all counters).
+Result<ExecutionReport> ExecutionReportFromJson(const std::string& json);
+
+}  // namespace dflow::trace
+
+#endif  // DFLOW_TRACE_REPORT_JSON_H_

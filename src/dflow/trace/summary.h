@@ -1,0 +1,25 @@
+#ifndef DFLOW_TRACE_SUMMARY_H_
+#define DFLOW_TRACE_SUMMARY_H_
+
+#include <string>
+
+#include "dflow/trace/tracer.h"
+
+namespace dflow::trace {
+
+/// Renders a per-track utilization and bytes-moved table from the trace's
+/// span events — the at-a-glance answer to "where did time and bytes go on
+/// the fabric":
+///
+///   track                busy          util    bytes         spans
+///   device:cpu0          1.203 ms      61.3%   12.00 MB      184
+///   link:storage_uplink  0.881 ms      44.9%   5.10 MB       92
+///
+/// `total_ns` scales the utilization column (pass the run's completion
+/// time; 0 means "use the last span end seen in the trace"). Only span
+/// events contribute; instants and counters are annotations.
+std::string UtilizationSummary(const Tracer& tracer, sim::SimTime total_ns = 0);
+
+}  // namespace dflow::trace
+
+#endif  // DFLOW_TRACE_SUMMARY_H_

@@ -1,0 +1,90 @@
+#include "dflow/trace/tracer.h"
+
+#include <algorithm>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::trace {
+
+Tracer::Tracer(TraceOptions options) : options_(options) {
+  DFLOW_CHECK_GT(options_.ring_capacity, 0u);
+  ring_.reserve(std::min<size_t>(options_.ring_capacity, 4096));
+}
+
+void Tracer::Record(TraceEvent event) {
+  event.seq = next_seq_++;
+  total_recorded_ += 1;
+  if (ring_.size() < options_.ring_capacity) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % options_.ring_capacity;
+}
+
+void Tracer::Span(std::string category, std::string track, std::string name,
+                  sim::SimTime start, sim::SimTime end, uint64_t value,
+                  std::string detail) {
+  TraceEvent e;
+  e.kind = EventKind::kSpan;
+  e.category = std::move(category);
+  e.track = std::move(track);
+  e.name = std::move(name);
+  e.start = start;
+  e.end = end;
+  e.value = value;
+  e.detail = std::move(detail);
+  Record(std::move(e));
+}
+
+void Tracer::Instant(std::string category, std::string track, std::string name,
+                     sim::SimTime at, uint64_t value, std::string detail) {
+  TraceEvent e;
+  e.kind = EventKind::kInstant;
+  e.category = std::move(category);
+  e.track = std::move(track);
+  e.name = std::move(name);
+  e.start = at;
+  e.end = at;
+  e.value = value;
+  e.detail = std::move(detail);
+  Record(std::move(e));
+}
+
+void Tracer::Counter(std::string category, std::string track, std::string name,
+                     sim::SimTime at, uint64_t value) {
+  TraceEvent e;
+  e.kind = EventKind::kCounter;
+  e.category = std::move(category);
+  e.track = std::move(track);
+  e.name = std::move(name);
+  e.start = at;
+  e.end = at;
+  e.value = value;
+  Record(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Unroll the ring: head_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void Tracer::Clear() {
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+  total_recorded_ = 0;
+}
+
+}  // namespace dflow::trace

@@ -1,0 +1,243 @@
+// Tier-1 coverage for the observability subsystem (src/dflow/trace/):
+// ring-buffer semantics, exporter well-formedness, report round-trips, and
+// the two invariants CI leans on — determinism (same run, same bytes) and
+// isolation (tracing never changes what a query reports).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dflow/engine/engine.h"
+#include "dflow/trace/chrome_export.h"
+#include "dflow/trace/json.h"
+#include "dflow/trace/report_json.h"
+#include "dflow/trace/summary.h"
+#include "dflow/trace/tracer.h"
+#include "dflow/workload/tpch_like.h"
+
+namespace dflow {
+namespace {
+
+using trace::EventKind;
+using trace::JsonValue;
+using trace::ParseJson;
+using trace::TraceOptions;
+using trace::Tracer;
+
+TEST(TracerTest, RecordsSpansInstantsAndCounters) {
+  Tracer tracer;
+  tracer.Span("device", "cpu0", "scan", 100, 250, 4096);
+  tracer.Instant("fault", "net0", "retransmit", 300, 7);
+  tracer.Counter("edge", "a->b", "inflight_bytes", 400, 8192);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kSpan);
+  EXPECT_EQ(events[0].end, 250u);
+  EXPECT_EQ(events[1].kind, EventKind::kInstant);
+  EXPECT_EQ(events[1].value, 7u);
+  EXPECT_EQ(events[2].kind, EventKind::kCounter);
+  EXPECT_EQ(tracer.total_recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, RingOverflowDropsOldestKeepsNewest) {
+  TraceOptions options;
+  options.enabled = true;
+  options.ring_capacity = 8;
+  Tracer tracer(options);
+  for (uint64_t i = 0; i < 20; ++i) {
+    tracer.Instant("device", "cpu0", "tick", /*at=*/i * 10, /*value=*/i);
+  }
+  EXPECT_EQ(tracer.size(), 8u);
+  EXPECT_EQ(tracer.total_recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Drop-oldest: the survivors are exactly the last 8 emissions, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].value, 12 + i);
+  }
+}
+
+TEST(TracerTest, EventsSortedByTimeThenSeqAtTies) {
+  Tracer tracer;
+  // Emit out of time order, with a timestamp collision.
+  tracer.Instant("device", "cpu0", "b", /*at=*/500, 1);
+  tracer.Instant("device", "cpu0", "a", /*at=*/100, 2);
+  tracer.Instant("device", "cpu0", "c", /*at=*/500, 3);
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  // Equal timestamps resolve by emission order — "b" was recorded first.
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].name, "c");
+}
+
+TEST(TracerTest, ClearResetsEverything) {
+  Tracer tracer;
+  tracer.Span("device", "cpu0", "scan", 0, 10);
+  tracer.Clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(ChromeExportTest, OutputIsWellFormedJson) {
+  Tracer tracer;
+  tracer.Span("device", "cpu0", "scan \"q1\"\n", 1000, 2500, 4096);
+  tracer.Instant("fault", "net0", "retransmit", 1500, 3);
+  tracer.Counter("edge", "scan->agg", "inflight_bytes", 2000, 8192);
+  const std::string json = trace::ChromeTraceString(tracer);
+  auto doc = ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().message();
+  const JsonValue* events = doc.ValueOrDie().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Metadata rows (thread_name/thread_sort_index) plus the three events.
+  std::set<std::string> phases;
+  for (const auto& e : events->AsArray()) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    phases.insert(ph->AsString());
+    ASSERT_NE(e.Find("pid"), nullptr);
+    if (ph->AsString() != "M") {
+      // Metadata rows (process_name) may omit tid; real events never do.
+      ASSERT_NE(e.Find("tid"), nullptr);
+    }
+  }
+  EXPECT_TRUE(phases.count("X"));  // the span
+  EXPECT_TRUE(phases.count("i"));  // the instant
+  EXPECT_TRUE(phases.count("C"));  // the counter
+  EXPECT_TRUE(phases.count("M"));  // track metadata
+}
+
+TEST(ChromeExportTest, EmptyTracerProducesLoadableDocument) {
+  Tracer tracer;
+  auto doc = ParseJson(trace::ChromeTraceString(tracer));
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc.ValueOrDie().Find("traceEvents"), nullptr);
+}
+
+TEST(SummaryTest, AggregatesBusyTimeAndBytesPerTrack) {
+  Tracer tracer;
+  tracer.Span("device", "cpu0", "scan", 0, 600, 1024);
+  tracer.Span("device", "cpu0", "agg", 600, 1000, 512);
+  tracer.Span("link", "net0", "xfer", 0, 500, 2048);
+  const std::string table = trace::UtilizationSummary(tracer, /*total_ns=*/1000);
+  EXPECT_NE(table.find("device:cpu0"), std::string::npos);
+  EXPECT_NE(table.find("link:net0"), std::string::npos);
+  EXPECT_NE(table.find("100.0%"), std::string::npos);  // cpu0 fully busy
+  EXPECT_NE(table.find("50.0%"), std::string::npos);   // net0 half busy
+}
+
+class TraceEngineTest : public ::testing::Test {
+ protected:
+  static sim::FabricConfig Config() {
+    sim::FabricConfig config;
+    config.num_compute_nodes = 2;
+    return config;
+  }
+
+  static void Register(Engine& engine) {
+    LineitemSpec li;
+    li.rows = 30'000;
+    li.row_group_size = 8'192;
+    DFLOW_CHECK(
+        engine.catalog().Register(MakeLineitemTable(li).ValueOrDie()).ok());
+  }
+
+  static QuerySpec CountQuery() {
+    QuerySpec spec;
+    spec.table = "lineitem";
+    spec.count_only = true;
+    return spec;
+  }
+};
+
+// Under -DDFLOW_TRACE_DISABLED the instrumentation sites compile away, so a
+// traced run records nothing; with tracing built in, a full execution must
+// populate the device, link, and stage timelines.
+TEST_F(TraceEngineTest, ExecutionPopulatesExpectedCategories) {
+  Engine engine(Config());
+  Register(engine);
+  ExecOptions options;
+  options.trace.enabled = true;
+  auto result = engine.Execute(CountQuery(), options).ValueOrDie();
+  ASSERT_NE(engine.tracer(), nullptr);
+#ifdef DFLOW_TRACE_DISABLED
+  EXPECT_EQ(engine.tracer()->size(), 0u);
+#else
+  std::set<std::string> categories;
+  for (const auto& e : engine.tracer()->Events()) {
+    categories.insert(e.category);
+  }
+  EXPECT_TRUE(categories.count("device"));
+  EXPECT_TRUE(categories.count("link"));
+  EXPECT_TRUE(categories.count("stage"));
+  EXPECT_TRUE(categories.count("edge"));
+#endif
+  EXPECT_EQ(result.chunks[0].GetValue(0, 0).int64_value(), 30'000);
+}
+
+// Same engine config + same query => byte-identical Chrome trace. This is
+// the property the committed CI artifacts and golden workflows rely on.
+TEST_F(TraceEngineTest, TraceOutputIsDeterministicAcrossRuns) {
+  ExecOptions options;
+  options.trace.enabled = true;
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    Engine engine(Config());
+    Register(engine);
+    (void)engine.Execute(CountQuery(), options).ValueOrDie();
+    const std::string json = trace::ChromeTraceString(*engine.tracer());
+    if (run == 0) {
+      first = json;
+    } else {
+      EXPECT_EQ(json, first);
+    }
+  }
+}
+
+// Tracing is observation only: the report of a traced run must be
+// byte-identical to the report of an untraced run of the same query.
+TEST_F(TraceEngineTest, TracingDoesNotPerturbTheReport) {
+  Engine traced(Config());
+  Register(traced);
+  Engine plain(Config());
+  Register(plain);
+  ExecOptions with_trace;
+  with_trace.trace.enabled = true;
+  auto a = traced.Execute(CountQuery(), with_trace).ValueOrDie();
+  auto b = plain.Execute(CountQuery()).ValueOrDie();
+  EXPECT_EQ(trace::ExecutionReportToJson(a.report),
+            trace::ExecutionReportToJson(b.report));
+}
+
+TEST_F(TraceEngineTest, ReportJsonRoundTripsExactly) {
+  Engine engine(Config());
+  Register(engine);
+  auto result = engine.Execute(CountQuery()).ValueOrDie();
+  // Exercise the fault block too — force nonzero values through the
+  // round trip, including the 64-bit extremes a double would mangle.
+  ExecutionReport report = result.report;
+  report.fault.retransmits = 3;
+  report.fault.checksum_failures = 1;
+  report.fault.cpu_fallback = true;
+  report.fault.failed_device = "fpga0";
+  report.media_bytes = 0xFFFF'FFFF'FFFF'FFFFull;
+  const std::string json = trace::ExecutionReportToJson(report);
+  auto parsed = trace::ExecutionReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(trace::ExecutionReportToJson(parsed.ValueOrDie()), json);
+  EXPECT_EQ(parsed.ValueOrDie().media_bytes, 0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_EQ(parsed.ValueOrDie().fault.failed_device, "fpga0");
+}
+
+TEST_F(TraceEngineTest, JsonParserRejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{\"unterminated\": ").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(trace::ExecutionReportFromJson("[1,2,3]").ok());
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""CI regression gate over the bench --dflow_report_json artifacts.
+
+Compares selected counters of a "dflow.bench_report.v1" document against a
+committed expectation file (bench/expectations/<name>.json) and fails on
+drift beyond a per-counter relative tolerance. The compared counters are
+deterministic simulation outputs (bytes moved, rows, retransmit counts), so
+the default tolerance exists only to absorb intentional small model
+changes; wall-clock noise never enters these numbers.
+
+Usage:
+  check_report.py --report out/fig6.json --expected bench/expectations/fig6.json
+  check_report.py --report out/fig6.json --expected ... --update
+      rewrites the expectation file from the observed report (then commit
+      the diff deliberately).
+
+Expectation file format:
+  {
+    "bench": "bench_fig6_full_pipeline",
+    "tolerance": 0.05,                   # optional, default 0.05
+    "entries": {
+      "<entry name>": {"<dotted.counter.path>": <expected integer>, ...},
+      ...
+    }
+  }
+
+Exit codes: 0 ok, 1 drift or malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+# Counters captured by --update; a deliberately small, movement-centric set
+# (the paper's headline metrics) so expectations stay reviewable.
+DEFAULT_COUNTERS = [
+    "sim_ns",
+    "result_rows",
+    "media_bytes",
+    "network_bytes",
+    "peak_queue_bytes",
+    "fault.retransmits",
+    "fault.checksum_failures",
+]
+
+
+def lookup(obj, dotted):
+    for key in dotted.split("."):
+        if not isinstance(obj, dict) or key not in obj:
+            return None
+        obj = obj[key]
+    return obj
+
+
+def load_report_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dflow.bench_report.v1":
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc.get("bench", ""), {
+        e["name"]: e["report"] for e in doc.get("entries", [])
+    }
+
+
+def update_expectations(bench, entries, expected_path, tolerance):
+    out = {"bench": bench, "tolerance": tolerance, "entries": {}}
+    for name in sorted(entries):
+        counters = {}
+        for path in DEFAULT_COUNTERS:
+            value = lookup(entries[name], path)
+            if value is not None:
+                counters[path] = value
+        out["entries"][name] = counters
+    with open(expected_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {expected_path} ({len(out['entries'])} entries)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", required=True,
+                        help="bench --dflow_report_json output")
+    parser.add_argument("--expected", required=True,
+                        help="expectation file (bench/expectations/*.json)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the file's relative tolerance")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the expectation file from the report")
+    args = parser.parse_args()
+
+    try:
+        bench, entries = load_report_entries(args.report)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: cannot read report: {e}", file=sys.stderr)
+        return 1
+
+    if args.update:
+        update_expectations(bench, entries, args.expected,
+                            args.tolerance if args.tolerance is not None
+                            else 0.05)
+        return 0
+
+    try:
+        with open(args.expected) as f:
+            expected = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read expectations: {e}", file=sys.stderr)
+        return 1
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else expected.get("tolerance", 0.05))
+    failures = []
+    checked = 0
+    for name, counters in sorted(expected.get("entries", {}).items()):
+        report = entries.get(name)
+        if report is None:
+            failures.append(f"entry {name!r}: missing from report")
+            continue
+        for path, want in sorted(counters.items()):
+            got = lookup(report, path)
+            checked += 1
+            if got is None:
+                failures.append(f"{name}: {path}: missing (want {want})")
+                continue
+            limit = abs(want) * tolerance
+            if abs(got - want) > limit:
+                drift = (got - want) / want * 100.0 if want else float("inf")
+                failures.append(
+                    f"{name}: {path}: got {got}, want {want} "
+                    f"(drift {drift:+.1f}% > {tolerance:.0%})")
+
+    if failures:
+        print(f"REGRESSION GATE FAILED for {bench} "
+              f"({len(failures)} of {checked} checks):")
+        for f_ in failures:
+            print(f"  {f_}")
+        print("If the change is intentional, regenerate with "
+              "tools/check_report.py --update and commit the diff.")
+        return 1
+    print(f"regression gate ok: {bench}, {checked} counters within "
+          f"{tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
