@@ -9,10 +9,15 @@
 //   --dflow_report_json=PATH      write every reported ExecutionReport as
 //                                 one "dflow.bench_report.v1" JSON document
 //   --dflow_trace_capacity=N      tracer ring capacity in events
+//   --dflow_verify=MODE           static plan verification: strict (default;
+//                                 refuse to run plans with verifier errors),
+//                                 warn (report but run), off
 //
 // The CI bench-smoke job runs each binary with --dflow_report_json and
 // feeds the outputs to tools/check_report.py against bench/expectations/.
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -22,6 +27,7 @@
 #include "dflow/trace/chrome_export.h"
 #include "dflow/trace/json.h"
 #include "dflow/trace/report_json.h"
+#include "dflow/verify/verify_report.h"
 
 namespace dflow::bench {
 
@@ -57,6 +63,14 @@ inline void InitBenchIo(int* argc, char** argv) {
       io.report_json = v;
     } else if (const char* v = value_of("--dflow_trace_capacity=")) {
       io.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value_of("--dflow_verify=")) {
+      auto mode = verify::ParseVerifyMode(v);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "bad --dflow_verify=%s (want strict|warn|off)\n",
+                     v);
+        std::exit(2);
+      }
+      verify::SetDefaultMode(mode.ValueOrDie());
     } else {
       argv[out++] = argv[i];
     }

@@ -20,16 +20,21 @@ Status Accelerator::ValidateOperator(const Operator& op) const {
         name_ + " has no functional unit for " +
         std::string(sim::CostClassToString(traits.cost_class)));
   }
-  if (policy_.require_streaming && !traits.streaming) {
-    return Status::InvalidArgument(
-        name_ + " requires streaming operators; '" + op.name() +
-        "' is blocking");
+  return CheckPlacementPolicy(traits, op.name(), policy_, name_);
+}
+
+Status CheckPlacementPolicy(const OperatorTraits& traits,
+                            const std::string& op_name,
+                            const Accelerator::Policy& policy,
+                            const std::string& where) {
+  if (policy.require_streaming && !traits.streaming) {
+    return Status::InvalidArgument(where + " requires streaming operators; '" +
+                                   op_name + "' is blocking");
   }
-  if (!policy_.allow_unbounded_state && !traits.stateless &&
+  if (!policy.allow_unbounded_state && !traits.stateless &&
       !traits.bounded_state) {
-    return Status::InvalidArgument(
-        name_ + " cannot host unbounded state; '" + op.name() +
-        "' needs an unbounded table");
+    return Status::InvalidArgument(where + " cannot host unbounded state; '" +
+                                   op_name + "' needs an unbounded table");
   }
   return Status::OK();
 }

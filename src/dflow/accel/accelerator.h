@@ -54,6 +54,16 @@ class Accelerator {
   KernelRegistry kernels_;
 };
 
+/// The policy half of the placement contract, shared by
+/// Accelerator::ValidateOperator and the static plan verifier
+/// (verify/verifier.cc): whether an operator named `op_name` with `traits`
+/// may run on the streaming accelerator `where` under `policy`. Cost-class
+/// support is checked separately against the device's rate table.
+Status CheckPlacementPolicy(const OperatorTraits& traits,
+                            const std::string& op_name,
+                            const Accelerator::Policy& policy,
+                            const std::string& where);
+
 }  // namespace dflow
 
 #endif  // DFLOW_ACCEL_ACCELERATOR_H_

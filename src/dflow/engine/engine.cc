@@ -458,6 +458,51 @@ Result<QueryResult> Engine::ExecuteWithPlacement(const QuerySpec& spec,
                                   /*allow_fallback=*/true);
 }
 
+verify::VerifyReport Engine::VerifyGraphSpec(const verify::GraphSpec& spec) {
+  verify::VerifyContext ctx;
+  ctx.fabric = &fabric_;
+  ctx.unhealthy = &unhealthy_;
+  return verify::VerifyGraph(spec, ctx);
+}
+
+Result<verify::VerifyReport> Engine::Verify(const QuerySpec& spec,
+                                            const Placement& placement,
+                                            const ExecOptions& options) {
+  DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+  if (placement.sites.size() != prepared.kinds.size()) {
+    return Status::InvalidArgument("placement does not match query stages");
+  }
+  DFLOW_ASSIGN_OR_RETURN(
+      TableScanSource scan,
+      TableScanSource::Make(prepared.table, prepared.scan_columns,
+                            prepared.filter));
+  DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce());
+  // Building a graph schedules nothing and charges no device/link work, so
+  // verification is side-effect free on the fabric.
+  DataflowGraph graph(&fabric_.simulator());
+  DFLOW_ASSIGN_OR_RETURN(
+      BuiltPipeline built,
+      BuildQueryPipeline(this, &fabric_, &graph, spec, prepared, placement,
+                         options, std::move(batches), spec.table));
+  (void)built;
+  return VerifyGraphSpec(graph.Describe());
+}
+
+Result<verify::VerifyReport> Engine::Verify(const QuerySpec& spec,
+                                            const ExecOptions& options) {
+  DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
+                         PlanVariants(spec));
+  DFLOW_CHECK(!variants.empty());
+  Placement placement = variants.front().placement;
+  for (const RankedPlacement& v : variants) {
+    if (PlacementHealthy(v.placement, options.node)) {
+      placement = v.placement;
+      break;
+    }
+  }
+  return Verify(spec, placement, options);
+}
+
 Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
                                                      const Placement& placement,
                                                      const ExecOptions& options,
@@ -498,6 +543,17 @@ Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
     DFLOW_RETURN_NOT_OK(graph.SetEdgeRateLimit(
         built.net_from, built.net_to, options.network_rate_limit_gbps));
   }
+  verify::VerifyReport vreport;
+  if (options.verify != verify::VerifyMode::kOff) {
+    vreport = VerifyGraphSpec(graph.Describe());
+    for (const verify::VerifyIssue& issue : vreport.issues) {
+      DFLOW_LOG(Warning) << "verify: " << issue.ToString();
+    }
+    if (options.verify == verify::VerifyMode::kStrict && !vreport.ok()) {
+      return Status::InvalidArgument("plan rejected by static verifier: " +
+                                     vreport.ToString());
+    }
+  }
   const Status run_status = graph.Run();
   if (!run_status.ok()) {
     const std::string dead = graph.failed_device();
@@ -535,6 +591,7 @@ Result<QueryResult> Engine::ExecuteWithPlacementImpl(const QuerySpec& spec,
   QueryResult result;
   result.chunks = graph.sink_chunks(built.sink);
   result.report = CollectReport(graph, built.sink, placement.name, stats);
+  result.report.verify = std::move(vreport);
   return result;
 }
 
@@ -545,8 +602,10 @@ static Result<BuiltPipeline> BuildQueryPipeline(
     std::vector<ScanBatch> batches, const std::string& label) {
   using SK = Engine::PreparedQuery::StageKind;
   BuiltPipeline built;
-  built.source = graph->AddSource("scan:" + label, fabric->store_media(),
-                                  sim::CostClass::kScan, std::move(batches));
+  built.source =
+      graph->AddSource("scan:" + label, fabric->store_media(),
+                       sim::CostClass::kScan, std::move(batches),
+                       prepared.scan_schema);
 
   // Materialize (kind, site, operator) triples. A partial aggregate placed
   // on the CPU is dropped and the final aggregate becomes a single-stage
@@ -747,6 +806,17 @@ Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
     }
     built.push_back(b);
   }
+  // The combined multi-query graph goes through the same static gate as a
+  // single-query run (one shared graph, so one shared report).
+  const verify::VerifyMode mode = verify::DefaultMode();
+  if (mode != verify::VerifyMode::kOff) {
+    const verify::VerifyReport vreport = VerifyGraphSpec(graph.Describe());
+    if (mode == verify::VerifyMode::kStrict && !vreport.ok()) {
+      return Status::InvalidArgument(
+          "concurrent plan rejected by static verifier: " +
+          vreport.ToString());
+    }
+  }
   DFLOW_RETURN_NOT_OK(graph.Run());
   ConcurrentResult result;
   for (const BuiltPipeline& b : built) {
@@ -815,7 +885,7 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
     ArmGraph(&graph);
     auto src = graph.AddSource("scan:" + spec.build_table,
                                fabric_.store_media(), sim::CostClass::kScan,
-                               std::move(batches));
+                               std::move(batches), build_table->schema());
     if (nic_scatter) {
       auto decode = graph.AddStage(
           "decode", OperatorPtr(new DecodeOperator(build_table->schema())),
@@ -856,6 +926,14 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
             graph.Connect(part, build, std::move(path), options.credits));
       }
     }
+    if (options.verify != verify::VerifyMode::kOff) {
+      const verify::VerifyReport vreport = VerifyGraphSpec(graph.Describe());
+      if (options.verify == verify::VerifyMode::kStrict && !vreport.ok()) {
+        return Status::InvalidArgument(
+            "join build phase rejected by static verifier: " +
+            vreport.ToString());
+      }
+    }
     DFLOW_RETURN_NOT_OK(graph.Run());
   }
 
@@ -878,7 +956,7 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
     ArmGraph(&graph);
     auto src = graph.AddSource("scan:" + spec.probe_table,
                                fabric_.store_media(), sim::CostClass::kScan,
-                               std::move(batches));
+                               std::move(batches), probe_table->schema());
     DataflowGraph::NodeId part;
     if (nic_scatter) {
       auto decode = graph.AddStage(
@@ -943,6 +1021,15 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
       DFLOW_RETURN_NOT_OK(graph.Connect(count, sink, {}, options.credits));
       sinks.push_back(sink);
     }
+    verify::VerifyReport vreport;
+    if (options.verify != verify::VerifyMode::kOff) {
+      vreport = VerifyGraphSpec(graph.Describe());
+      if (options.verify == verify::VerifyMode::kStrict && !vreport.ok()) {
+        return Status::InvalidArgument(
+            "join probe phase rejected by static verifier: " +
+            vreport.ToString());
+      }
+    }
     DFLOW_RETURN_NOT_OK(graph.Run());
     for (DataflowGraph::NodeId sink : sinks) {
       const auto& chunks = graph.sink_chunks(sink);
@@ -955,6 +1042,7 @@ Result<JoinRunResult> Engine::ExecutePartitionedJoin(
                                   nic_scatter ? "nic-scatter" : "cpu-exchange",
                                   stats);
     result.report.sim_ns = fabric_.simulator().now();
+    result.report.verify = std::move(vreport);
   }
   return result;
 }

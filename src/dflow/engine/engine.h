@@ -13,6 +13,7 @@
 #include "dflow/plan/query_spec.h"
 #include "dflow/storage/catalog.h"
 #include "dflow/trace/tracer.h"
+#include "dflow/verify/verifier.h"
 
 namespace dflow {
 
@@ -38,6 +39,11 @@ struct ExecOptions {
   /// event trace of the run (device/link/stage/edge timelines), retrievable
   /// via Engine::tracer(). Tracing never changes scheduling or results.
   trace::TraceOptions trace;
+  /// Static plan verification before execution. kStrict (the process-wide
+  /// default) refuses to run a graph with verifier errors; kWarn records
+  /// the report in ExecutionReport::verify but runs anyway; kOff skips the
+  /// pass. Benches override the default via --dflow_verify=.
+  verify::VerifyMode verify = verify::DefaultMode();
 };
 
 struct QueryResult {
@@ -99,6 +105,24 @@ class Engine {
   const std::set<std::string>& unhealthy_devices() const { return unhealthy_; }
   /// True iff every device this placement uses (on `node`) is healthy.
   bool PlacementHealthy(const Placement& placement, int node);
+
+  // --------------------------------------------------- static verification
+  /// Statically checks the graph the engine would build for (spec,
+  /// placement) — structure, schema flow, credit safety, placement legality
+  /// — without executing it (no simulation events, no fabric state change).
+  /// Returns the diagnostics; callers decide whether errors are fatal.
+  Result<verify::VerifyReport> Verify(
+      const QuerySpec& spec, const Placement& placement,
+      const ExecOptions& options = ExecOptions());
+
+  /// Same, for the placement Execute would auto-choose.
+  Result<verify::VerifyReport> Verify(
+      const QuerySpec& spec, const ExecOptions& options = ExecOptions());
+
+  /// Runs the check catalogue over an arbitrary graph snapshot (e.g. from
+  /// DataflowGraph::Describe on a hand-built graph) against this engine's
+  /// fabric topology, device-health registry, and fault injector.
+  verify::VerifyReport VerifyGraphSpec(const verify::GraphSpec& spec);
 
   /// Runs a query on the data-flow architecture.
   Result<QueryResult> Execute(const QuerySpec& spec,

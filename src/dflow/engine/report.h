@@ -6,6 +6,7 @@
 
 #include "dflow/exec/scan.h"
 #include "dflow/sim/simulator.h"
+#include "dflow/verify/verify_report.h"
 
 namespace dflow {
 
@@ -60,6 +61,10 @@ struct ExecutionReport {
   TableScanSource::ScanStats scan;
 
   FaultReport fault;
+
+  /// What the static plan verifier found before this run (empty when
+  /// ExecOptions::verify was kOff).
+  verify::VerifyReport verify;
 
   std::string ToString() const;
 };

@@ -90,6 +90,7 @@ Result<OperatorPtr> HashAggregateOperator::Make(
     out_fields.push_back(Field{s.output_name, out_type});
   }
   op->output_schema_ = Schema(std::move(out_fields));
+  op->input_schema_ = input_schema;
   return OperatorPtr(op.release());
 }
 

@@ -54,6 +54,7 @@ class HashAggregateOperator : public Operator {
 
   std::string name() const override;
   const Schema& output_schema() const override { return output_schema_; }
+  const Schema* input_schema() const override { return &input_schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
   Status Finish(std::vector<DataChunk>* out) override;
@@ -92,7 +93,10 @@ class HashAggregateOperator : public Operator {
   std::vector<int64_t> agg_cols_;             // input index, -1 = COUNT(*)
   std::vector<DataType> agg_output_types_;
   Schema output_schema_;
+  Schema input_schema_;
 
+  // determinism-ok: hash-bucket index only; groups_ keeps insertion order
+  // and is the sole source of output ordering.
   std::unordered_map<uint64_t, std::vector<size_t>> table_;
   std::vector<Group> groups_;
   uint64_t partial_flushes_ = 0;

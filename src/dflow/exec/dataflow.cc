@@ -51,6 +51,8 @@ struct DataflowGraph::Edge {
   std::map<uint64_t, std::pair<DataChunk, uint64_t>> reorder;
   bool eos_pending = false;
   bool eos_sent = false;
+  /// Declared feedback edge (see Connect): verify-only, rejected by Run().
+  bool feedback = false;
   /// Edge is currently blocked on credits (one trace instant per episode).
   bool credit_blocked = false;
   sim::SimTime path_latency = 0;
@@ -71,6 +73,10 @@ struct DataflowGraph::Node {
   std::optional<HashPartitioner> partitioner;
   double cost_factor = 1.0;
   std::vector<ScanBatch> batches;
+  /// Declared schema of the source's chunks (see the AddSource overload);
+  /// DataChunks are schema-less, so this is the verifier's only handle on
+  /// what a source emits.
+  std::optional<Schema> source_schema;
   size_t next_batch = 0;
   uint32_t storage_retries = 0;  // consecutive failed reads of the next batch
   std::deque<std::tuple<DataChunk, uint64_t, Edge*>> inbox;
@@ -101,6 +107,16 @@ DataflowGraph::NodeId DataflowGraph::AddSource(std::string name,
   n->batches = std::move(batches);
   nodes_.push_back(std::move(n));
   return nodes_.size() - 1;
+}
+
+DataflowGraph::NodeId DataflowGraph::AddSource(std::string name,
+                                               sim::Device* device,
+                                               sim::CostClass cc,
+                                               std::vector<ScanBatch> batches,
+                                               Schema schema) {
+  const NodeId id = AddSource(std::move(name), device, cc, std::move(batches));
+  nodes_[id]->source_schema = std::move(schema);
+  return id;
 }
 
 DataflowGraph::NodeId DataflowGraph::AddStage(std::string name, OperatorPtr op,
@@ -146,7 +162,8 @@ DataflowGraph::NodeId DataflowGraph::AddSink(std::string name) {
 }
 
 Status DataflowGraph::Connect(NodeId from, NodeId to,
-                              std::vector<sim::Link*> path, uint32_t credits) {
+                              std::vector<sim::Link*> path, uint32_t credits,
+                              bool feedback) {
   if (from >= nodes_.size() || to >= nodes_.size()) {
     return Status::InvalidArgument("Connect: node id out of range");
   }
@@ -154,6 +171,7 @@ Status DataflowGraph::Connect(NodeId from, NodeId to,
     return Status::InvalidArgument("Connect: credits must be positive");
   }
   auto e = std::make_unique<Edge>(credits);
+  e->feedback = feedback;
   e->from = GetNode(from);
   e->to = GetNode(to);
   e->label = e->from->name + "->" + e->to->name;
@@ -590,6 +608,14 @@ Status DataflowGraph::Run(uint64_t max_events) {
   started_ = true;
 
   // Structural validation.
+  for (const auto& e : edges_) {
+    if (e->feedback) {
+      return Status::InvalidArgument(
+          "edge " + e->label +
+          " is declared feedback; the executor's EOS protocol cannot "
+          "terminate loops, so feedback graphs are verify-only");
+    }
+  }
   for (const auto& n : nodes_) {
     switch (n->type) {
       case Node::Type::kSource:
@@ -699,6 +725,82 @@ uint64_t DataflowGraph::TotalPeakQueueBytes() const {
 uint64_t DataflowGraph::EdgePeakQueueBytes(NodeId from, NodeId to) const {
   Edge* e = FindEdge(from, to);
   return e == nullptr ? 0 : e->peak_inflight_bytes;
+}
+
+verify::GraphSpec DataflowGraph::Describe() const {
+  verify::GraphSpec spec;
+  spec.nodes.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = *nodes_[i];
+    verify::NodeSpec ns;
+    ns.id = i;
+    ns.name = n.name;
+    if (n.device != nullptr) ns.device = n.device->name();
+    switch (n.type) {
+      case Node::Type::kSource:
+        ns.kind = verify::NodeKind::kSource;
+        ns.has_cost_class = true;
+        ns.cost_class = n.source_cc;
+        if (n.source_schema.has_value()) {
+          ns.has_output_schema = true;
+          ns.output_schema = *n.source_schema;
+        }
+        for (const ScanBatch& b : n.batches) {
+          ns.max_batch_chunks = std::max(ns.max_batch_chunks, b.chunks.size());
+        }
+        break;
+      case Node::Type::kStage:
+        ns.kind = verify::NodeKind::kStage;
+        if (n.op != nullptr) {
+          ns.has_traits = true;
+          ns.traits = n.op->traits();
+          ns.has_cost_class = true;
+          ns.cost_class = ns.traits.cost_class;
+          ns.has_output_schema = true;
+          ns.output_schema = n.op->output_schema();
+          if (const Schema* in = n.op->input_schema()) {
+            ns.has_input_schema = true;
+            ns.input_schema = *in;
+          }
+        }
+        break;
+      case Node::Type::kPartition:
+        ns.kind = verify::NodeKind::kPartition;
+        ns.has_cost_class = true;
+        ns.cost_class = sim::CostClass::kPartition;
+        ns.partition_fanout = n.partitioner->num_partitions();
+        break;
+      case Node::Type::kBroadcast:
+        ns.kind = verify::NodeKind::kBroadcast;
+        ns.has_cost_class = true;
+        ns.cost_class = sim::CostClass::kMemcpy;
+        break;
+      case Node::Type::kSink:
+        ns.kind = verify::NodeKind::kSink;
+        break;
+    }
+    spec.nodes.push_back(std::move(ns));
+  }
+
+  // Map Node* back to indices for the edge endpoints.
+  auto index_of = [this](const Node* n) -> size_t {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].get() == n) return i;
+    }
+    return nodes_.size();  // unreachable for edges built via Connect
+  };
+  spec.edges.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    verify::EdgeSpec es;
+    es.from = index_of(e->from);
+    es.to = index_of(e->to);
+    es.label = e->label;
+    es.credits = e->gate.capacity();
+    es.feedback = e->feedback;
+    es.hops = e->path.size();
+    spec.edges.push_back(std::move(es));
+  }
+  return spec;
 }
 
 }  // namespace dflow

@@ -16,6 +16,7 @@
 #include "dflow/sim/fault.h"
 #include "dflow/sim/simulator.h"
 #include "dflow/trace/tracer.h"
+#include "dflow/verify/graph_spec.h"
 
 namespace dflow {
 
@@ -67,6 +68,12 @@ class DataflowGraph {
   NodeId AddSource(std::string name, sim::Device* device, sim::CostClass cc,
                    std::vector<ScanBatch> batches);
 
+  /// Same, with the schema of the emitted chunks declared. DataChunks carry
+  /// no schema of their own, so only a declared source schema lets the
+  /// static verifier type-check the first edge. Prefer this overload.
+  NodeId AddSource(std::string name, sim::Device* device, sim::CostClass cc,
+                   std::vector<ScanBatch> batches, Schema schema);
+
   /// A processing stage hosting `op` on `device`.
   NodeId AddStage(std::string name, OperatorPtr op, sim::Device* device,
                   double cost_factor = 1.0);
@@ -89,9 +96,14 @@ class DataflowGraph {
 
   /// Connects two nodes. `path` is the ordered list of links a chunk
   /// crosses (empty = colocated, instantaneous). `credits` bounds the
-  /// number of chunks in flight on this edge.
+  /// number of chunks in flight on this edge. An edge declared `feedback`
+  /// closes an intentional loop: the verifier exempts it from the illegal-
+  /// cycle check (but still analyzes its credit window for deadlock).
+  /// Run() rejects graphs with feedback edges — the executor's EOS
+  /// protocol cannot terminate a loop, so such graphs are verify-only
+  /// until an iterative runtime lands.
   Status Connect(NodeId from, NodeId to, std::vector<sim::Link*> path,
-                 uint32_t credits = 8);
+                 uint32_t credits = 8, bool feedback = false);
 
   /// Sets a rate limit (Gbps) on the DMA engine of the edge from->to.
   Status SetEdgeRateLimit(NodeId from, NodeId to, double gbps);
@@ -147,6 +159,12 @@ class DataflowGraph {
   /// the engine's "working memory" under credit flow control (§7.4).
   uint64_t TotalPeakQueueBytes() const;
   uint64_t EdgePeakQueueBytes(NodeId from, NodeId to) const;
+
+  /// Plain-data snapshot of the graph's structure for the static verifier:
+  /// node kinds/devices/traits, copied schemas, edge credit windows and hop
+  /// counts. Valid independently of the graph's lifetime; building it has
+  /// no effect on execution.
+  verify::GraphSpec Describe() const;
 
  private:
   struct Edge;

@@ -21,6 +21,8 @@ class FilterOperator : public Operator {
 
   std::string name() const override;
   const Schema& output_schema() const override { return schema_; }
+  /// Selection is schema-preserving: input layout == output layout.
+  const Schema* input_schema() const override { return &schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
 

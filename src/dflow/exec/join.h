@@ -41,6 +41,8 @@ class JoinHashTable {
   Schema build_schema_;
   size_t key_col_;
   DataChunk rows_;  // all build rows, columnar
+  // determinism-ok: hash-bucket index only; match lists come out in probe-row
+  // order, never in table iteration order.
   std::unordered_map<uint64_t, std::vector<uint32_t>> table_;
 };
 
@@ -52,6 +54,9 @@ class JoinBuildOperator : public Operator {
 
   std::string name() const override { return "join_build"; }
   const Schema& output_schema() const override { return empty_schema_; }
+  const Schema* input_schema() const override {
+    return &table_->build_schema();
+  }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
 
@@ -73,6 +78,7 @@ class HashJoinProbeOperator : public Operator {
 
   std::string name() const override { return "hash_join_probe"; }
   const Schema& output_schema() const override { return output_schema_; }
+  const Schema* input_schema() const override { return &probe_schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
 

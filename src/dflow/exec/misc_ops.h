@@ -35,6 +35,7 @@ class LimitOperator : public Operator {
 
   std::string name() const override { return "limit"; }
   const Schema& output_schema() const override { return schema_; }
+  const Schema* input_schema() const override { return &schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
 
@@ -54,6 +55,7 @@ class SortOperator : public Operator {
 
   std::string name() const override { return "sort"; }
   const Schema& output_schema() const override { return schema_; }
+  const Schema* input_schema() const override { return &schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
   Status Finish(std::vector<DataChunk>* out) override;
@@ -82,6 +84,7 @@ class DecodeOperator : public Operator {
 
   std::string name() const override { return "decode"; }
   const Schema& output_schema() const override { return schema_; }
+  const Schema* input_schema() const override { return &schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
 
@@ -99,6 +102,7 @@ class EncodeOperator : public Operator {
 
   std::string name() const override { return "encode"; }
   const Schema& output_schema() const override { return schema_; }
+  const Schema* input_schema() const override { return &schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
   uint64_t OutputWireBytes(const DataChunk& output) const override;

@@ -53,6 +53,11 @@ class Operator {
   virtual const Schema& output_schema() const = 0;
   virtual OperatorTraits traits() const = 0;
 
+  /// Schema this operator requires on its input, or nullptr when it accepts
+  /// any chunk layout (e.g. COUNT(*)). Used by the static plan verifier to
+  /// type-check each edge; execution never consults it.
+  virtual const Schema* input_schema() const { return nullptr; }
+
   /// Consumes one input chunk; appends zero or more output chunks.
   virtual Status Push(const DataChunk& input, std::vector<DataChunk>* out) = 0;
 

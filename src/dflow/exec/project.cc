@@ -31,8 +31,8 @@ Result<OperatorPtr> ProjectOperator::Make(std::vector<ExprPtr> exprs,
       in_width == 0 ? 1.0
                     : std::min(1.0, static_cast<double>(out_width) /
                                         static_cast<double>(in_width));
-  return OperatorPtr(new ProjectOperator(std::move(exprs),
-                                         Schema(std::move(fields)), hint));
+  return OperatorPtr(new ProjectOperator(
+      std::move(exprs), Schema(std::move(fields)), input_schema, hint));
 }
 
 OperatorTraits ProjectOperator::traits() const {

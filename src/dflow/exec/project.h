@@ -23,18 +23,21 @@ class ProjectOperator : public Operator {
 
   std::string name() const override { return "project"; }
   const Schema& output_schema() const override { return schema_; }
+  const Schema* input_schema() const override { return &input_schema_; }
   OperatorTraits traits() const override;
   Status Push(const DataChunk& input, std::vector<DataChunk>* out) override;
 
  private:
   ProjectOperator(std::vector<ExprPtr> exprs, Schema schema,
-                  double reduction_hint)
+                  Schema input_schema, double reduction_hint)
       : exprs_(std::move(exprs)),
         schema_(std::move(schema)),
+        input_schema_(std::move(input_schema)),
         reduction_hint_(reduction_hint) {}
 
   std::vector<ExprPtr> exprs_;
   Schema schema_;
+  Schema input_schema_;
   double reduction_hint_;
 };
 

@@ -67,8 +67,72 @@ std::string ExecutionReportToJson(const ExecutionReport& report) {
      << ",\"device_stall_ns\":" << f.device_stall_ns
      << ",\"cpu_fallback\":" << (f.cpu_fallback ? "true" : "false")
      << ",\"failed_device\":" << JsonQuote(f.failed_device) << "}";
+  os << ",\"verify\":" << VerifyReportToJson(report.verify);
   os << "}";
   return os.str();
+}
+
+std::string VerifyReportToJson(const verify::VerifyReport& report) {
+  std::ostringstream os;
+  os << "{\"errors\":" << report.num_errors()
+     << ",\"warnings\":" << report.num_warnings() << ",\"issues\":[";
+  bool first = true;
+  for (const verify::VerifyIssue& issue : report.issues) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"severity\":"
+       << JsonQuote(std::string(verify::SeverityToString(issue.severity)))
+       << ",\"code\":" << JsonQuote(issue.code)
+       << ",\"stage\":" << JsonQuote(issue.stage)
+       << ",\"edge\":" << JsonQuote(issue.edge)
+       << ",\"message\":" << JsonQuote(issue.message) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+
+Result<verify::VerifyReport> VerifyReportFromValue(const JsonValue& root) {
+  if (root.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("verify json: not an object");
+  }
+  verify::VerifyReport report;
+  const JsonValue* issues = root.Find("issues");
+  if (issues == nullptr || issues->type() != JsonValue::Type::kArray) {
+    return report;
+  }
+  for (const JsonValue& item : issues->AsArray()) {
+    if (item.type() != JsonValue::Type::kObject) {
+      return Status::InvalidArgument("verify json: issue is not an object");
+    }
+    verify::VerifyIssue issue;
+    const JsonValue* sev = item.Find("severity");
+    issue.severity =
+        sev != nullptr && sev->type() == JsonValue::Type::kString &&
+                sev->AsString() == "warning"
+            ? verify::Severity::kWarning
+            : verify::Severity::kError;
+    auto get_string = [&item](const char* key) -> std::string {
+      const JsonValue* v = item.Find(key);
+      return v != nullptr && v->type() == JsonValue::Type::kString
+                 ? v->AsString()
+                 : "";
+    };
+    issue.code = get_string("code");
+    issue.stage = get_string("stage");
+    issue.edge = get_string("edge");
+    issue.message = get_string("message");
+    report.issues.push_back(std::move(issue));
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<verify::VerifyReport> VerifyReportFromJson(const std::string& json) {
+  DFLOW_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  return VerifyReportFromValue(root);
 }
 
 Result<ExecutionReport> ExecutionReportFromJson(const std::string& json) {
@@ -117,6 +181,9 @@ Result<ExecutionReport> ExecutionReportFromJson(const std::string& json) {
   f.cpu_fallback = fb != nullptr && fb->type() == JsonValue::Type::kBool &&
                    fb->AsBool();
   f.failed_device = GetString(root, "fault.failed_device");
+  if (const JsonValue* v = root.Find("verify")) {
+    DFLOW_ASSIGN_OR_RETURN(report.verify, VerifyReportFromValue(*v));
+  }
   return report;
 }
 

@@ -17,6 +17,14 @@ std::string ExecutionReportToJson(const ExecutionReport& report);
 /// Inverse of ExecutionReportToJson (round-trip exact for all counters).
 Result<ExecutionReport> ExecutionReportFromJson(const std::string& json);
 
+/// The verifier's findings as a JSON object (the "verify" member of the
+/// execution report): {"errors":N,"warnings":N,"issues":[{severity,code,
+/// stage,edge,message},...]}. Deterministic: issues keep verifier order.
+std::string VerifyReportToJson(const verify::VerifyReport& report);
+
+/// Inverse of VerifyReportToJson (round-trip exact).
+Result<verify::VerifyReport> VerifyReportFromJson(const std::string& json);
+
 }  // namespace dflow::trace
 
 #endif  // DFLOW_TRACE_REPORT_JSON_H_

@@ -1,0 +1,95 @@
+#ifndef DFLOW_VERIFY_GRAPH_SPEC_H_
+#define DFLOW_VERIFY_GRAPH_SPEC_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dflow/exec/operator.h"
+#include "dflow/types/schema.h"
+
+namespace dflow::verify {
+
+/// Sentinel for edges with no credit-based flow control (unbounded window).
+/// Stored in EdgeSpec::credits; the credit-cycle check treats such edges as
+/// incapable of back-pressure deadlock.
+inline constexpr uint32_t kUnboundedCredits =
+    std::numeric_limits<uint32_t>::max();
+
+enum class NodeKind { kSource, kStage, kPartition, kBroadcast, kSink };
+
+std::string_view NodeKindToString(NodeKind k);
+
+/// Value-type snapshot of one graph node: everything the static verifier
+/// needs, nothing borrowed from the live graph. Schemas and traits are
+/// copied so a GraphSpec stays valid after the DataflowGraph is destroyed —
+/// and so tests can hand-build malformed specs the builder API would reject.
+struct NodeSpec {
+  size_t id = 0;
+  NodeKind kind = NodeKind::kStage;
+  std::string name;
+  /// Placement target ("" = unplaced; an error for stages).
+  std::string device;
+
+  bool has_cost_class = false;
+  sim::CostClass cost_class = sim::CostClass::kFilter;
+
+  bool has_traits = false;
+  OperatorTraits traits;
+
+  /// Schema the node emits (sources: declared; stages: op->output_schema();
+  /// partition/broadcast: pass-through, resolved by the verifier).
+  bool has_output_schema = false;
+  Schema output_schema;
+
+  /// Schema the node requires on its input edge(s); absent = accepts any.
+  bool has_input_schema = false;
+  Schema input_schema;
+
+  /// For kPartition: the fan-out the partitioner was built for.
+  size_t partition_fanout = 0;
+
+  /// Largest number of chunks a source emits back-to-back per batch; used by
+  /// the credit-window heuristics. 0 = unknown.
+  size_t max_batch_chunks = 0;
+};
+
+struct EdgeSpec {
+  size_t from = 0;
+  size_t to = 0;
+  std::string label;  // "from_name->to_name"
+  uint32_t credits = 0;
+  /// Declared feedback edge: exempt from the structural cycle check but
+  /// still part of the credit-deadlock analysis.
+  bool feedback = false;
+  /// Number of fabric links on the path (0 = device-local hand-off).
+  size_t hops = 0;
+};
+
+/// Plain-data description of a dataflow graph, produced by
+/// DataflowGraph::Describe() or hand-assembled by tests.
+struct GraphSpec {
+  std::vector<NodeSpec> nodes;
+  std::vector<EdgeSpec> edges;
+};
+
+inline std::string_view NodeKindToString(NodeKind k) {
+  switch (k) {
+    case NodeKind::kSource:
+      return "source";
+    case NodeKind::kStage:
+      return "stage";
+    case NodeKind::kPartition:
+      return "partition";
+    case NodeKind::kBroadcast:
+      return "broadcast";
+    case NodeKind::kSink:
+      return "sink";
+  }
+  return "stage";
+}
+
+}  // namespace dflow::verify
+
+#endif  // DFLOW_VERIFY_GRAPH_SPEC_H_

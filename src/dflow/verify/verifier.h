@@ -1,0 +1,43 @@
+#ifndef DFLOW_VERIFY_VERIFIER_H_
+#define DFLOW_VERIFY_VERIFIER_H_
+
+#include <set>
+#include <string>
+
+#include "dflow/accel/accelerator.h"
+#include "dflow/sim/fabric.h"
+#include "dflow/verify/graph_spec.h"
+#include "dflow/verify/verify_report.h"
+
+namespace dflow::verify {
+
+/// Environment the graph is checked against. Every member is optional: with
+/// all of them null the verifier still runs the structural, schema, and
+/// credit families; placement checks that need the fabric/health state are
+/// skipped silently.
+struct VerifyContext {
+  /// Topology for placement legality: device names, rate tables, CPU
+  /// fallback candidates. Non-const because sim accessors are non-const;
+  /// the verifier never mutates it.
+  sim::Fabric* fabric = nullptr;
+  /// Engine device-health registry (devices marked dead after crashes).
+  /// Deliberately the only liveness source: a fault injector's *scheduled*
+  /// crashes are runtime events the recovery layer degrades from, not
+  /// static illegality — consulting them here would also perturb the
+  /// injector's first-observation bookkeeping.
+  const std::set<std::string>* unhealthy = nullptr;
+  /// Apply the accelerator streaming/state policy to stages placed off-CPU.
+  bool check_streaming_policy = true;
+  Accelerator::Policy accel_policy;
+};
+
+/// Runs the full static check catalogue (see DESIGN.md "Static plan
+/// verifier") over `spec`. Pure analysis: no simulation events are created
+/// and nothing in `ctx` is modified. Issues come out in deterministic order:
+/// family by family (structure, schema, credit, placement), nodes and edges
+/// in graph order within each family.
+VerifyReport VerifyGraph(const GraphSpec& spec, const VerifyContext& ctx);
+
+}  // namespace dflow::verify
+
+#endif  // DFLOW_VERIFY_VERIFIER_H_

@@ -32,7 +32,9 @@ import json
 import sys
 
 # Counters captured by --update; a deliberately small, movement-centric set
-# (the paper's headline metrics) so expectations stay reviewable.
+# (the paper's headline metrics) so expectations stay reviewable. The
+# verify.* pair pins the static verifier's findings: errors must stay zero
+# (also enforced unconditionally below) and new warnings fail the gate.
 DEFAULT_COUNTERS = [
     "sim_ns",
     "result_rows",
@@ -41,6 +43,8 @@ DEFAULT_COUNTERS = [
     "peak_queue_bytes",
     "fault.retransmits",
     "fault.checksum_failures",
+    "verify.errors",
+    "verify.warnings",
 ]
 
 
@@ -112,6 +116,18 @@ def main():
                  else expected.get("tolerance", 0.05))
     failures = []
     checked = 0
+
+    # Static-verifier gate, independent of the expectation file: a verifier
+    # error in ANY reported entry means a bench ran (or warn-mode-ran) a
+    # broken plan — that is never tolerable drift.
+    for name, report in sorted(entries.items()):
+        errors = lookup(report, "verify.errors")
+        checked += 1
+        if errors is not None and errors > 0:
+            failures.append(
+                f"{name}: verify.errors = {errors}; the static verifier "
+                f"rejected this plan (see the report's verify.issues)")
+
     for name, counters in sorted(expected.get("entries", {}).items()):
         report = entries.get(name)
         if report is None:

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulator's hot directories.
+
+The repo's headline invariant is that a run is a pure function of (config,
+seed): same inputs => byte-identical event trace and report JSON. The usual
+way that breaks is someone innocently reading a wall clock, an OS entropy
+source, or iterating a hash table whose order depends on pointer values.
+This lint greps the directories on the deterministic path -- src/dflow/sim,
+src/dflow/exec, src/dflow/trace -- for those constructs and fails CI when
+one appears unannotated.
+
+A finding is suppressed when the offending line, or one of the two lines
+directly above it, contains `determinism-ok:` followed by a justification
+(e.g. a hash map used only as a bucket index while output order comes from
+an insertion-ordered vector). #include lines are ignored: pulling in the
+header is fine, iterating the container is what needs review.
+
+Usage: lint_determinism.py [--root REPO_ROOT]
+Exit codes: 0 clean, 1 findings, 2 bad invocation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINT_DIRS = ("src/dflow/sim", "src/dflow/exec", "src/dflow/trace")
+SUFFIXES = (".h", ".cc")
+
+# (name, regex, why it breaks determinism)
+RULES = [
+    ("wall-clock",
+     re.compile(r"std::chrono::(system_clock|steady_clock|"
+                r"high_resolution_clock)|\bgettimeofday\s*\(|"
+                r"\bclock_gettime\s*\(|\btime\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "wall-clock time varies per run; use sim::Simulator virtual time"),
+    ("libc-rand",
+     re.compile(r"\b(rand|srand|random|drand48)\s*\("),
+     "global-state RNG; use a seeded std::mt19937 owned by the component"),
+    ("entropy-source",
+     re.compile(r"std::random_device"),
+     "OS entropy makes runs irreproducible; seed from config instead"),
+    ("hash-order",
+     re.compile(r"std::unordered_(map|set|multimap|multiset)"),
+     "iteration order depends on hashing/allocation; use std::map/std::set "
+     "or annotate why order never escapes"),
+]
+
+SUPPRESS = "determinism-ok:"
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("#include"):
+            continue
+        context = lines[max(0, i - 2): i + 1]
+        if any(SUPPRESS in c for c in context):
+            continue
+        for name, regex, why in RULES:
+            if regex.search(line):
+                findings.append(
+                    f"{path}:{i + 1}: [{name}] {line.strip()}\n    ({why}; "
+                    f"suppress with '// {SUPPRESS} <reason>' if reviewed)")
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root)
+
+    files = []
+    for d in LINT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            print(f"lint_determinism: missing directory {base}",
+                  file=sys.stderr)
+            return 2
+        files.extend(p for p in sorted(base.rglob("*"))
+                     if p.suffix in SUFFIXES)
+
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    for f in findings:
+        print(f)
+    print(f"lint_determinism: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
