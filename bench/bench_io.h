@@ -12,6 +12,10 @@
 //   --dflow_verify=MODE           static plan verification: strict (default;
 //                                 refuse to run plans with verifier errors),
 //                                 warn (report but run), off
+//   --dflow_seed=N                seed for workload/arrival RNG streams in
+//                                 benches that generate load (serving
+//                                 benches); same seed => byte-identical
+//                                 report JSON
 //
 // The CI bench-smoke job runs each binary with --dflow_report_json and
 // feeds the outputs to tools/check_report.py against bench/expectations/.
@@ -39,6 +43,12 @@ struct BenchIoState {
   std::string chrome_trace;
   /// Reports keyed by entry name (sorted => deterministic output order).
   std::map<std::string, ExecutionReport> entries;
+  /// Optional service-report JSON per entry (serving benches), embedded
+  /// as the entry's "service" member next to "report".
+  std::map<std::string, std::string> service_entries;
+  /// Workload/arrival RNG seed (--dflow_seed).
+  uint64_t seed = 42;
+  bool seed_set = false;
 };
 
 inline BenchIoState& BenchIo() {
@@ -63,6 +73,9 @@ inline void InitBenchIo(int* argc, char** argv) {
       io.report_json = v;
     } else if (const char* v = value_of("--dflow_trace_capacity=")) {
       io.trace_capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value_of("--dflow_seed=")) {
+      io.seed = std::strtoull(v, nullptr, 10);
+      io.seed_set = true;
     } else if (const char* v = value_of("--dflow_verify=")) {
       auto mode = verify::ParseVerifyMode(v);
       if (!mode.ok()) {
@@ -76,6 +89,12 @@ inline void InitBenchIo(int* argc, char** argv) {
     }
   }
   *argc = out;
+}
+
+/// The workload seed: --dflow_seed if given, else the bench's default.
+inline uint64_t BenchSeedOr(uint64_t default_seed) {
+  const BenchIoState& io = BenchIo();
+  return io.seed_set ? io.seed : default_seed;
 }
 
 /// Turns tracing on for `engine` iff --dflow_trace_out was given.
@@ -102,6 +121,13 @@ inline void RecordBenchEntry(const std::string& name,
   }
 }
 
+/// Attaches a serialized ServiceReport to an entry recorded with
+/// RecordBenchEntry; it becomes the entry's "service" JSON member.
+inline void RecordServiceEntry(const std::string& name,
+                               const std::string& service_json) {
+  if (!name.empty()) BenchIo().service_entries[name] = service_json;
+}
+
 /// Writes the artifacts requested on the command line; call after
 /// benchmark::RunSpecifiedBenchmarks.
 inline void FinishBenchIo(const std::string& bench_name) {
@@ -117,7 +143,12 @@ inline void FinishBenchIo(const std::string& bench_name) {
       if (!first) out << ",";
       first = false;
       out << "\n    {\"name\": " << trace::JsonQuote(name)
-          << ", \"report\": " << trace::ExecutionReportToJson(report) << "}";
+          << ", \"report\": " << trace::ExecutionReportToJson(report);
+      auto service = io.service_entries.find(name);
+      if (service != io.service_entries.end()) {
+        out << ", \"service\": " << service->second;
+      }
+      out << "}";
     }
     out << (io.entries.empty() ? "]\n" : "\n  ]\n") << "}\n";
   }

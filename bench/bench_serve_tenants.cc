@@ -1,0 +1,138 @@
+// Serving on the data-flow fabric: a virtual-time query service with
+// multi-tenant admission control (§7.3 taken from a batch to an arrival
+// stream). Three tenants — an interactive priority class, an analytics
+// class, and a closed-loop batch class — offer load against a bounded
+// admission queue; the sweep raises the offered load and compares the
+// CPU-only data path, the full-offload path, and the interference-aware
+// scheduler's per-arrival choice. The throughput–latency curve falls out
+// of the entries: admitted throughput, shed count, and virtual-time p99
+// per (load, placement) cell.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "dflow/serve/service_loop.h"
+#include "dflow/trace/report_json.h"
+
+namespace dflow::bench {
+namespace {
+
+constexpr uint64_t kRows = 60'000;
+
+// Fast media, small request latency, and a narrow storage uplink: the
+// disaggregation boundary is the scarce resource, so the CPU-only data
+// path (which pulls every scanned byte across it) saturates first while
+// the offloaded paths ship only results. This is the regime where
+// admission control and placement choice separate the curves.
+Engine& ServeEngine() {
+  static std::unique_ptr<Engine> engine = [] {
+    sim::FabricConfig config;
+    config.store_media_gbps = 32.0;
+    config.store_request_latency_ns = 20'000;
+    config.storage_proc_gbps = 10.0;
+    config.storage_uplink_gbps = 1.0;
+    config.network_gbps = 1.0;
+    config.cpu_scale = 2.0;
+    auto e = std::make_unique<Engine>(config);
+    LineitemSpec spec;
+    spec.rows = kRows;
+    DFLOW_CHECK(
+        e->catalog().Register(MakeLineitemTable(spec).ValueOrDie()).ok());
+    MaybeEnableBenchTracing(*e);
+    return e;
+  }();
+  return *engine;
+}
+
+std::vector<serve::TenantConfig> Tenants(double load) {
+  auto prob = [load](double base) { return std::min(0.9, base * load); };
+
+  serve::TenantConfig interactive;
+  interactive.name = "interactive";
+  interactive.priority = 0;
+  interactive.queue_capacity = 3;
+  interactive.arrival_probability = prob(0.08);
+  interactive.templates = {{Q6Like(0.05), "q6-narrow", 3},
+                           {[] {
+                              QuerySpec s = Q6Like(0.10);
+                              s.aggregates.clear();
+                              s.count_only = true;
+                              return s;
+                            }(),
+                            "count", 1}};
+
+  serve::TenantConfig analytics;
+  analytics.name = "analytics";
+  analytics.priority = 1;
+  analytics.queue_capacity = 2;
+  analytics.arrival_probability = prob(0.04);
+  analytics.templates = {{Q6Like(0.3), "q6-wide", 2}, {Q1Like(), "q1", 1}};
+
+  serve::TenantConfig batch;
+  batch.name = "batch";
+  batch.priority = 2;
+  batch.queue_capacity = 2;
+  batch.closed_loop_clients = 2;
+  batch.think_time_ns = 4'000'000;
+  batch.templates = {{Q1Like(), "q1", 1}};
+
+  return {interactive, analytics, batch};
+}
+
+const char* PlacementName(int p) {
+  return p == 0 ? "cpu-only" : p == 1 ? "full-offload" : "auto";
+}
+
+void BM_ServeTenants(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0));
+  const int placement = static_cast<int>(state.range(1));
+  Engine& engine = ServeEngine();
+
+  serve::ServiceConfig config;
+  config.seed = BenchSeedOr(42);
+  config.horizon_ns = 60'000'000;
+  config.placement = placement == 0   ? PlacementChoice::kCpuOnly
+                     : placement == 1 ? PlacementChoice::kFullOffload
+                                      : PlacementChoice::kAuto;
+  config.admission.global_max_in_flight = 3;
+  config.admission.global_queue_capacity = 5;
+
+  serve::ServiceResult result;
+  for (auto _ : state) {
+    serve::ServiceLoop loop(&engine, Tenants(load), config);
+    result = Must(loop.Run());
+  }
+
+  const serve::ServiceReport& service = result.service;
+  state.counters["admitted"] = static_cast<double>(service.admitted_total);
+  state.counters["completed"] = static_cast<double>(service.completed_total);
+  state.counters["shed"] = static_cast<double>(service.shed_total);
+  state.counters["p99_ms"] = static_cast<double>(service.p99_ns) / 1e6;
+  state.counters["makespan_ms"] =
+      static_cast<double>(service.makespan_ns) / 1e6;
+
+  const std::string name = "load" + std::to_string(state.range(0)) + "x/" +
+                           PlacementName(placement);
+  ReportExecution(state, result.fabric, name, &engine);
+  RecordServiceEntry(name, trace::ServiceReportToJson(service));
+  state.SetLabel(PlacementName(placement));
+}
+
+BENCHMARK(BM_ServeTenants)
+    ->ArgsProduct({{1, 2, 6}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dflow::bench
+
+int main(int argc, char** argv) {
+  std::cout << "== Serving: multi-tenant admission + arrival-driven "
+               "scheduling (offered load x, placement) ==\n";
+  dflow::bench::InitBenchIo(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  dflow::bench::FinishBenchIo("bench_serve_tenants");
+  benchmark::Shutdown();
+  return 0;
+}

@@ -388,41 +388,43 @@ static Result<BuiltPipeline> BuildQueryPipeline(
     const Placement& placement, const ExecOptions& options,
     std::vector<ScanBatch> batches, const std::string& label);
 
-Result<QueryResult> Engine::Execute(const QuerySpec& spec,
-                                    const ExecOptions& options) {
-  DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
-                         PlanVariants(spec));
-  DFLOW_CHECK(!variants.empty());
-  Placement placement;
-  switch (options.placement) {
-    case PlacementChoice::kAuto:
+Result<Placement> Engine::ChoosePlacement(const QuerySpec& spec,
+                                          PlacementChoice choice, int node) {
+  switch (choice) {
+    case PlacementChoice::kAuto: {
       // Best-ranked variant whose devices are all healthy; if every variant
       // touches a dead device, keep the best and let fallback handle it.
-      placement = variants.front().placement;
+      DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
+                             PlanVariants(spec));
+      DFLOW_CHECK(!variants.empty());
       for (const RankedPlacement& v : variants) {
-        if (PlacementHealthy(v.placement, options.node)) {
-          placement = v.placement;
-          break;
-        }
+        if (PlacementHealthy(v.placement, node)) return v.placement;
       }
-      break;
+      return variants.front().placement;
+    }
     case PlacementChoice::kCpuOnly: {
       DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
       PlacementOptimizer::Input input;
       input.stages = prepared.descs;
       input.config = config_;
-      placement = PlacementOptimizer(input).CpuOnly();
-      break;
+      return PlacementOptimizer(input).CpuOnly();
     }
     case PlacementChoice::kFullOffload: {
       DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
       PlacementOptimizer::Input input;
       input.stages = prepared.descs;
       input.config = config_;
-      placement = PlacementOptimizer(input).FullOffload();
-      break;
+      return PlacementOptimizer(input).FullOffload();
     }
   }
+  return Status::InvalidArgument("unknown placement choice");
+}
+
+Result<QueryResult> Engine::Execute(const QuerySpec& spec,
+                                    const ExecOptions& options) {
+  DFLOW_ASSIGN_OR_RETURN(
+      Placement placement,
+      ChoosePlacement(spec, options.placement, options.node));
   return ExecuteWithPlacement(spec, placement, options);
 }
 
@@ -766,16 +768,54 @@ static Result<BuiltPipeline> BuildQueryPipeline(
   return built;
 }
 
+Result<Engine::AdmittedPipeline> Engine::BuildServicePipeline(
+    DataflowGraph* graph, const QuerySpec& spec, const Placement& placement,
+    const std::string& label, double rate_limit_gbps) {
+  DFLOW_CHECK(graph != nullptr);
+  DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+  if (placement.sites.size() != prepared.kinds.size()) {
+    return Status::InvalidArgument("placement '" + placement.name +
+                                   "' does not match query stages");
+  }
+  DFLOW_ASSIGN_OR_RETURN(
+      TableScanSource scan,
+      TableScanSource::Make(prepared.table, prepared.scan_columns,
+                            prepared.filter));
+  DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce());
+  ArmGraph(graph);
+  ExecOptions options;
+  DFLOW_ASSIGN_OR_RETURN(
+      BuiltPipeline b,
+      BuildQueryPipeline(this, &fabric_, graph, spec, prepared, placement,
+                         options, std::move(batches), label));
+  if (rate_limit_gbps > 0 && b.has_network_edge) {
+    DFLOW_RETURN_NOT_OK(
+        graph->SetEdgeRateLimit(b.net_from, b.net_to, rate_limit_gbps));
+  }
+  AdmittedPipeline admitted;
+  admitted.source = b.source;
+  admitted.sink = b.sink;
+  admitted.has_network_edge = b.has_network_edge;
+  admitted.net_from = b.net_from;
+  admitted.net_to = b.net_to;
+  admitted.variant = placement.name;
+  return admitted;
+}
+
 Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
     const std::vector<QuerySpec>& specs,
     const std::vector<Placement>& placements,
-    const std::vector<double>& network_rate_limits_gbps) {
+    const std::vector<double>& network_rate_limits_gbps,
+    const std::vector<sim::SimTime>& start_offsets_ns) {
   if (specs.size() != placements.size()) {
     return Status::InvalidArgument("one placement per query required");
   }
   if (!network_rate_limits_gbps.empty() &&
       network_rate_limits_gbps.size() != specs.size()) {
     return Status::InvalidArgument("rate limit list length mismatch");
+  }
+  if (!start_offsets_ns.empty() && start_offsets_ns.size() != specs.size()) {
+    return Status::InvalidArgument("start offset list length mismatch");
   }
   fabric_.Reset();
   if (tracer_ != nullptr) tracer_->Clear();
@@ -803,6 +843,10 @@ Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
         network_rate_limits_gbps[q] > 0 && b.has_network_edge) {
       DFLOW_RETURN_NOT_OK(graph.SetEdgeRateLimit(
           b.net_from, b.net_to, network_rate_limits_gbps[q]));
+    }
+    if (!start_offsets_ns.empty() && start_offsets_ns[q] > 0) {
+      DFLOW_RETURN_NOT_OK(
+          graph.SetSourceStartTime(b.source, start_offsets_ns[q]));
     }
     built.push_back(b);
   }

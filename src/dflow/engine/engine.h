@@ -128,6 +128,37 @@ class Engine {
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecOptions& options = ExecOptions());
 
+  /// The placement Execute would pick for `choice` (kAuto: best healthy
+  /// variant; kCpuOnly / kFullOffload: the forced extreme). Exposed so the
+  /// serving layer and the scheduler resolve plan variants without
+  /// executing anything.
+  Result<Placement> ChoosePlacement(const QuerySpec& spec,
+                                    PlacementChoice choice, int node = 0);
+
+  // --------------------------------------------------------- serving hooks
+  /// One query pipeline admitted into an externally-owned graph (the
+  /// serving layer launches many of these onto the shared fabric while the
+  /// simulation is live).
+  struct AdmittedPipeline {
+    size_t source = 0;
+    size_t sink = 0;
+    bool has_network_edge = false;
+    size_t net_from = 0;
+    size_t net_to = 0;
+    std::string variant;  // placement name
+  };
+
+  /// Builds (spec, placement) into `graph`, which must run on this
+  /// engine's fabric simulator. Arms the graph with the engine's fault
+  /// injector and tracer, and applies `rate_limit_gbps` to the pipeline's
+  /// network edge (0 = uncapped). Launching and draining the simulator
+  /// stay with the caller — see DataflowGraph::Launch.
+  Result<AdmittedPipeline> BuildServicePipeline(DataflowGraph* graph,
+                                                const QuerySpec& spec,
+                                                const Placement& placement,
+                                                const std::string& label,
+                                                double rate_limit_gbps = 0.0);
+
   /// Runs with an explicitly chosen placement (one of PlanVariants).
   Result<QueryResult> ExecuteWithPlacement(
       const QuerySpec& spec, const Placement& placement,
@@ -141,7 +172,10 @@ class Engine {
   /// Runs several queries concurrently on the shared fabric, one pipeline
   /// each. `placements[i]` chooses query i's variant;
   /// `network_rate_limits_gbps` (same length, or empty) caps each query's
-  /// network DMA. Returns per-query completion and the overall makespan.
+  /// network DMA, and `start_offsets_ns` (same length, or empty) delays
+  /// each query's admission to the given virtual time — the batch
+  /// degenerates to the classic everything-at-t=0 run when empty. Returns
+  /// per-query completion and the overall makespan.
   struct ConcurrentResult {
     std::vector<sim::SimTime> completion_ns;
     std::vector<uint64_t> result_rows;
@@ -150,7 +184,8 @@ class Engine {
   Result<ConcurrentResult> ExecuteConcurrent(
       const std::vector<QuerySpec>& specs,
       const std::vector<Placement>& placements,
-      const std::vector<double>& network_rate_limits_gbps = {});
+      const std::vector<double>& network_rate_limits_gbps = {},
+      const std::vector<sim::SimTime>& start_offsets_ns = {});
 
   /// Distributed partitioned hash join across compute nodes (Figure 4).
   Result<JoinRunResult> ExecutePartitionedJoin(

@@ -79,6 +79,9 @@ struct DataflowGraph::Node {
   std::optional<Schema> source_schema;
   size_t next_batch = 0;
   uint32_t storage_retries = 0;  // consecutive failed reads of the next batch
+  /// Absolute virtual time before which a source stays idle (admission
+  /// offset; see SetSourceStartTime).
+  sim::SimTime start_at = 0;
   std::deque<std::tuple<DataChunk, uint64_t, Edge*>> inbox;
   size_t open_inputs = 0;
   std::vector<Edge*> outs;
@@ -218,6 +221,7 @@ Status DataflowGraph::SetEdgeRateLimit(NodeId from, NodeId to, double gbps) {
 
 void DataflowGraph::Fail(Status status) {
   if (status_.ok()) status_ = std::move(status);
+  MaybeComplete();
 }
 
 bool DataflowGraph::SendQueuesEmpty(const Node* n) const {
@@ -589,6 +593,8 @@ void DataflowGraph::HandleEos(Edge* e) {
     if (to->open_inputs == 0) {
       to->finished = true;
       to->finish_time = sim_->now();
+      if (unfinished_sinks_ > 0) unfinished_sinks_ -= 1;
+      MaybeComplete();
     }
     return;
   }
@@ -603,10 +609,7 @@ void DataflowGraph::MarkNodeDone(Node* n) {
   PumpEdges(n);
 }
 
-Status DataflowGraph::Run(uint64_t max_events) {
-  if (started_) return Status::InvalidArgument("graph already ran");
-  started_ = true;
-
+Status DataflowGraph::Validate() const {
   // Structural validation.
   for (const auto& e : edges_) {
     if (e->feedback) {
@@ -678,16 +681,71 @@ Status DataflowGraph::Run(uint64_t max_events) {
         break;
     }
   }
+  return Status::OK();
+}
 
+Status DataflowGraph::Start() {
+  unfinished_sinks_ = 0;
   for (auto& n : nodes_) {
     n->open_inputs = n->ins.size();
+    if (n->type == Node::Type::kSink) unfinished_sinks_ += 1;
   }
   for (auto& n : nodes_) {
     if (n->type == Node::Type::kSource) {
       Node* raw = n.get();
-      sim_->Schedule(0, [this, raw] { Pump(raw); });
+      sim_->ScheduleAt(std::max(sim_->now(), raw->start_at),
+                       [this, raw] { Pump(raw); });
     }
   }
+  return Status::OK();
+}
+
+Status DataflowGraph::Launch() {
+  if (started_) return Status::InvalidArgument("graph already launched");
+  started_ = true;
+  DFLOW_RETURN_NOT_OK(Validate());
+  return Start();
+}
+
+Status DataflowGraph::SetSourceStartTime(NodeId source, sim::SimTime at) {
+  if (source >= nodes_.size() ||
+      nodes_[source]->type != Node::Type::kSource) {
+    return Status::InvalidArgument("SetSourceStartTime: not a source");
+  }
+  nodes_[source]->start_at = at;
+  return Status::OK();
+}
+
+void DataflowGraph::SetCompletionCallback(
+    std::function<void(const Status&)> callback) {
+  completion_callback_ = std::move(callback);
+}
+
+bool DataflowGraph::finished() const {
+  if (!started_) return false;
+  for (const auto& n : nodes_) {
+    if (!n->finished) return false;
+  }
+  return true;
+}
+
+void DataflowGraph::MaybeComplete() {
+  if (completion_reported_ || completion_callback_ == nullptr) return;
+  if (!status_.ok()) {
+    completion_reported_ = true;
+    completion_callback_(status_);
+    return;
+  }
+  if (unfinished_sinks_ > 0 || !finished()) return;
+  completion_reported_ = true;
+  completion_callback_(Status::OK());
+}
+
+Status DataflowGraph::Run(uint64_t max_events) {
+  if (started_) return Status::InvalidArgument("graph already ran");
+  started_ = true;
+  DFLOW_RETURN_NOT_OK(Validate());
+  DFLOW_RETURN_NOT_OK(Start());
   const bool drained = sim_->RunWithLimit(max_events);
   if (!drained) {
     return Status::Internal("dataflow graph exceeded event budget");

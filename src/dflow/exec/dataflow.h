@@ -149,6 +149,38 @@ class DataflowGraph {
   /// operator errored or the event budget was exceeded.
   Status Run(uint64_t max_events = 200'000'000);
 
+  // --------------------------------------------------------- service mode
+  // A serving layer admits queries while the fabric simulation is live:
+  // many independent DataflowGraphs share one Simulator (and its devices
+  // and links), each launched when its query is admitted. Launch validates
+  // and schedules this graph's sources but does NOT drain the simulator —
+  // the caller owns the event loop and typically interleaves arrival
+  // events with fabric events on the same virtual clock.
+
+  /// Validates the graph and schedules every source to start producing
+  /// (at its start time, see SetSourceStartTime; default: now). Unlike
+  /// Run, returns immediately — the graph executes as the caller (or an
+  /// enclosing service loop) drains the shared simulator. A graph may be
+  /// launched only once and must not also call Run.
+  Status Launch();
+
+  /// Delays a source's first batch to the given absolute virtual time
+  /// (clamped to "now" at launch). This is how the engine realises
+  /// per-query admission offsets: a query admitted at t starts moving
+  /// data at t, not at 0.
+  Status SetSourceStartTime(NodeId source, sim::SimTime at);
+
+  /// Called exactly once, when every sink has finished (success) or the
+  /// graph failed (operator error, crashed device, delivery give-up). The
+  /// callback runs inside the simulator event loop, so it may admit and
+  /// Launch further graphs but must not drain the simulator itself.
+  void SetCompletionCallback(std::function<void(const Status&)> callback);
+
+  /// Execution status so far (OK while running or after success).
+  const Status& status() const { return status_; }
+  /// True once every node has finished (EOS fully propagated).
+  bool finished() const;
+
   // --------------------------------------------------------------- results
   const std::vector<DataChunk>& sink_chunks(NodeId sink) const;
   sim::SimTime sink_finish_time(NodeId sink) const;
@@ -188,6 +220,9 @@ class DataflowGraph {
   bool SendQueuesEmpty(const Node* n) const;
   bool DeviceCrashed(Node* n);
   void Fail(Status status);
+  Status Validate() const;
+  Status Start();
+  void MaybeComplete();
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -199,6 +234,9 @@ class DataflowGraph {
   std::string failed_device_;
   Status status_;
   bool started_ = false;
+  std::function<void(const Status&)> completion_callback_;
+  bool completion_reported_ = false;
+  size_t unfinished_sinks_ = 0;
 };
 
 }  // namespace dflow

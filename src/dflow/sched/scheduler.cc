@@ -45,17 +45,60 @@ Result<ScheduleDecision> Scheduler::PlanNaive(
   return decision;
 }
 
+double Scheduler::NetworkGbps() const {
+  const sim::FabricConfig& config = engine_->config();
+  return std::min(config.storage_uplink_gbps, config.network_gbps);
+}
+
+double Scheduler::ContendedCompletionNs(
+    const CostEstimate& cost, const CommittedDemand& committed) const {
+  // Contended completion estimate: every shared resource serves this
+  // query after (or interleaved with) the demand already committed.
+  double completion = cost.media_ns;
+  for (int s = 0; s < kNumSites; ++s) {
+    completion = std::max(completion,
+                          committed.site_busy_ns[s] + cost.device_busy_ns[s]);
+  }
+  completion = std::max(
+      completion, committed.network_ns +
+                      static_cast<double>(cost.network_bytes) / NetworkGbps());
+  return completion;
+}
+
+void Scheduler::Charge(const CostEstimate& cost,
+                       CommittedDemand* committed) const {
+  for (int s = 0; s < kNumSites; ++s) {
+    committed->site_busy_ns[s] += cost.device_busy_ns[s];
+  }
+  if (cost.network_bytes > 0) {
+    const double bytes = static_cast<double>(cost.network_bytes);
+    committed->network_ns += bytes / NetworkGbps();
+    committed->network_bytes += bytes;
+    ++committed->network_users;
+  }
+}
+
+void Scheduler::Release(const CostEstimate& cost,
+                        CommittedDemand* committed) const {
+  for (int s = 0; s < kNumSites; ++s) {
+    committed->site_busy_ns[s] =
+        std::max(0.0, committed->site_busy_ns[s] - cost.device_busy_ns[s]);
+  }
+  if (cost.network_bytes > 0) {
+    const double bytes = static_cast<double>(cost.network_bytes);
+    committed->network_ns =
+        std::max(0.0, committed->network_ns - bytes / NetworkGbps());
+    committed->network_bytes = std::max(0.0, committed->network_bytes - bytes);
+    committed->network_users = std::max(0, committed->network_users - 1);
+  }
+}
+
 Result<ScheduleDecision> Scheduler::Plan(
     const std::vector<QuerySpec>& specs) const {
   ScheduleDecision decision;
-  // Accumulated demand committed so far.
-  std::array<double, kNumSites> site_busy{};
-  double network_ns = 0;  // time the network is claimed for
+  CommittedDemand committed;  // accumulated demand committed so far
   std::vector<double> chosen_network_bytes(specs.size(), 0.0);
-
-  const sim::FabricConfig& config = engine_->config();
-  const double network_gbps =
-      std::min(config.storage_uplink_gbps, config.network_gbps);
+  const double network_gbps = NetworkGbps();
 
   for (size_t q = 0; q < specs.size(); ++q) {
     DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
@@ -64,27 +107,15 @@ Result<ScheduleDecision> Scheduler::Plan(
     double best_completion = 0;
     size_t best = 0;
     for (size_t v = 0; v < variants.size(); ++v) {
-      const CostEstimate& cost = variants[v].cost;
-      // Contended completion estimate: every shared resource serves this
-      // query after (or interleaved with) the demand already committed.
-      double completion = cost.media_ns;
-      for (int s = 0; s < kNumSites; ++s) {
-        completion =
-            std::max(completion, site_busy[s] + cost.device_busy_ns[s]);
-      }
-      completion = std::max(
-          completion, network_ns + static_cast<double>(cost.network_bytes) /
-                                       network_gbps);
+      const double completion =
+          ContendedCompletionNs(variants[v].cost, committed);
       if (v == 0 || completion < best_completion) {
         best_completion = completion;
         best = v;
       }
     }
     const CostEstimate& cost = variants[best].cost;
-    for (int s = 0; s < kNumSites; ++s) {
-      site_busy[s] += cost.device_busy_ns[s];
-    }
-    network_ns += static_cast<double>(cost.network_bytes) / network_gbps;
+    Charge(cost, &committed);
     chosen_network_bytes[q] = static_cast<double>(cost.network_bytes);
     decision.placements.push_back(variants[best].placement);
     decision.rationale.push_back(
@@ -113,6 +144,71 @@ Result<ScheduleDecision> Scheduler::Plan(
     }
     decision.network_rate_limits_gbps.push_back(cap);
   }
+  return decision;
+}
+
+Result<IncrementalDecision> Scheduler::PlanOne(const QuerySpec& spec,
+                                               const CommittedDemand& committed,
+                                               PlacementChoice choice) const {
+  DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
+                         engine_->PlanVariants(spec));
+  IncrementalDecision decision;
+  if (choice == PlacementChoice::kAuto) {
+    std::vector<RankedPlacement> healthy =
+        HealthyVariants(engine_, std::move(variants));
+    double best_completion = 0;
+    size_t best = 0;
+    for (size_t v = 0; v < healthy.size(); ++v) {
+      const double completion = ContendedCompletionNs(healthy[v].cost,
+                                                      committed);
+      if (v == 0 || completion < best_completion) {
+        best_completion = completion;
+        best = v;
+      }
+    }
+    decision.placement = healthy[best].placement;
+    decision.cost = healthy[best].cost;
+    decision.rationale =
+        best == 0 ? "uncontended optimum"
+                  : "diverted to variant #" + std::to_string(best) +
+                        " to avoid contention";
+  } else {
+    // Forced extreme (CPU-only / full-offload): still costed, so the
+    // ledger and the rate cap stay honest.
+    DFLOW_ASSIGN_OR_RETURN(decision.placement,
+                           engine_->ChoosePlacement(spec, choice));
+    bool found = false;
+    for (const RankedPlacement& v : variants) {
+      if (v.placement.sites == decision.placement.sites) {
+        decision.cost = v.cost;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Internal("scheduler: forced placement '" +
+                              decision.placement.name +
+                              "' is not among the enumerated plan variants");
+    }
+    decision.rationale = choice == PlacementChoice::kCpuOnly
+                             ? "forced cpu-only"
+                             : "forced full-offload";
+  }
+  // Admission-time fair share: an arriving flow joining n running network
+  // users gets capacity / (n + 1) so it cannot starve them.
+  if (decision.cost.network_bytes > 0 && committed.network_users >= 1) {
+    decision.network_rate_limit_gbps =
+        NetworkGbps() / static_cast<double>(committed.network_users + 1);
+    decision.rationale += "; fair-share cap across " +
+                          std::to_string(committed.network_users + 1) +
+                          " network flows";
+  }
+  DFLOW_TRACE(engine_->tracer(),
+              Instant("sched", "scheduler", "plan_one",
+                      engine_->fabric().simulator().now(),
+                      /*value=*/committed.network_users,
+                      decision.placement.name + " (" + decision.rationale +
+                          ")"));
   return decision;
 }
 

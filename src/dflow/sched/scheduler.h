@@ -1,6 +1,7 @@
 #ifndef DFLOW_SCHED_SCHEDULER_H_
 #define DFLOW_SCHED_SCHEDULER_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,31 @@ struct ScheduleDecision {
   std::vector<Placement> placements;
   std::vector<double> network_rate_limits_gbps;  // 0 = uncapped
   std::vector<std::string> rationale;            // per query, for reports
+};
+
+/// Rolling resource ledger for arrival-driven scheduling: the device and
+/// network demand committed by queries that are admitted and still
+/// running. PlanOne costs candidates *on top of* this ledger; the serving
+/// layer Charges a query's demand at admission and Releases it at
+/// completion, so every admission decision sees what is already running.
+struct CommittedDemand {
+  std::array<double, kNumSites> site_busy_ns{};
+  double network_ns = 0;     // time the shared network is claimed for
+  double network_bytes = 0;  // bytes claimed across the uplink
+  int network_users = 0;     // running queries with network traffic
+};
+
+/// What the scheduler decided for one incrementally-admitted query.
+struct IncrementalDecision {
+  Placement placement;
+  /// The estimate that was (or is to be) charged to the ledger; hand it
+  /// back to Release when the query completes.
+  CostEstimate cost;
+  /// Admission-time fair share of the network (0 = uncapped): when n
+  /// running queries use the uplink, a newly admitted network user is
+  /// capped at capacity / n.
+  double network_rate_limit_gbps = 0;
+  std::string rationale;
 };
 
 /// Interference-aware scheduler over the engine's fabric.
@@ -39,7 +65,31 @@ class Scheduler {
   Result<Engine::ConcurrentResult> Run(const std::vector<QuerySpec>& specs,
                                        const ScheduleDecision& decision);
 
+  // ------------------------------------------------- incremental planning
+  // Arrival-driven form of Plan: queries are admitted one at a time as
+  // they arrive, each costed against the demand of queries still running.
+  // The serving layer calls PlanOne at admission, Charge when the query
+  // launches, and Release when it completes.
+
+  /// Picks the variant with the lowest contended completion estimate given
+  /// what is already committed. kCpuOnly / kFullOffload force the extreme
+  /// plan (still costed, for the ledger). Does not mutate `committed`.
+  Result<IncrementalDecision> PlanOne(
+      const QuerySpec& spec, const CommittedDemand& committed,
+      PlacementChoice choice = PlacementChoice::kAuto) const;
+
+  /// Adds / removes a query's estimated demand to / from the ledger.
+  void Charge(const CostEstimate& cost, CommittedDemand* committed) const;
+  void Release(const CostEstimate& cost, CommittedDemand* committed) const;
+
  private:
+  /// The shared-network bottleneck bandwidth (min of uplink and network).
+  double NetworkGbps() const;
+  /// Completion estimate for `cost` stacked on top of `committed` — the
+  /// same formula Plan uses when committing a batch sequentially.
+  double ContendedCompletionNs(const CostEstimate& cost,
+                               const CommittedDemand& committed) const;
+
   Engine* engine_;
 };
 

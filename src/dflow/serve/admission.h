@@ -1,0 +1,84 @@
+#ifndef DFLOW_SERVE_ADMISSION_H_
+#define DFLOW_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "dflow/serve/workload.h"
+#include "dflow/sim/simulator.h"
+
+namespace dflow::serve {
+
+/// Why an arrival was shed. The names are stable API — they appear in
+/// traces, reports, and CI expectations.
+enum class RejectCode {
+  kQueueFull,  // the tenant's bounded queue is at capacity
+  kOverload,   // the global waiting-query budget is exhausted
+};
+const char* RejectCodeName(RejectCode code);  // "QUEUE_FULL" / "OVERLOAD"
+
+struct AdmissionConfig {
+  /// Queries executing concurrently on the fabric, across all tenants.
+  size_t global_max_in_flight = 4;
+  /// Queries waiting in queues, across all tenants; beyond this every
+  /// arrival is shed with OVERLOAD regardless of tenant-queue headroom.
+  size_t global_queue_capacity = 64;
+};
+
+/// One admitted-or-waiting query.
+struct Ticket {
+  uint64_t query_id = 0;
+  size_t tenant = 0;
+  size_t template_index = 0;
+  sim::SimTime arrival_ns = 0;
+  bool closed_loop = false;  // reissue on completion
+};
+
+/// Bounded-queue admission control with priority classes.
+///
+/// Arrivals are offered; an offer either enters the owning tenant's FIFO
+/// queue or is shed with a stable rejection code. The service loop then
+/// pops runnable tickets: lowest priority number first, FIFO within a
+/// tenant, round-robin across tenants of equal priority, subject to the
+/// global and per-tenant in-flight caps. An arrival that finds the fabric
+/// idle is popped in the same event, so "admit immediately" is just
+/// Offer + Pop at one timestamp.
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config,
+                      const std::vector<TenantConfig>* tenants);
+
+  /// Queues the ticket or sheds it (returned code says why).
+  std::optional<RejectCode> Offer(const Ticket& ticket);
+
+  /// Highest-priority runnable waiting ticket, if any; marks it in
+  /// flight.
+  std::optional<Ticket> PopRunnable();
+
+  /// A query finished (or was failed); frees its in-flight slot.
+  void OnCompletion(size_t tenant);
+
+  size_t queued(size_t tenant) const { return queues_[tenant].size(); }
+  size_t queued_total() const { return queued_total_; }
+  size_t in_flight(size_t tenant) const { return in_flight_[tenant]; }
+  size_t in_flight_total() const { return in_flight_total_; }
+
+ private:
+  bool CanStart(size_t tenant) const;
+
+  AdmissionConfig config_;
+  const std::vector<TenantConfig>* tenants_;
+  std::vector<std::deque<Ticket>> queues_;
+  std::vector<size_t> in_flight_;
+  size_t in_flight_total_ = 0;
+  size_t queued_total_ = 0;
+  /// Last tenant popped; equal-priority ties go to the next tenant after
+  /// it in index order (fair round-robin, fully deterministic).
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace dflow::serve
+
+#endif  // DFLOW_SERVE_ADMISSION_H_

@@ -1,0 +1,336 @@
+#include "dflow/serve/service_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::serve {
+
+ServiceLoop::ServiceLoop(Engine* engine, std::vector<TenantConfig> tenants,
+                         ServiceConfig config)
+    : engine_(engine),
+      tenants_(std::move(tenants)),
+      config_(config),
+      driver_(tenants_, config.seed, config.horizon_ns),
+      admission_(config.admission, &tenants_),
+      scheduler_(engine) {
+  DFLOW_CHECK(engine != nullptr && !tenants_.empty());
+  stats_.resize(tenants_.size());
+  latencies_.resize(tenants_.size());
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    stats_[t].name = tenants_[t].name;
+  }
+}
+
+Result<ServiceResult> ServiceLoop::Run() {
+  engine_->fabric().Reset();
+  if (engine_->tracer() != nullptr) engine_->tracer()->Clear();
+  sim::Simulator& sim = engine_->fabric().simulator();
+
+  // Open-loop arrivals are generated up front (they depend only on the
+  // seed); closed-loop clients schedule themselves as they complete.
+  for (const Arrival& a : driver_.OpenLoopArrivals()) {
+    sim.ScheduleAt(a.at, [this, a] { OnArrival(a, /*closed_loop=*/false); });
+  }
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    for (size_t c = 0; c < tenants_[t].closed_loop_clients; ++c) {
+      Arrival a;
+      a.at = driver_.InitialIssueTime(t);
+      a.tenant = t;
+      a.template_index = driver_.PickTemplate(t);
+      sim.ScheduleAt(a.at, [this, a] { OnArrival(a, /*closed_loop=*/true); });
+    }
+  }
+
+  const bool drained = sim.RunWithLimit(config_.max_events);
+  DFLOW_RETURN_NOT_OK(failure_);
+  if (!drained) {
+    return Status::InvalidArgument("service run exceeded event budget (" +
+                                   std::to_string(config_.max_events) + ")");
+  }
+  if (!active_.empty()) {
+    return Status::Internal("service drained with " +
+                            std::to_string(active_.size()) +
+                            " queries still marked active");
+  }
+
+  ServiceResult result;
+  ServiceReport& report = result.service;
+  report.makespan_ns = sim.now();
+  report.peak_in_flight = peak_in_flight_;
+  std::vector<sim::SimTime> all_latencies;
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    TenantStats& ts = stats_[t];
+    ts.p50_ns = PercentileNs(latencies_[t], 0.50);
+    ts.p95_ns = PercentileNs(latencies_[t], 0.95);
+    ts.p99_ns = PercentileNs(latencies_[t], 0.99);
+    report.arrivals_total += ts.arrivals;
+    report.admitted_total += ts.admitted;
+    report.shed_total += ts.shed_queue_full + ts.shed_overload;
+    report.completed_total += ts.completed;
+    report.failed_total += ts.failed;
+    report.degraded_total += ts.degraded;
+    all_latencies.insert(all_latencies.end(), latencies_[t].begin(),
+                         latencies_[t].end());
+    report.tenants.push_back(ts);
+  }
+  report.p99_ns = PercentileNs(std::move(all_latencies), 0.99);
+  result.fabric = CollectFabricReport();
+  result.fabric.fault.cpu_fallback = report.degraded_total > 0;
+  result.fabric.fault.failed_device = first_failed_device_;
+  result.fabric.result_rows = 0;
+  for (const auto& [id, st] : finished_) {
+    (void)id;
+    for (const DataChunk& c : graphs_[st.first]->sink_chunks(st.second)) {
+      result.fabric.result_rows += c.num_rows();
+    }
+  }
+  return result;
+}
+
+void ServiceLoop::OnArrival(const Arrival& arrival, bool closed_loop) {
+  if (!failure_.ok()) return;
+  const sim::SimTime now = engine_->fabric().simulator().now();
+  Ticket ticket;
+  ticket.query_id = next_query_id_++;
+  ticket.tenant = arrival.tenant;
+  ticket.template_index = arrival.template_index;
+  ticket.arrival_ns = now;
+  ticket.closed_loop = closed_loop;
+
+  TenantStats& ts = stats_[arrival.tenant];
+  ++ts.arrivals;
+  const std::string& tenant_name = tenants_[arrival.tenant].name;
+  const std::string& template_name =
+      tenants_[arrival.tenant].templates[arrival.template_index].name;
+  DFLOW_TRACE(engine_->tracer(),
+              Instant("serve", "tenant:" + tenant_name, "arrival", now,
+                      ticket.query_id, template_name));
+
+  if (std::optional<RejectCode> rejected = admission_.Offer(ticket)) {
+    if (*rejected == RejectCode::kQueueFull) {
+      ++ts.shed_queue_full;
+    } else {
+      ++ts.shed_overload;
+    }
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("serve", "tenant:" + tenant_name,
+                        std::string("shed:") + RejectCodeName(*rejected), now,
+                        ticket.query_id, template_name));
+    // A shed closed-loop client backs off a think time and tries again.
+    if (closed_loop) ScheduleReissue(arrival.tenant);
+    return;
+  }
+  EmitQueueDepth(arrival.tenant);
+  DrainRunnable();
+}
+
+void ServiceLoop::DrainRunnable() {
+  while (std::optional<Ticket> ticket = admission_.PopRunnable()) {
+    const Status started = StartQuery(*ticket, /*degraded_restart=*/false);
+    if (!started.ok()) {
+      failure_ = started;
+      return;
+    }
+    peak_in_flight_ =
+        std::max<uint64_t>(peak_in_flight_, admission_.in_flight_total());
+    EmitQueueDepth(ticket->tenant);
+  }
+  DFLOW_TRACE(engine_->tracer(),
+              Counter("serve", "service", "in_flight",
+                      engine_->fabric().simulator().now(),
+                      admission_.in_flight_total()));
+}
+
+Status ServiceLoop::StartQuery(const Ticket& ticket, bool degraded_restart) {
+  const sim::SimTime now = engine_->fabric().simulator().now();
+  const TenantConfig& tenant = tenants_[ticket.tenant];
+  const TemplateMix& tmpl = tenant.templates[ticket.template_index];
+  TenantStats& ts = stats_[ticket.tenant];
+
+  // Re-plan against the live demand ledger on every admission; a restart
+  // after an accelerator crash is pinned to the CPU-only data path.
+  PlacementChoice choice =
+      degraded_restart ? PlacementChoice::kCpuOnly : config_.placement;
+  DFLOW_ASSIGN_OR_RETURN(IncrementalDecision decision,
+                         scheduler_.PlanOne(tmpl.spec, committed_, choice));
+  bool degraded_at_admission = false;
+  if (!engine_->PlacementHealthy(decision.placement, /*node=*/0) &&
+      choice != PlacementChoice::kCpuOnly) {
+    // A forced-offload placement whose accelerator is quarantined falls
+    // back to the CPU-only plan instead of launching onto a dead device.
+    DFLOW_ASSIGN_OR_RETURN(
+        decision,
+        scheduler_.PlanOne(tmpl.spec, committed_, PlacementChoice::kCpuOnly));
+    degraded_at_admission = true;
+  }
+  scheduler_.Charge(decision.cost, &committed_);
+
+  graphs_.push_back(
+      std::make_unique<DataflowGraph>(&engine_->fabric().simulator()));
+  DataflowGraph* graph = graphs_.back().get();
+  const size_t graph_index = graphs_.size() - 1;
+  const std::string label =
+      tenant.name + "#" + std::to_string(ticket.query_id);
+  DFLOW_ASSIGN_OR_RETURN(
+      Engine::AdmittedPipeline pipeline,
+      engine_->BuildServicePipeline(graph, tmpl.spec, decision.placement,
+                                    label,
+                                    decision.network_rate_limit_gbps));
+
+  const verify::VerifyMode mode = verify::DefaultMode();
+  if (mode != verify::VerifyMode::kOff) {
+    verify::VerifyReport vreport = engine_->VerifyGraphSpec(graph->Describe());
+    for (const verify::VerifyIssue& issue : vreport.issues) {
+      DFLOW_LOG(Warning) << "serve verify (" << label
+                         << "): " << issue.ToString();
+    }
+    if (mode == verify::VerifyMode::kStrict && !vreport.ok()) {
+      return Status::InvalidArgument(
+          "service: query " + label + " placement '" + decision.placement.name +
+          "' rejected by static verifier: " + vreport.ToString());
+    }
+  }
+
+  QueryState st;
+  st.ticket = ticket;
+  st.graph_index = graph_index;
+  st.pipeline = pipeline;
+  st.cost = decision.cost;
+  st.variant = decision.placement.name;
+  st.template_name = tmpl.name;
+  st.degraded = degraded_restart || degraded_at_admission;
+  active_.emplace(ticket.query_id, std::move(st));
+
+  if (degraded_restart || degraded_at_admission) {
+    ++ts.degraded;
+  }
+  if (!degraded_restart) {
+    ++ts.admitted;
+    if (now > ticket.arrival_ns) ++ts.queued;
+  }
+  DFLOW_TRACE(engine_->tracer(),
+              Instant("serve", "tenant:" + tenant.name, "admit", now,
+                      ticket.query_id,
+                      decision.placement.name + " (" + decision.rationale +
+                          ")"));
+
+  const uint64_t query_id = ticket.query_id;
+  graph->SetCompletionCallback([this, query_id](const Status& status) {
+    OnQueryDone(query_id, status);
+  });
+  return graph->Launch();
+}
+
+void ServiceLoop::OnQueryDone(uint64_t query_id, const Status& status) {
+  if (!failure_.ok()) return;
+  auto it = active_.find(query_id);
+  DFLOW_CHECK(it != active_.end());
+  QueryState st = std::move(it->second);
+  active_.erase(it);
+  finished_.emplace(query_id,
+                    std::make_pair(st.graph_index, st.pipeline.sink));
+
+  const sim::SimTime now = engine_->fabric().simulator().now();
+  const size_t tenant = st.ticket.tenant;
+  const std::string& tenant_name = tenants_[tenant].name;
+  TenantStats& ts = stats_[tenant];
+  scheduler_.Release(st.cost, &committed_);
+
+  if (status.ok()) {
+    ++ts.completed;
+    latencies_[tenant].push_back(now - st.ticket.arrival_ns);
+    DFLOW_TRACE(engine_->tracer(),
+                Span("serve", "tenant:" + tenant_name, st.template_name,
+                     st.ticket.arrival_ns, now, query_id, st.variant));
+  } else {
+    const std::string& dev = graphs_[st.graph_index]->failed_device();
+    if (!dev.empty()) {
+      engine_->MarkDeviceUnhealthy(dev);
+      if (first_failed_device_.empty()) first_failed_device_ = dev;
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("serve", "tenant:" + tenant_name, "device_crash",
+                          now, query_id, dev));
+    }
+    if (config_.degrade_on_crash && !dev.empty() && !st.degraded) {
+      // The accelerator died under this query: keep its admission slot
+      // and relaunch it on the CPU-only plan. Queued queries are
+      // untouched — they re-plan around the quarantined device when
+      // their turn comes.
+      const Status restarted =
+          StartQuery(st.ticket, /*degraded_restart=*/true);
+      if (!restarted.ok()) failure_ = restarted;
+      return;
+    }
+    ++ts.failed;
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("serve", "tenant:" + tenant_name, "query_failed", now,
+                        query_id, status.ToString()));
+  }
+
+  admission_.OnCompletion(tenant);
+  if (st.ticket.closed_loop) ScheduleReissue(tenant);
+  DrainRunnable();
+}
+
+void ServiceLoop::ScheduleReissue(size_t tenant) {
+  sim::Simulator& sim = engine_->fabric().simulator();
+  const sim::SimTime at = sim.now() + driver_.NextThinkTime(tenant);
+  if (at >= config_.horizon_ns) return;  // the client's session is over
+  Arrival a;
+  a.at = at;
+  a.tenant = tenant;
+  a.template_index = driver_.PickTemplate(tenant);
+  sim.ScheduleAt(at, [this, a] { OnArrival(a, /*closed_loop=*/true); });
+}
+
+void ServiceLoop::EmitQueueDepth(size_t tenant) {
+  const uint64_t depth = admission_.queued(tenant);
+  TenantStats& ts = stats_[tenant];
+  ts.queue_depth_peak = std::max(ts.queue_depth_peak, depth);
+  DFLOW_TRACE(engine_->tracer(),
+              Counter("serve", "queue:" + tenants_[tenant].name, "depth",
+                      engine_->fabric().simulator().now(), depth));
+}
+
+ExecutionReport ServiceLoop::CollectFabricReport() const {
+  sim::Fabric& fabric = engine_->fabric();
+  ExecutionReport report;
+  report.variant = "service";
+  report.sim_ns = fabric.simulator().now();
+  report.media_bytes = fabric.store_media()->bytes_processed();
+  report.network_bytes = fabric.storage_uplink()->bytes_transferred();
+  report.interconnect_bytes = fabric.node(0).interconnect->bytes_transferred();
+  report.membus_bytes = fabric.node(0).memory_bus->bytes_transferred();
+  for (const auto& graph : graphs_) {
+    // Sum of per-graph peaks: an upper bound on simultaneous in-flight
+    // bytes, comparable across runs of the same workload.
+    report.peak_queue_bytes += graph->TotalPeakQueueBytes();
+  }
+  for (sim::Link* l : fabric.AllLinks()) {
+    if (l->num_messages() > 0) {
+      report.link_bytes[l->name()] = l->bytes_transferred();
+    }
+    report.fault.chunks_dropped += l->messages_dropped();
+    report.fault.chunks_corrupted += l->messages_corrupted();
+  }
+  for (sim::Device* d : fabric.AllDevices()) {
+    if (d->items_processed() > 0) {
+      report.device_busy_ns[d->name()] = d->busy_ns();
+    }
+    report.fault.device_stalls += d->stalls();
+    report.fault.device_stall_ns += d->stall_ns();
+  }
+  for (const auto& graph : graphs_) {
+    const DataflowGraph::RecoveryStats& rs = graph->recovery_stats();
+    report.fault.retransmits += rs.retransmits;
+    report.fault.delivery_timeouts += rs.delivery_timeouts;
+    report.fault.checksum_failures += rs.checksum_failures;
+    report.fault.storage_io_errors += rs.storage_io_errors;
+    report.fault.storage_retries += rs.storage_retries;
+  }
+  return report;
+}
+
+}  // namespace dflow::serve

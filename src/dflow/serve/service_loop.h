@@ -1,0 +1,106 @@
+#ifndef DFLOW_SERVE_SERVICE_LOOP_H_
+#define DFLOW_SERVE_SERVICE_LOOP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dflow/engine/engine.h"
+#include "dflow/sched/scheduler.h"
+#include "dflow/serve/admission.h"
+#include "dflow/serve/service_report.h"
+#include "dflow/serve/workload.h"
+
+namespace dflow::serve {
+
+struct ServiceConfig {
+  /// Seeds every arrival / mix RNG stream (per tenant, derived).
+  uint64_t seed = 42;
+  /// Open-loop arrivals and closed-loop reissues stop at this virtual
+  /// time; queries already admitted or queued still drain.
+  sim::SimTime horizon_ns = 50'000'000;
+  /// Plan-variant policy for every admitted query. kAuto lets the
+  /// interference-aware scheduler pick per arrival; the extremes pin the
+  /// whole service to one data path (the bench sweeps both).
+  PlacementChoice placement = PlacementChoice::kAuto;
+  AdmissionConfig admission;
+  /// Re-admit a query CPU-only when its accelerator crashes mid-run
+  /// (instead of failing it); the crashed device is quarantined either
+  /// way.
+  bool degrade_on_crash = true;
+  /// Event budget for the whole service run.
+  uint64_t max_events = 200'000'000;
+};
+
+struct ServiceResult {
+  ServiceReport service;
+  /// Fabric-level measurements of the whole run (variant "service"):
+  /// bytes per data-path segment, device busy time, aggregated fault
+  /// counters across all per-query graphs.
+  ExecutionReport fabric;
+};
+
+/// The virtual-time query service: wires the workload driver, the
+/// admission controller, the incremental scheduler, and per-query
+/// dataflow graphs onto one shared fabric simulation.
+///
+/// Every admitted query runs as its own DataflowGraph on the engine's
+/// simulator, so one query's failure (crashed accelerator, delivery
+/// give-up) never poisons its neighbours. On each arrival or completion
+/// the loop re-invokes Scheduler::PlanOne against the live demand ledger,
+/// so later admissions divert around the load earlier ones committed —
+/// §7.3's runtime plan choice, driven by arrivals instead of a batch.
+class ServiceLoop {
+ public:
+  ServiceLoop(Engine* engine, std::vector<TenantConfig> tenants,
+              ServiceConfig config);
+
+  /// Runs the whole service to completion (resets the fabric first).
+  Result<ServiceResult> Run();
+
+ private:
+  struct QueryState {
+    Ticket ticket;
+    size_t graph_index = 0;
+    Engine::AdmittedPipeline pipeline;
+    CostEstimate cost;  // charged to the ledger; released on completion
+    std::string variant;
+    std::string template_name;
+    bool degraded = false;
+  };
+
+  void OnArrival(const Arrival& arrival, bool closed_loop);
+  void DrainRunnable();
+  Status StartQuery(const Ticket& ticket, bool degraded_restart);
+  void OnQueryDone(uint64_t query_id, const Status& status);
+  void ScheduleReissue(size_t tenant);
+  void EmitQueueDepth(size_t tenant);
+  ExecutionReport CollectFabricReport() const;
+
+  Engine* engine_;
+  std::vector<TenantConfig> tenants_;
+  ServiceConfig config_;
+  WorkloadDriver driver_;
+  AdmissionController admission_;
+  Scheduler scheduler_;
+  CommittedDemand committed_;
+
+  std::vector<std::unique_ptr<DataflowGraph>> graphs_;
+  std::map<uint64_t, QueryState> active_;
+  /// query_id -> (graph index, sink node): for result-row accounting
+  /// after the run (graphs outlive their queries).
+  std::map<uint64_t, std::pair<size_t, size_t>> finished_;
+  uint64_t next_query_id_ = 0;
+  Status failure_;  // first configuration-level error (fails the run)
+
+  std::vector<TenantStats> stats_;
+  std::vector<std::vector<sim::SimTime>> latencies_;  // per tenant
+  uint64_t peak_in_flight_ = 0;
+  std::string first_failed_device_;
+};
+
+}  // namespace dflow::serve
+
+#endif  // DFLOW_SERVE_SERVICE_LOOP_H_

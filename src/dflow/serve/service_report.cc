@@ -1,0 +1,38 @@
+#include "dflow/serve/service_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dflow::serve {
+
+sim::SimTime PercentileNs(std::vector<sim::SimTime> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: the ceil(q * n)-th smallest sample (1-based).
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+std::string ServiceReport::ToString() const {
+  std::ostringstream os;
+  os << "service: makespan=" << makespan_ns << "ns arrivals=" << arrivals_total
+     << " admitted=" << admitted_total << " shed=" << shed_total
+     << " completed=" << completed_total << " failed=" << failed_total
+     << " degraded=" << degraded_total << " peak_in_flight=" << peak_in_flight
+     << " p99=" << p99_ns << "ns";
+  for (const TenantStats& t : tenants) {
+    os << "\n  tenant " << t.name << ": arrivals=" << t.arrivals
+       << " admitted=" << t.admitted << " queued=" << t.queued
+       << " shed=" << (t.shed_queue_full + t.shed_overload)
+       << " completed=" << t.completed << " failed=" << t.failed
+       << " degraded=" << t.degraded << " depth_peak=" << t.queue_depth_peak
+       << " p50=" << t.p50_ns << " p95=" << t.p95_ns << " p99=" << t.p99_ns;
+  }
+  return os.str();
+}
+
+}  // namespace dflow::serve

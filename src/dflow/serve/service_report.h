@@ -1,0 +1,55 @@
+#ifndef DFLOW_SERVE_SERVICE_REPORT_H_
+#define DFLOW_SERVE_SERVICE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dflow/sim/simulator.h"
+
+namespace dflow::serve {
+
+/// Per-tenant service-level counters for one run. All integers — the
+/// report must serialize byte-identically for a given seed.
+struct TenantStats {
+  std::string name;
+  uint64_t arrivals = 0;
+  uint64_t admitted = 0;         // started executing on the fabric
+  uint64_t queued = 0;           // waited in the queue before starting
+  uint64_t shed_queue_full = 0;  // rejected: tenant queue at capacity
+  uint64_t shed_overload = 0;    // rejected: global waiting budget spent
+  uint64_t completed = 0;
+  uint64_t failed = 0;    // admitted but finished with an error
+  uint64_t degraded = 0;  // re-admitted CPU-only after a device crash
+  uint64_t queue_depth_peak = 0;
+  // Virtual-time latency (arrival -> completion), nearest-rank.
+  sim::SimTime p50_ns = 0;
+  sim::SimTime p95_ns = 0;
+  sim::SimTime p99_ns = 0;
+};
+
+/// What one service run measured: the paper's serving-side quantities —
+/// per-tenant throughput, shed counts proving admission engaged, and
+/// virtual-time tail latency.
+struct ServiceReport {
+  sim::SimTime makespan_ns = 0;
+  uint64_t arrivals_total = 0;
+  uint64_t admitted_total = 0;
+  uint64_t shed_total = 0;
+  uint64_t completed_total = 0;
+  uint64_t failed_total = 0;
+  uint64_t degraded_total = 0;
+  uint64_t peak_in_flight = 0;
+  sim::SimTime p99_ns = 0;  // across all tenants' completions
+  std::vector<TenantStats> tenants;
+
+  std::string ToString() const;
+};
+
+/// Nearest-rank percentile (q in (0, 1]) over unsorted latency samples;
+/// 0 when empty. Deterministic: integer sort + index, no interpolation.
+sim::SimTime PercentileNs(std::vector<sim::SimTime> samples, double q);
+
+}  // namespace dflow::serve
+
+#endif  // DFLOW_SERVE_SERVICE_REPORT_H_

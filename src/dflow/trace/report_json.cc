@@ -187,4 +187,76 @@ Result<ExecutionReport> ExecutionReportFromJson(const std::string& json) {
   return report;
 }
 
+std::string ServiceReportToJson(const serve::ServiceReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"dflow.service_report.v1\"";
+  os << ",\"makespan_ns\":" << report.makespan_ns;
+  os << ",\"arrivals_total\":" << report.arrivals_total;
+  os << ",\"admitted_total\":" << report.admitted_total;
+  os << ",\"shed_total\":" << report.shed_total;
+  os << ",\"completed_total\":" << report.completed_total;
+  os << ",\"failed_total\":" << report.failed_total;
+  os << ",\"degraded_total\":" << report.degraded_total;
+  os << ",\"peak_in_flight\":" << report.peak_in_flight;
+  os << ",\"p99_ns\":" << report.p99_ns;
+  os << ",\"tenants\":[";
+  for (size_t t = 0; t < report.tenants.size(); ++t) {
+    const serve::TenantStats& ts = report.tenants[t];
+    if (t > 0) os << ",";
+    os << "{\"name\":" << JsonQuote(ts.name);
+    os << ",\"arrivals\":" << ts.arrivals;
+    os << ",\"admitted\":" << ts.admitted;
+    os << ",\"queued\":" << ts.queued;
+    os << ",\"shed_queue_full\":" << ts.shed_queue_full;
+    os << ",\"shed_overload\":" << ts.shed_overload;
+    os << ",\"completed\":" << ts.completed;
+    os << ",\"failed\":" << ts.failed;
+    os << ",\"degraded\":" << ts.degraded;
+    os << ",\"queue_depth_peak\":" << ts.queue_depth_peak;
+    os << ",\"p50_ns\":" << ts.p50_ns;
+    os << ",\"p95_ns\":" << ts.p95_ns;
+    os << ",\"p99_ns\":" << ts.p99_ns << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Result<serve::ServiceReport> ServiceReportFromJson(const std::string& json) {
+  DFLOW_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (GetString(root, "schema") != "dflow.service_report.v1") {
+    return Status::InvalidArgument("not a dflow.service_report.v1 document");
+  }
+  serve::ServiceReport report;
+  report.makespan_ns = GetU64(root, "makespan_ns");
+  report.arrivals_total = GetU64(root, "arrivals_total");
+  report.admitted_total = GetU64(root, "admitted_total");
+  report.shed_total = GetU64(root, "shed_total");
+  report.completed_total = GetU64(root, "completed_total");
+  report.failed_total = GetU64(root, "failed_total");
+  report.degraded_total = GetU64(root, "degraded_total");
+  report.peak_in_flight = GetU64(root, "peak_in_flight");
+  report.p99_ns = GetU64(root, "p99_ns");
+  const JsonValue* tenants = root.Find("tenants");
+  if (tenants != nullptr && tenants->type() == JsonValue::Type::kArray) {
+    for (const JsonValue& entry : tenants->AsArray()) {
+      serve::TenantStats ts;
+      ts.name = GetString(entry, "name");
+      ts.arrivals = GetU64(entry, "arrivals");
+      ts.admitted = GetU64(entry, "admitted");
+      ts.queued = GetU64(entry, "queued");
+      ts.shed_queue_full = GetU64(entry, "shed_queue_full");
+      ts.shed_overload = GetU64(entry, "shed_overload");
+      ts.completed = GetU64(entry, "completed");
+      ts.failed = GetU64(entry, "failed");
+      ts.degraded = GetU64(entry, "degraded");
+      ts.queue_depth_peak = GetU64(entry, "queue_depth_peak");
+      ts.p50_ns = GetU64(entry, "p50_ns");
+      ts.p95_ns = GetU64(entry, "p95_ns");
+      ts.p99_ns = GetU64(entry, "p99_ns");
+      report.tenants.push_back(std::move(ts));
+    }
+  }
+  return report;
+}
+
 }  // namespace dflow::trace

@@ -5,6 +5,7 @@
 
 #include "dflow/common/result.h"
 #include "dflow/engine/report.h"
+#include "dflow/serve/service_report.h"
 
 namespace dflow::trace {
 
@@ -24,6 +25,14 @@ std::string VerifyReportToJson(const verify::VerifyReport& report);
 
 /// Inverse of VerifyReportToJson (round-trip exact).
 Result<verify::VerifyReport> VerifyReportFromJson(const std::string& json);
+
+/// One service run's per-tenant and global SLO counters, for the "service"
+/// member of a bench-report entry. Deterministic: integer counters only,
+/// tenants in configuration order. Schema tag: "dflow.service_report.v1".
+std::string ServiceReportToJson(const serve::ServiceReport& report);
+
+/// Inverse of ServiceReportToJson (round-trip exact for all counters).
+Result<serve::ServiceReport> ServiceReportFromJson(const std::string& json);
 
 }  // namespace dflow::trace
 

@@ -3,6 +3,7 @@
 #include "dflow/engine/engine.h"
 #include "dflow/exec/local_executor.h"
 #include "dflow/sched/scheduler.h"
+#include "dflow/serve/service_loop.h"
 #include "dflow/sim/fault.h"
 #include "dflow/storage/object_store.h"
 #include "dflow/workload/tpch_like.h"
@@ -309,6 +310,79 @@ TEST_F(FaultTest, SchedulerExcludesUnhealthyDevices) {
   }
   engine_.ClearDeviceHealth();
   EXPECT_TRUE(engine_.IsDeviceHealthy("storage_proc"));
+}
+
+TEST_F(FaultTest, ServiceDegradesAdmittedQueriesOnMidRunCrash) {
+  // A crash in the middle of a service run must not drop queries: the one
+  // caught on the dead accelerator is re-admitted CPU-only (keeping its
+  // admission slot), and everything still queued plans around the
+  // quarantined device.
+  sim::FaultConfig config;
+  engine_.EnableFaultInjection(config);
+  engine_.fault_injector()->CrashDeviceAt("storage_proc", 3'000'000);
+
+  serve::TenantConfig tenant;
+  tenant.name = "steady";
+  tenant.queue_capacity = 16;
+  tenant.arrival_probability = 0.8;
+  tenant.slot_ns = 500'000;
+  tenant.templates = {{Q6Like(), "q6", 1}};
+
+  serve::ServiceConfig service;
+  service.seed = 42;
+  service.horizon_ns = 10'000'000;
+  // Pin the whole service to the offloaded path so the crash is hit.
+  service.placement = PlacementChoice::kFullOffload;
+  service.admission.global_max_in_flight = 1;
+  service.admission.global_queue_capacity = 16;
+
+  serve::ServiceLoop loop(&engine_, {tenant}, service);
+  auto result = loop.Run().ValueOrDie();
+  const serve::ServiceReport& r = result.service;
+
+  EXPECT_GT(r.admitted_total, 1u);
+  EXPECT_GE(r.degraded_total, 1u);
+  // No admitted or queued query was lost to the crash.
+  EXPECT_EQ(r.failed_total, 0u);
+  EXPECT_EQ(r.completed_total, r.admitted_total);
+  EXPECT_EQ(r.arrivals_total, r.admitted_total + r.shed_total);
+
+  EXPECT_TRUE(result.fabric.fault.cpu_fallback);
+  EXPECT_EQ(result.fabric.fault.failed_device, "storage_proc");
+  EXPECT_FALSE(engine_.IsDeviceHealthy("storage_proc"));
+}
+
+TEST_F(FaultTest, ServiceFailsQueriesWhenDegradationDisabled) {
+  sim::FaultConfig config;
+  engine_.EnableFaultInjection(config);
+  engine_.fault_injector()->CrashDeviceAt("storage_proc", 3'000'000);
+
+  serve::TenantConfig tenant;
+  tenant.name = "steady";
+  tenant.queue_capacity = 16;
+  tenant.arrival_probability = 0.8;
+  tenant.slot_ns = 500'000;
+  tenant.templates = {{Q6Like(), "q6", 1}};
+
+  serve::ServiceConfig service;
+  service.seed = 42;
+  service.horizon_ns = 10'000'000;
+  service.placement = PlacementChoice::kFullOffload;
+  service.degrade_on_crash = false;
+  service.admission.global_max_in_flight = 1;
+  service.admission.global_queue_capacity = 16;
+
+  serve::ServiceLoop loop(&engine_, {tenant}, service);
+  auto result = loop.Run().ValueOrDie();
+  const serve::ServiceReport& r = result.service;
+
+  // The query caught on the dead device fails; later admissions still
+  // re-plan around the quarantined device at admission time (counted as
+  // degraded), so the service keeps answering.
+  EXPECT_GE(r.failed_total, 1u);
+  EXPECT_EQ(r.completed_total + r.failed_total, r.admitted_total);
+  EXPECT_GT(r.completed_total, 0u);
+  EXPECT_EQ(result.fabric.fault.failed_device, "storage_proc");
 }
 
 // ------------------------------------------------------- metric hygiene

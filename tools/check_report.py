@@ -47,6 +47,21 @@ DEFAULT_COUNTERS = [
     "verify.warnings",
 ]
 
+# Additional counters captured when the entry carries a "service" section
+# (serving benches). These pin the serving-layer behaviour: how much load
+# was admitted vs shed, whether anything failed, and the virtual-time tail
+# latency. All integers, fully deterministic for a fixed --dflow_seed.
+SERVICE_COUNTERS = [
+    "service.arrivals_total",
+    "service.admitted_total",
+    "service.shed_total",
+    "service.completed_total",
+    "service.failed_total",
+    "service.degraded_total",
+    "service.peak_in_flight",
+    "service.p99_ns",
+]
+
 
 def lookup(obj, dotted):
     for key in dotted.split("."):
@@ -61,16 +76,25 @@ def load_report_entries(path):
         doc = json.load(f)
     if doc.get("schema") != "dflow.bench_report.v1":
         raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return doc.get("bench", ""), {
-        e["name"]: e["report"] for e in doc.get("entries", [])
-    }
+    entries = {}
+    for e in doc.get("entries", []):
+        report = e["report"]
+        # Fold an entry's service section into the report dict so dotted
+        # expectation paths like "service.shed_total" resolve uniformly.
+        if "service" in e:
+            report = dict(report, service=e["service"])
+        entries[e["name"]] = report
+    return doc.get("bench", ""), entries
 
 
 def update_expectations(bench, entries, expected_path, tolerance):
     out = {"bench": bench, "tolerance": tolerance, "entries": {}}
     for name in sorted(entries):
         counters = {}
-        for path in DEFAULT_COUNTERS:
+        paths = list(DEFAULT_COUNTERS)
+        if "service" in entries[name]:
+            paths += SERVICE_COUNTERS
+        for path in paths:
             value = lookup(entries[name], path)
             if value is not None:
                 counters[path] = value

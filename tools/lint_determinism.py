@@ -24,7 +24,8 @@ import pathlib
 import re
 import sys
 
-LINT_DIRS = ("src/dflow/sim", "src/dflow/exec", "src/dflow/trace")
+LINT_DIRS = ("src/dflow/sim", "src/dflow/exec", "src/dflow/trace",
+             "src/dflow/serve")
 SUFFIXES = (".h", ".cc")
 
 # (name, regex, why it breaks determinism)
