@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "dflow/common/logging.h"
+#include "dflow/exec/invariants.h"
 
 namespace dflow {
 
@@ -60,6 +61,18 @@ struct DataflowGraph::Edge {
   uint64_t inflight_bytes = 0;
   uint64_t peak_inflight_bytes = 0;
   uint64_t bytes_sent = 0;
+
+  /// Tuple-conservation ledger for the runtime invariant oracle (see
+  /// exec/invariants.h). Maintained and checked only when the oracle is
+  /// compiled in; at every event boundary
+  ///   inv_enqueued == inv_launched + |send_queue|
+  ///   inv_launched == inv_consumed + inv_transit + |pending| + |reorder|
+  /// i.e. produced == consumed + in flight + dropped-awaiting-retransmit.
+  uint64_t inv_enqueued = 0;  // chunks pushed into send_queue
+  uint64_t inv_launched = 0;  // chunks that acquired a credit and left
+  uint64_t inv_consumed = 0;  // chunks handed to the receiver (or sink)
+  uint64_t inv_transit = 0;   // reliable-path deliveries scheduled, not run
+  uint64_t inv_released = 0;  // credits returned to the gate
 };
 
 struct DataflowGraph::Node {
@@ -242,8 +255,54 @@ bool DataflowGraph::DeviceCrashed(Node* n) {
   return true;
 }
 
+void DataflowGraph::CheckEdgeInvariants(Edge* e) {
+#ifndef DFLOW_INVARIANTS_DISABLED
+  if (!status_.ok()) return;
+  DFLOW_INVARIANT(
+      e->inv_enqueued == e->inv_launched + e->send_queue.size(),
+      "edge " + e->label + ": enqueued=" + std::to_string(e->inv_enqueued) +
+          " launched=" + std::to_string(e->inv_launched) +
+          " queued=" + std::to_string(e->send_queue.size()));
+  DFLOW_INVARIANT(
+      e->inv_launched == e->inv_consumed + e->inv_transit +
+                             e->pending.size() + e->reorder.size(),
+      "edge " + e->label + ": launched=" + std::to_string(e->inv_launched) +
+          " consumed=" + std::to_string(e->inv_consumed) +
+          " transit=" + std::to_string(e->inv_transit) +
+          " pending=" + std::to_string(e->pending.size()) +
+          " reorder=" + std::to_string(e->reorder.size()));
+  DFLOW_INVARIANT(e->inv_launched >= e->inv_released,
+                  "edge " + e->label + ": more credits released (" +
+                      std::to_string(e->inv_released) + ") than acquired (" +
+                      std::to_string(e->inv_launched) + ")");
+  const uint64_t held = e->inv_launched - e->inv_released;
+  DFLOW_INVARIANT(held <= e->gate.capacity(),
+                  "edge " + e->label + ": " + std::to_string(held) +
+                      " credits held exceeds capacity " +
+                      std::to_string(e->gate.capacity()));
+  DFLOW_INVARIANT(e->gate.available() + held == e->gate.capacity(),
+                  "edge " + e->label + ": gate ledger out of sync (available=" +
+                      std::to_string(e->gate.available()) +
+                      " held=" + std::to_string(held) + " capacity=" +
+                      std::to_string(e->gate.capacity()) + ")");
+#else
+  (void)e;
+#endif
+}
+
+void DataflowGraph::CheckEventTime() {
+#ifndef DFLOW_INVARIANTS_DISABLED
+  DFLOW_INVARIANT(sim_->now() >= inv_last_event_ns_,
+                  "virtual time ran backwards: now=" +
+                      std::to_string(sim_->now()) + " after " +
+                      std::to_string(inv_last_event_ns_));
+  inv_last_event_ns_ = sim_->now();
+#endif
+}
+
 void DataflowGraph::Pump(Node* n) {
   if (!status_.ok()) return;
+  CheckEventTime();
   if (n->type == Node::Type::kSink) return;
   if (n->finished || n->device_busy) return;
   if (DeviceCrashed(n)) return;
@@ -390,6 +449,7 @@ void DataflowGraph::RouteOutputs(Node* n, std::vector<DataChunk> outputs) {
       if (outputs[i].num_rows() == 0) continue;
       const uint64_t wire = outputs[i].ByteSize();
       n->outs[i]->send_queue.emplace_back(std::move(outputs[i]), wire);
+      DFLOW_INVARIANTS_ONLY(n->outs[i]->inv_enqueued += 1;)
     }
     return;
   }
@@ -399,6 +459,7 @@ void DataflowGraph::RouteOutputs(Node* n, std::vector<DataChunk> outputs) {
     const uint64_t wire =
         n->type == Node::Type::kStage ? n->op->OutputWireBytes(c) : c.ByteSize();
     n->outs[0]->send_queue.emplace_back(std::move(c), wire);
+    DFLOW_INVARIANTS_ONLY(n->outs[0]->inv_enqueued += 1;)
   }
 }
 
@@ -408,6 +469,7 @@ void DataflowGraph::RouteScanBatch(Node* n, size_t batch_index) {
   for (ScanChunk& sc : batch.chunks) {
     if (sc.chunk.num_rows() == 0) continue;
     n->outs[0]->send_queue.emplace_back(std::move(sc.chunk), sc.wire_bytes);
+    DFLOW_INVARIANTS_ONLY(n->outs[0]->inv_enqueued += 1;)
   }
   batch.chunks.clear();
 }
@@ -422,6 +484,7 @@ void DataflowGraph::PumpEdge(Edge* e) {
     e->gate.Acquire();
     auto [chunk, wire] = std::move(e->send_queue.front());
     e->send_queue.pop_front();
+    DFLOW_INVARIANTS_ONLY(e->inv_launched += 1;)
     e->inflight_bytes += wire;
     e->peak_inflight_bytes = std::max(e->peak_inflight_bytes,
                                       e->inflight_bytes);
@@ -449,8 +512,10 @@ void DataflowGraph::PumpEdge(Edge* e) {
       }
     }
     e->last_arrive = std::max(e->last_arrive, arrive);
+    DFLOW_INVARIANTS_ONLY(e->inv_transit += 1;)
     sim_->ScheduleAt(arrive,
                      [this, e, chunk = std::move(chunk), wire]() mutable {
+                       DFLOW_INVARIANTS_ONLY(e->inv_transit -= 1;)
                        Deliver(e, std::move(chunk), wire);
                      });
   }
@@ -468,6 +533,7 @@ void DataflowGraph::PumpEdge(Edge* e) {
         std::max(e->last_arrive, sim_->now() + e->path_latency);
     sim_->ScheduleAt(t, [this, e] { HandleEos(e); });
   }
+  CheckEdgeInvariants(e);
 }
 
 void DataflowGraph::Transmit(Edge* e, uint64_t seq) {
@@ -560,6 +626,9 @@ void DataflowGraph::CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt) {
 
 void DataflowGraph::Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes) {
   if (!status_.ok()) return;
+  CheckEventTime();
+  DFLOW_INVARIANTS_ONLY(e->inv_consumed += 1;)
+  CheckEdgeInvariants(e);
   Node* to = e->to;
   if (to->type == Node::Type::kSink) {
     to->sink_chunks.push_back(std::move(chunk));
@@ -578,6 +647,7 @@ void DataflowGraph::PopCredit(Edge* e, uint64_t wire_bytes) {
   // The credit message travels the reverse path.
   sim_->Schedule(e->path_latency, [this, e] {
     e->gate.Release();
+    DFLOW_INVARIANTS_ONLY(e->inv_released += 1;)
     PumpEdge(e);
     Pump(e->from);
   });
@@ -585,6 +655,15 @@ void DataflowGraph::PopCredit(Edge* e, uint64_t wire_bytes) {
 
 void DataflowGraph::HandleEos(Edge* e) {
   if (!status_.ok()) return;
+  CheckEventTime();
+  DFLOW_INVARIANT(e->send_queue.empty() && e->pending.empty() &&
+                      e->reorder.empty() && e->inv_transit == 0 &&
+                      e->inv_enqueued == e->inv_consumed,
+                  "edge " + e->label +
+                      " reached EOS with unconserved tuples: enqueued=" +
+                      std::to_string(e->inv_enqueued) +
+                      " consumed=" + std::to_string(e->inv_consumed) +
+                      " transit=" + std::to_string(e->inv_transit));
   DFLOW_TRACE(tracer_, Instant("edge", e->label, "eos", sim_->now()));
   Node* to = e->to;
   DFLOW_CHECK_GT(to->open_inputs, 0u);
@@ -757,6 +836,23 @@ Status DataflowGraph::Run(uint64_t max_events) {
                               "'");
     }
   }
+#ifndef DFLOW_INVARIANTS_DISABLED
+  // Quiesced conservation: with the event queue drained, every chunk must
+  // have been consumed and every credit returned.
+  for (const auto& e : edges_) {
+    DFLOW_INVARIANT(e->inv_enqueued == e->inv_consumed &&
+                        e->inv_transit == 0 && e->send_queue.empty() &&
+                        e->pending.empty() && e->reorder.empty(),
+                    "edge " + e->label +
+                        " finished with unconserved tuples: enqueued=" +
+                        std::to_string(e->inv_enqueued) +
+                        " consumed=" + std::to_string(e->inv_consumed));
+    DFLOW_INVARIANT(e->gate.available() == e->gate.capacity(),
+                    "edge " + e->label + " finished holding credits: " +
+                        std::to_string(e->gate.available()) + "/" +
+                        std::to_string(e->gate.capacity()) + " available");
+  }
+#endif
   return Status::OK();
 }
 

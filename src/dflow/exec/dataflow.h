@@ -205,6 +205,8 @@ class DataflowGraph {
   Node* GetNode(NodeId id) { return nodes_[id].get(); }
   Edge* FindEdge(NodeId from, NodeId to) const;
   void Pump(Node* n);
+  void CheckEdgeInvariants(Edge* e);
+  void CheckEventTime();
   void StartWork(Node* n);
   void RouteOutputs(Node* n, std::vector<DataChunk> outputs);
   void RouteScanBatch(Node* n, size_t batch_index);
@@ -237,6 +239,10 @@ class DataflowGraph {
   std::function<void(const Status&)> completion_callback_;
   bool completion_reported_ = false;
   size_t unfinished_sinks_ = 0;
+  /// Latest event timestamp seen by this graph's handlers; the invariant
+  /// oracle (exec/invariants.h) asserts virtual time never runs backwards.
+  /// Maintained only when the oracle is compiled in.
+  sim::SimTime inv_last_event_ns_ = 0;
 };
 
 }  // namespace dflow

@@ -1,5 +1,7 @@
 #include "dflow/exec/filter.h"
 
+#include "dflow/exec/test_hooks.h"
+
 namespace dflow {
 
 Result<OperatorPtr> FilterOperator::Make(ExprPtr predicate,
@@ -40,6 +42,11 @@ Status FilterOperator::Push(const DataChunk& input,
   Mask mask;
   DFLOW_RETURN_NOT_OK(predicate_->EvaluatePredicate(input, &mask));
   SelectionVector sel = MaskToSelection(mask);
+  if (test_hooks::g_filter_drop_first_row && !sel.empty()) {
+    std::vector<uint32_t> rest(sel.indices().begin() + 1,
+                               sel.indices().end());
+    sel = SelectionVector(std::move(rest));
+  }
   if (sel.empty()) return Status::OK();
   if (sel.size() == input.num_rows()) {
     out->push_back(input);

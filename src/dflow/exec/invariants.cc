@@ -1,0 +1,28 @@
+#include "dflow/exec/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dflow::invariants {
+
+namespace {
+uint64_t g_checks_run = 0;
+}  // namespace
+
+uint64_t checks_run() { return g_checks_run; }
+
+#ifndef DFLOW_INVARIANTS_DISABLED
+
+void BumpCheck() { g_checks_run += 1; }
+
+void InvariantFailed(const char* file, int line, const char* condition,
+                     const std::string& detail) {
+  std::fprintf(stderr, "DFLOW_INVARIANT failed at %s:%d: %s\n  %s\n", file,
+               line, condition, detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+#endif  // DFLOW_INVARIANTS_DISABLED
+
+}  // namespace dflow::invariants

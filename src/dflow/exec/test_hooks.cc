@@ -1,0 +1,7 @@
+#include "dflow/exec/test_hooks.h"
+
+namespace dflow::test_hooks {
+
+bool g_filter_drop_first_row = false;
+
+}  // namespace dflow::test_hooks

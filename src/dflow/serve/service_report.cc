@@ -9,9 +9,14 @@ namespace dflow::serve {
 sim::SimTime PercentileNs(std::vector<sim::SimTime> samples, double q) {
   if (samples.empty()) return 0;
   std::sort(samples.begin(), samples.end());
-  // Nearest-rank: the ceil(q * n)-th smallest sample (1-based).
+  // Nearest-rank: the ceil(q * n)-th smallest sample (1-based). q * n is
+  // computed in binary floating point, which can land a hair above the
+  // exact product (0.95 * 20 = 19.000000000000004) and inflate the rank by
+  // one whole sample; shave an ulp-scale epsilon before taking the ceiling
+  // so exact-integer ranks stay exact.
+  const double scaled = q * static_cast<double>(samples.size());
   size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(samples.size())));
+      std::ceil(scaled - 1e-9 * std::max(1.0, scaled)));
   if (rank == 0) rank = 1;
   if (rank > samples.size()) rank = samples.size();
   return samples[rank - 1];

@@ -1,0 +1,111 @@
+#include "dflow/testing/canonical.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dflow::testing {
+
+namespace {
+
+const char* TypeTag(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "b";
+    case DataType::kInt32:
+      return "i32";
+    case DataType::kInt64:
+      return "i64";
+    case DataType::kDouble:
+      return "f64";
+    case DataType::kString:
+      return "str";
+    case DataType::kDate32:
+      return "d32";
+  }
+  return "?";
+}
+
+CanonicalResult Finish(size_t num_columns, std::vector<std::string> rows) {
+  std::sort(rows.begin(), rows.end());
+  CanonicalResult result;
+  result.num_columns = num_columns;
+  result.rows = std::move(rows);
+
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a/64
+  auto mix = [&h](const char* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const std::string header = "cols=" + std::to_string(num_columns) + "\n";
+  mix(header.data(), header.size());
+  for (const std::string& r : result.rows) {
+    mix(r.data(), r.size());
+    mix("\n", 1);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  result.fingerprint = buf;
+  return result;
+}
+
+}  // namespace
+
+std::string FormatValueTagged(const Value& v) {
+  std::string out = TypeTag(v.type());
+  out += ":";
+  if (v.is_null()) {
+    out += "null";
+    return out;
+  }
+  if (v.type() == DataType::kDouble) {
+    double d = v.double_value();
+    if (d == 0.0) d = 0.0;  // normalize -0.0
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out += buf;
+    return out;
+  }
+  out += v.ToString();
+  return out;
+}
+
+CanonicalResult CanonicalizeChunks(const std::vector<DataChunk>& chunks) {
+  size_t num_columns = 0;
+  std::vector<std::string> rows;
+  for (const DataChunk& chunk : chunks) {
+    num_columns = std::max(num_columns, chunk.num_columns());
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      std::string row;
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        if (c > 0) row += "|";
+        row += FormatValueTagged(chunk.column(c).GetValue(r));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return Finish(num_columns, std::move(rows));
+}
+
+CanonicalResult CanonicalizeVolcanoRows(const std::vector<volcano::Row>& rows) {
+  size_t num_columns = 0;
+  std::vector<std::string> out;
+  for (const volcano::Row& r : rows) {
+    num_columns = std::max(num_columns, r.size());
+    std::string row;
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) row += "|";
+      row += FormatValueTagged(r[c]);
+    }
+    out.push_back(std::move(row));
+  }
+  return Finish(num_columns, std::move(out));
+}
+
+CanonicalResult CanonicalizeCount(int64_t count) {
+  return Finish(1, {FormatValueTagged(Value::Int64(count))});
+}
+
+}  // namespace dflow::testing

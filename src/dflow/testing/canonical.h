@@ -1,0 +1,39 @@
+#ifndef DFLOW_TESTING_CANONICAL_H_
+#define DFLOW_TESTING_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "dflow/types/value.h"
+#include "dflow/vector/data_chunk.h"
+#include "dflow/volcano/row.h"
+
+namespace dflow::testing {
+
+/// A result set reduced to an engine-independent form: each row rendered as
+/// a schema-tagged string ("i64:42|str:alpha|f64:3.25"), rows sorted
+/// lexicographically. Two executions computed the same answer iff their
+/// canonical forms (and so their fingerprints) are equal — regardless of
+/// chunk boundaries, row order, or which engine produced them.
+struct CanonicalResult {
+  size_t num_columns = 0;
+  std::vector<std::string> rows;
+  /// FNV-1a/64 over column count and sorted rows, hex-encoded. Stable
+  /// across processes and platforms; recorded in repro JSON.
+  std::string fingerprint;
+};
+
+/// One value as "<type-tag>:<repr>". Doubles print with %.17g after
+/// normalizing -0.0 (round-trip exact); NULLs print as "<tag>:null".
+std::string FormatValueTagged(const Value& v);
+
+CanonicalResult CanonicalizeChunks(const std::vector<DataChunk>& chunks);
+CanonicalResult CanonicalizeVolcanoRows(const std::vector<volcano::Row>& rows);
+
+/// Canonical form of a bare row count (partitioned-join lanes compare a
+/// single COUNT, not a row set).
+CanonicalResult CanonicalizeCount(int64_t count);
+
+}  // namespace dflow::testing
+
+#endif  // DFLOW_TESTING_CANONICAL_H_

@@ -1,0 +1,263 @@
+#include "dflow/testing/diff_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dflow/engine/engine.h"
+#include "dflow/exec/test_hooks.h"
+#include "dflow/sim/fault.h"
+
+namespace dflow::testing {
+
+namespace {
+
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL + b;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Arms the flag-guarded operator bug for the lifetime of one dataflow
+/// lane. The Volcano reference always runs clean.
+class BugGuard {
+ public:
+  explicit BugGuard(BugKind kind) {
+    if (kind == BugKind::kFilterDropFirstRow) {
+      test_hooks::g_filter_drop_first_row = true;
+    }
+  }
+  ~BugGuard() { test_hooks::g_filter_drop_first_row = false; }
+  BugGuard(const BugGuard&) = delete;
+  BugGuard& operator=(const BugGuard&) = delete;
+};
+
+sim::FabricConfig MakeConfig() {
+  sim::FabricConfig config;
+  // Partitioned joins need a second compute node; harmless otherwise.
+  config.num_compute_nodes = 2;
+  return config;
+}
+
+sim::FaultConfig MakeFaultConfig(uint64_t case_seed) {
+  sim::FaultConfig fc;
+  fc.seed = MixSeed(case_seed, 0xfa17ULL);
+  fc.drop_prob = 0.02;
+  fc.corrupt_prob = 0.02;
+  fc.stall_prob = 0.05;
+  fc.storage_error_prob = 0.01;
+  return fc;
+}
+
+Status RegisterTables(Engine* engine, const GeneratedCase& c) {
+  for (const auto& table : c.tables) {
+    DFLOW_RETURN_NOT_OK(engine->catalog().Register(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view BugKindToString(BugKind k) {
+  switch (k) {
+    case BugKind::kNone:
+      return "none";
+    case BugKind::kFilterDropFirstRow:
+      return "filter_drop_first_row";
+  }
+  return "none";
+}
+
+Result<BugKind> BugKindFromString(const std::string& text) {
+  if (text.empty() || text == "none") return BugKind::kNone;
+  if (text == "filter_drop_first_row") return BugKind::kFilterDropFirstRow;
+  return Status::InvalidArgument("unknown bug kind: " + text);
+}
+
+DiffRunner::DiffRunner(DiffOptions options) : options_(options) {}
+
+Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
+  DiffResult out;
+
+  auto add_lane = [&out](std::string lane, const CanonicalResult& canon,
+                         uint64_t sim_ns) -> LaneResult& {
+    LaneResult lr;
+    lr.lane = std::move(lane);
+    lr.fingerprint = canon.fingerprint;
+    lr.rows = canon.rows.size();
+    lr.sim_ns = sim_ns;
+    out.lanes.push_back(std::move(lr));
+    return out.lanes.back();
+  };
+  auto add_failure = [&out](std::string lane, const Status& status) {
+    LaneResult lr;
+    lr.lane = std::move(lane);
+    lr.failed = true;
+    lr.error = status.message();
+    out.lanes.push_back(std::move(lr));
+  };
+  auto note_divergence = [&out](const std::string& what) {
+    if (!out.diverged) {
+      out.diverged = true;
+      out.divergence = what;
+    }
+  };
+  auto check_lane = [&](const LaneResult& lane, bool fault_free,
+                        const ExecutionReport& report) {
+    if (!out.reference_fingerprint.empty() &&
+        lane.fingerprint != out.reference_fingerprint) {
+      note_divergence("lane '" + lane.lane + "' fingerprint " +
+                      lane.fingerprint + " != volcano reference " +
+                      out.reference_fingerprint);
+    }
+    if (report.sim_ns == 0) {
+      note_divergence("lane '" + lane.lane + "' reported sim_ns == 0");
+    }
+    if (report.verify.num_errors() > 0) {
+      note_divergence("lane '" + lane.lane + "' had verifier errors");
+    }
+    if (fault_free && report.fault.Any()) {
+      note_divergence("lane '" + lane.lane +
+                      "' saw fault activity on a fault-free fabric");
+    }
+  };
+
+  const sim::FabricConfig config = MakeConfig();
+
+  // --- Lane 0: the Volcano reference (never sees the injected bug). ------
+  Engine engine(config);
+  DFLOW_RETURN_NOT_OK(RegisterTables(&engine, c));
+
+  if (c.is_join) {
+    VolcanoRunner volcano(config);
+    auto ref = volcano.RunJoinCount(engine.catalog(), c.join,
+                                    options_.pool_pages);
+    if (!ref.ok()) {
+      add_failure("volcano", ref.status());
+      note_divergence("volcano reference failed: " + ref.status().message());
+      return out;
+    }
+    CanonicalResult canon = CanonicalizeVolcanoRows(ref.ValueOrDie().rows);
+    out.reference_fingerprint = canon.fingerprint;
+    add_lane("volcano", canon, static_cast<uint64_t>(ref.ValueOrDie().sim_ns));
+  } else {
+    auto ref = engine.ExecuteOnVolcano(c.query, options_.pool_pages);
+    if (!ref.ok()) {
+      add_failure("volcano", ref.status());
+      note_divergence("volcano reference failed: " + ref.status().message());
+      return out;
+    }
+    CanonicalResult canon = CanonicalizeVolcanoRows(ref.ValueOrDie().rows);
+    out.reference_fingerprint = canon.fingerprint;
+    add_lane("volcano", canon, static_cast<uint64_t>(ref.ValueOrDie().sim_ns));
+  }
+
+  // --- Dataflow lanes (bug-injected when requested). ---------------------
+  BugGuard guard(options_.inject_bug);
+  ExecOptions strict;
+  strict.verify = verify::VerifyMode::kStrict;
+
+  if (c.is_join) {
+    auto run_join = [&](const std::string& lane_name, Engine* eng,
+                        bool fault_free) {
+      auto r = eng->ExecutePartitionedJoin(c.join, strict);
+      if (!r.ok()) {
+        add_failure(lane_name, r.status());
+        note_divergence("lane '" + lane_name +
+                        "' failed: " + r.status().message());
+        return;
+      }
+      CanonicalResult canon = CanonicalizeCount(r.ValueOrDie().total_rows);
+      LaneResult& lane =
+          add_lane(lane_name, canon, static_cast<uint64_t>(r.ValueOrDie().report.sim_ns));
+      check_lane(lane, fault_free, r.ValueOrDie().report);
+    };
+
+    run_join("dataflow", &engine, /*fault_free=*/true);
+
+    if (options_.sample_faults) {
+      Engine faulty(config);
+      DFLOW_RETURN_NOT_OK(RegisterTables(&faulty, c));
+      faulty.EnableFaultInjection(MakeFaultConfig(c.seed));
+      run_join("faults", &faulty, /*fault_free=*/false);
+    }
+    return out;
+  }
+
+  auto run_query = [&](const std::string& lane_name, Engine* eng,
+                       const ExecOptions& options, bool fault_free) {
+    auto r = eng->Execute(c.query, options);
+    if (!r.ok()) {
+      add_failure(lane_name, r.status());
+      note_divergence("lane '" + lane_name +
+                      "' failed: " + r.status().message());
+      return;
+    }
+    CanonicalResult canon = CanonicalizeChunks(r.ValueOrDie().chunks);
+    LaneResult& lane =
+        add_lane(lane_name, canon, static_cast<uint64_t>(r.ValueOrDie().report.sim_ns));
+    if (r.ValueOrDie().report.result_rows != canon.rows.size()) {
+      note_divergence("lane '" + lane_name + "' report.result_rows " +
+                      std::to_string(r.ValueOrDie().report.result_rows) +
+                      " != materialized rows " +
+                      std::to_string(canon.rows.size()));
+    }
+    check_lane(lane, fault_free, r.ValueOrDie().report);
+  };
+
+  ExecOptions cpu_only = strict;
+  cpu_only.placement = PlacementChoice::kCpuOnly;
+  run_query("cpu_only", &engine, cpu_only, /*fault_free=*/true);
+
+  // --- K placement variants, stride-sampled across the ranked list. ------
+  if (options_.placement_samples > 0) {
+    auto variants = engine.PlanVariants(c.query);
+    if (!variants.ok()) {
+      add_failure("variants", variants.status());
+      note_divergence("PlanVariants failed: " + variants.status().message());
+    } else if (!variants.ValueOrDie().empty()) {
+      const size_t total = variants.ValueOrDie().size();
+      const size_t take = std::min(options_.placement_samples, total);
+      for (size_t i = 0; i < take; ++i) {
+        const size_t pick = i * total / take;
+        const Placement& placement = variants.ValueOrDie()[pick].placement;
+        auto r = engine.ExecuteWithPlacement(c.query, placement, strict);
+        const std::string lane_name = "variant:" + placement.name;
+        if (!r.ok()) {
+          add_failure(lane_name, r.status());
+          note_divergence("lane '" + lane_name +
+                          "' failed: " + r.status().message());
+          continue;
+        }
+        CanonicalResult canon = CanonicalizeChunks(r.ValueOrDie().chunks);
+        LaneResult& lane = add_lane(lane_name, canon,
+                                    static_cast<uint64_t>(r.ValueOrDie().report.sim_ns));
+        check_lane(lane, /*fault_free=*/true, r.ValueOrDie().report);
+      }
+    }
+  }
+
+  // --- Fault-schedule lanes: recovery must reproduce the exact result. ---
+  if (options_.sample_faults) {
+    Engine faulty(config);
+    DFLOW_RETURN_NOT_OK(RegisterTables(&faulty, c));
+    faulty.EnableFaultInjection(MakeFaultConfig(c.seed));
+    run_query("faults", &faulty, strict, /*fault_free=*/false);
+
+    // A quarter of cases also lose an accelerator mid-query; degradation
+    // to the CPU-only plan must still be exact.
+    if (MixSeed(c.seed, 0xc8a54ULL) % 4 == 0) {
+      Engine crashed(config);
+      DFLOW_RETURN_NOT_OK(RegisterTables(&crashed, c));
+      sim::FaultConfig quiet;
+      quiet.seed = MixSeed(c.seed, 0xc8a55ULL);
+      crashed.EnableFaultInjection(quiet);
+      crashed.fault_injector()->CrashDeviceAt("storage_proc", 300'000);
+      run_query("crash", &crashed, strict, /*fault_free=*/false);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace dflow::testing

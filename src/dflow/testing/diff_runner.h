@@ -1,0 +1,77 @@
+#ifndef DFLOW_TESTING_DIFF_RUNNER_H_
+#define DFLOW_TESTING_DIFF_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/testing/canonical.h"
+#include "dflow/testing/plan_gen.h"
+
+namespace dflow::testing {
+
+/// Deliberate, flag-guarded operator bugs the oracle must catch (shrinker
+/// demo; see exec/test_hooks.h). kNone in every production configuration.
+enum class BugKind { kNone, kFilterDropFirstRow };
+
+std::string_view BugKindToString(BugKind k);
+Result<BugKind> BugKindFromString(const std::string& text);
+
+struct DiffOptions {
+  /// Dataflow placement variants sampled beyond the CPU-only lane.
+  size_t placement_samples = 2;
+  /// Adds a lane that re-runs the plan under a seed-derived fault schedule
+  /// (drops/corruption/stalls/storage errors) with recovery armed, and —
+  /// for a seed-derived quarter of cases — a lane with a mid-query
+  /// accelerator crash (degradation to CPU must still be exact).
+  bool sample_faults = true;
+  /// Injects the given operator bug into every dataflow lane (never the
+  /// Volcano reference), so divergence is guaranteed detectable.
+  BugKind inject_bug = BugKind::kNone;
+  /// Buffer pool pages for the Volcano baseline.
+  size_t pool_pages = 256;
+};
+
+/// One engine/placement/fault execution of the case.
+struct LaneResult {
+  std::string lane;  // "volcano", "cpu_only", "variant:<name>", "faults", ...
+  std::string fingerprint;
+  uint64_t rows = 0;
+  uint64_t sim_ns = 0;
+  bool failed = false;  // the lane errored instead of producing a result
+  std::string error;
+};
+
+struct DiffResult {
+  bool diverged = false;
+  /// Human-readable summary of the first divergence ("" when none).
+  std::string divergence;
+  /// The Volcano reference fingerprint all other lanes are held to.
+  std::string reference_fingerprint;
+  std::vector<LaneResult> lanes;
+};
+
+/// The differential oracle: executes a generated case on the Volcano
+/// engine, the dataflow engine CPU-only, and K sampled placement variants —
+/// plus optional fault-schedule lanes — under the strict static verifier,
+/// and asserts canonicalized result equality and ExecutionReport sanity.
+/// Deterministic: the same case yields byte-identical DiffResults.
+class DiffRunner {
+ public:
+  explicit DiffRunner(DiffOptions options = DiffOptions());
+
+  const DiffOptions& options() const { return options_; }
+
+  /// Runs every lane. A Status error means the harness itself failed (e.g.
+  /// table registration); lane-level execution errors are reported as
+  /// divergences, not statuses.
+  Result<DiffResult> Run(const GeneratedCase& c) const;
+
+ private:
+  DiffOptions options_;
+};
+
+}  // namespace dflow::testing
+
+#endif  // DFLOW_TESTING_DIFF_RUNNER_H_

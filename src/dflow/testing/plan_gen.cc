@@ -1,0 +1,433 @@
+#include "dflow/testing/plan_gen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dflow/common/logging.h"
+#include "dflow/types/value.h"
+#include "dflow/vector/data_chunk.h"
+
+namespace dflow::testing {
+
+namespace {
+
+/// splitmix64: decorrelates consecutive case seeds before they feed the
+/// xorshift generator (adjacent raw seeds produce correlated streams).
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// String pool: low-cardinality, dictionary-friendly, LIKE-able.
+const char* const kStringPool[] = {"alpha", "beta",  "gamma", "delta",
+                                   "epsilon", "zeta", "eta",   "theta"};
+constexpr size_t kStringPoolSize = sizeof(kStringPool) / sizeof(kStringPool[0]);
+
+const char* const kLikePatterns[] = {"%a%", "%et%", "%ta", "d%", "%e%a%"};
+constexpr size_t kLikePatternCount =
+    sizeof(kLikePatterns) / sizeof(kLikePatterns[0]);
+
+/// Domains per generated type; literals for predicates are drawn from the
+/// same ranges so filters hit interesting selectivities.
+int32_t RandomInt32(Random* rng) {
+  return static_cast<int32_t>(rng->NextInt64(-100, 100));
+}
+int64_t RandomInt64(Random* rng) { return rng->NextInt64(-1000, 1000); }
+double RandomDyadicDouble(Random* rng) {
+  // Multiples of 0.25 with bounded magnitude: sums are exact in a double
+  // regardless of accumulation order, so aggregates cannot diverge between
+  // engines for floating-point reasons.
+  return 0.25 * static_cast<double>(rng->NextInt64(-400, 400));
+}
+std::string RandomPoolString(Random* rng) {
+  return kStringPool[rng->NextUint64(kStringPoolSize)];
+}
+int32_t RandomDate32(Random* rng) {
+  return static_cast<int32_t>(rng->NextInt64(8000, 8100));
+}
+
+Value RandomLiteralFor(Random* rng, DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(rng->NextBool());
+    case DataType::kInt32:
+      return Value::Int32(RandomInt32(rng));
+    case DataType::kInt64:
+      return Value::Int64(RandomInt64(rng));
+    case DataType::kDouble:
+      return Value::Double(RandomDyadicDouble(rng));
+    case DataType::kString:
+      return Value::String(RandomPoolString(rng));
+    case DataType::kDate32:
+      return Value::Date32(RandomDate32(rng));
+  }
+  return Value::Int64(0);
+}
+
+CompareOp RandomCompareOp(Random* rng) {
+  static constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                       CompareOp::kLt, CompareOp::kLe,
+                                       CompareOp::kGt, CompareOp::kGe};
+  return kOps[rng->NextUint64(6)];
+}
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kInt32 || t == DataType::kInt64 ||
+         t == DataType::kDouble;
+}
+
+/// The non-id column types PlanGen draws from.
+const DataType kExtraTypes[] = {DataType::kInt32, DataType::kInt64,
+                                DataType::kDouble, DataType::kString,
+                                DataType::kDate32};
+constexpr size_t kExtraTypeCount = sizeof(kExtraTypes) / sizeof(kExtraTypes[0]);
+
+/// Builds a table: unique int64 "id" (shuffled 0..rows-1) plus random extra
+/// columns. Chunked at kVectorSize; row-group size varied by the seed so
+/// scan batching shapes differ across cases.
+std::shared_ptr<Table> MakeRandomTable(Random* rng, const std::string& name,
+                                       size_t rows, size_t extra_columns,
+                                       Schema* out_schema) {
+  std::vector<Field> fields;
+  fields.push_back({"id", DataType::kInt64});
+  std::vector<DataType> extra_types;
+  for (size_t i = 0; i < extra_columns; ++i) {
+    const DataType t = kExtraTypes[rng->NextUint64(kExtraTypeCount)];
+    extra_types.push_back(t);
+    fields.push_back({"c" + std::to_string(i), t});
+  }
+  Schema schema(fields);
+
+  // Unique ids in shuffled order (Fisher-Yates with the case RNG).
+  std::vector<int64_t> ids(rows);
+  for (size_t i = 0; i < rows; ++i) ids[i] = static_cast<int64_t>(i);
+  for (size_t i = rows; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng->NextUint64(i)]);
+  }
+
+  const size_t group_sizes[] = {256, 512, 2048, kDefaultRowGroupSize};
+  TableBuilder builder(name, schema, group_sizes[rng->NextUint64(4)]);
+  size_t at = 0;
+  while (at < rows) {
+    const size_t n = std::min<size_t>(kVectorSize, rows - at);
+    DataChunk chunk;
+    std::vector<int64_t> id_vals(ids.begin() + at, ids.begin() + at + n);
+    chunk.AddColumn(ColumnVector::FromInt64(std::move(id_vals)));
+    for (DataType t : extra_types) {
+      chunk.AddColumn(PlanGen::RandomColumn(rng, t, n));
+    }
+    DFLOW_CHECK(builder.Append(chunk).ok());
+    at += n;
+  }
+  Result<Table> table = builder.Finish();
+  DFLOW_CHECK(table.ok());
+  if (out_schema != nullptr) *out_schema = schema;
+  return std::make_shared<Table>(std::move(table).ValueOrDie());
+}
+
+/// One random `column <op> literal` (or LIKE) conjunct over `schema`.
+ExprPtr RandomConjunct(Random* rng, const Schema& schema, size_t rows) {
+  const Field& f = schema.field(rng->NextUint64(schema.num_fields()));
+  if (f.type == DataType::kString && rng->NextBool(0.25)) {
+    return Expr::Like(Expr::Col(f.name),
+                      kLikePatterns[rng->NextUint64(kLikePatternCount)]);
+  }
+  Value lit = f.name == "id"
+                  ? Value::Int64(rng->NextInt64(
+                        0, static_cast<int64_t>(rows > 0 ? rows - 1 : 0)))
+                  : RandomLiteralFor(rng, f.type);
+  return Expr::Cmp(RandomCompareOp(rng), Expr::Col(f.name), Expr::Lit(std::move(lit)));
+}
+
+}  // namespace
+
+void RebuildFilters(GeneratedCase* c) {
+  auto combine = [](const std::vector<ExprPtr>& conjuncts) -> ExprPtr {
+    if (conjuncts.empty()) return nullptr;
+    if (conjuncts.size() == 1) return conjuncts[0];
+    return Expr::And(conjuncts);
+  };
+  c->query.filter = combine(c->filter_conjuncts);
+  c->join.probe_filter = combine(c->probe_filter_conjuncts);
+}
+
+size_t CountStages(const GeneratedCase& c) {
+  if (c.is_join) {
+    // build scan + probe scan + exchange + join + count sink.
+    return 4 + (c.join.probe_filter != nullptr ? 1 : 0);
+  }
+  size_t stages = 2;  // scan + sink
+  if (c.query.filter != nullptr) stages += 1;
+  if (!c.query.projections.empty()) stages += 1;
+  if (c.query.count_only || !c.query.aggregates.empty()) stages += 1;
+  if (c.query.order_by.has_value()) stages += 1;
+  return stages;
+}
+
+PlanGen::PlanGen(PlanGenOptions options) : options_(options) {}
+
+ColumnVector PlanGen::RandomColumn(Random* rng, DataType type, size_t rows,
+                                   double null_prob) {
+  ColumnVector col(type);
+  for (size_t i = 0; i < rows; ++i) {
+    if (null_prob > 0.0 && rng->NextBool(null_prob)) {
+      col.AppendNull();
+      continue;
+    }
+    col.AppendValue(RandomLiteralFor(rng, type));
+  }
+  return col;
+}
+
+GeneratedCase PlanGen::Generate(uint64_t case_seed) const {
+  Random rng(MixSeed(options_.base_seed, case_seed));
+  GeneratedCase c;
+  c.seed = case_seed;
+  c.name = "case_" + std::to_string(case_seed);
+
+  c.is_join = rng.NextBool(options_.join_probability);
+  if (c.is_join) {
+    const size_t build_rows = 30 + rng.NextUint64(370);
+    const size_t probe_rows =
+        options_.min_rows +
+        rng.NextUint64(options_.max_rows - options_.min_rows + 1);
+    Schema build_schema;
+    Schema probe_schema;
+    c.tables.push_back(MakeRandomTable(&rng, "build_" + c.name, build_rows,
+                                       1 + rng.NextUint64(2), &build_schema));
+    c.tables.push_back(MakeRandomTable(&rng, "probe_" + c.name, probe_rows,
+                                       1 + rng.NextUint64(2), &probe_schema));
+    c.join.build_table = c.tables[0]->name();
+    c.join.probe_table = c.tables[1]->name();
+    // "id" is unique on the build side (each probe row matches at most one
+    // build row), and probe ids overlap the build key range only partially —
+    // a mix of hits and misses without duplicate-explosion.
+    c.join.build_key = "id";
+    c.join.probe_key = "id";
+    c.join.num_nodes = 2;
+    c.join.exchange = rng.NextBool() ? JoinSpec::Exchange::kNicScatter
+                                     : JoinSpec::Exchange::kCpuExchange;
+    if (rng.NextBool(0.5)) {
+      c.probe_filter_conjuncts.push_back(
+          RandomConjunct(&rng, probe_schema, probe_rows));
+    }
+    RebuildFilters(&c);
+    return c;
+  }
+
+  const size_t rows =
+      options_.min_rows +
+      rng.NextUint64(options_.max_rows - options_.min_rows + 1);
+  const size_t extra =
+      1 + rng.NextUint64(std::max<size_t>(options_.max_extra_columns, 1));
+  Schema schema;
+  c.tables.push_back(MakeRandomTable(&rng, "t_" + c.name, rows, extra,
+                                     &schema));
+  c.query.table = c.tables[0]->name();
+  c.query.compress_uplink = rng.NextBool(0.5);
+
+  // Filter: 0-2 conjuncts over any column.
+  const size_t conjuncts = rng.NextUint64(3);
+  for (size_t i = 0; i < conjuncts; ++i) {
+    c.filter_conjuncts.push_back(RandomConjunct(&rng, schema, rows));
+  }
+
+  if (rng.NextBool(options_.count_only_probability)) {
+    c.query.count_only = true;
+    RebuildFilters(&c);
+    return c;
+  }
+
+  const bool want_sort = rng.NextBool(0.4);
+  const bool want_agg = !want_sort && rng.NextBool(0.45);
+
+  // Projections: a distinct column subset, optionally plus one computed
+  // numeric expression. When a sort follows, "id" is force-included so the
+  // sort key survives projection.
+  if (rng.NextBool(want_sort ? 0.5 : 0.4)) {
+    std::vector<size_t> indices(schema.num_fields());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    for (size_t i = indices.size(); i > 1; --i) {
+      std::swap(indices[i - 1], indices[rng.NextUint64(i)]);
+    }
+    const size_t keep = 1 + rng.NextUint64(indices.size());
+    indices.resize(keep);
+    if (want_sort &&
+        std::find(indices.begin(), indices.end(), 0u) == indices.end()) {
+      indices.push_back(0);  // field 0 is "id"
+    }
+    for (size_t idx : indices) {
+      c.query.projections.push_back(Expr::Col(schema.field(idx).name));
+      c.query.projection_names.push_back(schema.field(idx).name);
+    }
+    if (rng.NextBool(0.3)) {
+      // One computed column over a numeric input (add/sub only: dyadic
+      // doubles stay exact).
+      std::vector<size_t> numeric;
+      for (size_t i = 0; i < schema.num_fields(); ++i) {
+        if (IsNumericType(schema.field(i).type)) numeric.push_back(i);
+      }
+      if (!numeric.empty()) {
+        const Field& f = schema.field(numeric[rng.NextUint64(numeric.size())]);
+        const ArithOp op = rng.NextBool() ? ArithOp::kAdd : ArithOp::kSub;
+        c.query.projections.push_back(Expr::Arith(
+            op, Expr::Col(f.name), Expr::Lit(RandomLiteralFor(&rng, f.type))));
+        c.query.projection_names.push_back("e0");
+      }
+    }
+  }
+
+  // The schema aggregate inputs resolve against: projection outputs when
+  // projections exist, scanned columns otherwise.
+  std::vector<Field> agg_input_fields;
+  if (c.query.projections.empty()) {
+    agg_input_fields = schema.fields();
+  } else {
+    for (size_t i = 0; i < c.query.projections.size(); ++i) {
+      const ExprPtr& e = c.query.projections[i];
+      DataType t = DataType::kInt64;
+      if (e->kind() == Expr::Kind::kColumnRef) {
+        for (const Field& f : schema.fields()) {
+          if (f.name == e->column_name()) t = f.type;
+        }
+      } else {
+        Result<DataType> rt = e->OutputType(schema);
+        if (rt.ok()) t = rt.ValueOrDie();
+      }
+      agg_input_fields.push_back({c.query.projection_names[i], t});
+    }
+  }
+
+  if (want_agg) {
+    // Group by 0-2 low-cardinality columns (never the unique "id": a
+    // group-per-row aggregate is a degenerate shape).
+    std::vector<Field> groupable;
+    for (const Field& f : agg_input_fields) {
+      if (f.name != "id" && f.name != "e0" &&
+          (f.type == DataType::kString || f.type == DataType::kInt32 ||
+           f.type == DataType::kDate32)) {
+        groupable.push_back(f);
+      }
+    }
+    size_t groups = rng.NextUint64(3);
+    groups = std::min(groups, groupable.size());
+    for (size_t i = groupable.size(); i > 1; --i) {
+      std::swap(groupable[i - 1], groupable[rng.NextUint64(i)]);
+    }
+    for (size_t i = 0; i < groups; ++i) {
+      c.query.group_by.push_back(groupable[i].name);
+    }
+    const size_t num_aggs = 1 + rng.NextUint64(3);
+    for (size_t i = 0; i < num_aggs; ++i) {
+      AggSpec spec;
+      spec.output_name = "a" + std::to_string(i);
+      const uint64_t pick = rng.NextUint64(4);
+      if (pick == 0) {
+        spec.func = AggFunc::kCount;
+        spec.input = "";
+      } else {
+        // SUM needs a numeric input; MIN/MAX take anything comparable.
+        std::vector<const Field*> candidates;
+        for (const Field& f : agg_input_fields) {
+          if (pick == 1 ? IsNumericType(f.type) : true) {
+            candidates.push_back(&f);
+          }
+        }
+        if (candidates.empty()) {
+          spec.func = AggFunc::kCount;
+          spec.input = "";
+        } else {
+          spec.func = pick == 1   ? AggFunc::kSum
+                      : pick == 2 ? AggFunc::kMin
+                                  : AggFunc::kMax;
+          spec.input = candidates[rng.NextUint64(candidates.size())]->name;
+        }
+      }
+      c.query.aggregates.push_back(std::move(spec));
+    }
+  }
+
+  if (want_sort) {
+    // Only the unique "id" column: a total order, so ORDER BY ... LIMIT
+    // selects the same rows on every engine.
+    SortSpec sort;
+    sort.column = "id";
+    sort.descending = rng.NextBool();
+    if (rng.NextBool(0.5)) {
+      sort.limit = 1 + rng.NextUint64(rows);
+    }
+    c.query.order_by = sort;
+  }
+
+  RebuildFilters(&c);
+  return c;
+}
+
+verify::GraphSpec PlanGen::FeedbackSpec() {
+  // source -> accum(stage) -> spread(broadcast) -> {sink, accum}: the
+  // broadcast closes the loop back to the stage. The feedback hop has an
+  // unbounded credit window, so the credit-deadlock analysis accepts it.
+  Schema schema({{"id", DataType::kInt64}, {"v", DataType::kDouble}});
+  verify::GraphSpec spec;
+
+  verify::NodeSpec source;
+  source.id = 0;
+  source.kind = verify::NodeKind::kSource;
+  source.name = "scan";
+  source.device = "cpu0";
+  source.has_cost_class = true;
+  source.cost_class = sim::CostClass::kScan;
+  source.has_output_schema = true;
+  source.output_schema = schema;
+  spec.nodes.push_back(source);
+
+  verify::NodeSpec accum;
+  accum.id = 1;
+  accum.kind = verify::NodeKind::kStage;
+  accum.name = "accum";
+  accum.device = "cpu0";
+  accum.has_cost_class = true;
+  accum.cost_class = sim::CostClass::kFilter;
+  accum.has_input_schema = true;
+  accum.input_schema = schema;
+  accum.has_output_schema = true;
+  accum.output_schema = schema;
+  spec.nodes.push_back(accum);
+
+  verify::NodeSpec spread;
+  spread.id = 2;
+  spread.kind = verify::NodeKind::kBroadcast;
+  spread.name = "spread";
+  spread.device = "cpu0";
+  spread.has_cost_class = true;
+  spread.cost_class = sim::CostClass::kMemcpy;
+  spec.nodes.push_back(spread);
+
+  verify::NodeSpec sink;
+  sink.id = 3;
+  sink.kind = verify::NodeKind::kSink;
+  sink.name = "sink";
+  spec.nodes.push_back(sink);
+
+  auto edge = [](size_t from, size_t to, const std::string& label,
+                 uint32_t credits, bool feedback) {
+    verify::EdgeSpec e;
+    e.from = from;
+    e.to = to;
+    e.label = label;
+    e.credits = credits;
+    e.feedback = feedback;
+    e.hops = 0;
+    return e;
+  };
+  spec.edges.push_back(edge(0, 1, "scan->accum", 8, false));
+  spec.edges.push_back(edge(1, 2, "accum->spread", 8, false));
+  spec.edges.push_back(edge(2, 3, "spread->sink", 8, false));
+  spec.edges.push_back(
+      edge(2, 1, "spread->accum", verify::kUnboundedCredits, true));
+  return spec;
+}
+
+}  // namespace dflow::testing

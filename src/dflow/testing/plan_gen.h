@@ -1,0 +1,99 @@
+#ifndef DFLOW_TESTING_PLAN_GEN_H_
+#define DFLOW_TESTING_PLAN_GEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/common/random.h"
+#include "dflow/plan/query_spec.h"
+#include "dflow/storage/table.h"
+#include "dflow/types/data_type.h"
+#include "dflow/vector/column_vector.h"
+#include "dflow/verify/graph_spec.h"
+
+namespace dflow::testing {
+
+/// Knobs for the random plan generator. Everything is seed-derived: the same
+/// (options, case_seed) pair regenerates byte-identical tables and plans,
+/// which is what makes repro JSON replayable.
+struct PlanGenOptions {
+  /// Mixed into every case seed (lets CI shift the whole corpus).
+  uint64_t base_seed = 0;
+  /// Table cardinality range (inclusive).
+  size_t min_rows = 40;
+  size_t max_rows = 1200;
+  /// Random columns beyond the mandatory unique "id" column (at least 1).
+  size_t max_extra_columns = 4;
+  /// Fraction of cases that are distributed partitioned joins.
+  double join_probability = 0.15;
+  /// Fraction of non-join cases that are COUNT(*) pipelines.
+  double count_only_probability = 0.1;
+};
+
+/// One generated differential-test case: synthetic tables plus the logical
+/// plan to run over them. Copyable by value so the shrinker can mutate
+/// candidates freely; tables are shared immutable snapshots.
+struct GeneratedCase {
+  uint64_t seed = 0;
+  std::string name;  // "case_<seed>"
+
+  std::vector<std::shared_ptr<Table>> tables;
+
+  bool is_join = false;
+  QuerySpec query;  // valid when !is_join
+  JoinSpec join;    // valid when is_join
+
+  /// The filter as its conjunct list (query.filter == And of these); kept
+  /// separately so the shrinker can delete conjuncts one at a time.
+  std::vector<ExprPtr> filter_conjuncts;
+  std::vector<ExprPtr> probe_filter_conjuncts;  // join probe-side filter
+};
+
+/// Rebuilds query.filter / join.probe_filter from the conjunct lists (after
+/// the shrinker edits them). Empty list => no filter.
+void RebuildFilters(GeneratedCase* c);
+
+/// Logical stage count of the pipeline the case describes (scan/filter/
+/// project/aggregate/sort/sink); the shrinker's minimality metric.
+size_t CountStages(const GeneratedCase& c);
+
+/// Deterministic, seed-derived random plan generator. Emits valid logical
+/// plans — every generated plan passes the static verifier in strict mode
+/// and computes identical results on the Volcano and dataflow engines —
+/// plus matching synthetic column data:
+///   - every table has a unique int64 "id" column (gives ORDER BY a total
+///     order, so LIMIT results are engine-independent),
+///   - doubles are dyadic rationals (multiples of 0.25, bounded magnitude),
+///     so SUMs are exact and order-independent,
+///   - strings come from a small pool (selective predicates, dictionary-
+///     friendly encodings).
+class PlanGen {
+ public:
+  explicit PlanGen(PlanGenOptions options = PlanGenOptions());
+
+  const PlanGenOptions& options() const { return options_; }
+
+  /// Generates the case for `case_seed`. Pure function of (options, seed).
+  GeneratedCase Generate(uint64_t case_seed) const;
+
+  /// A random column for property tests (encode round-trips): `null_prob`
+  /// adds a validity mask. Deterministic in `rng`'s state.
+  static ColumnVector RandomColumn(Random* rng, DataType type, size_t rows,
+                                   double null_prob = 0.0);
+
+  /// A hand-built verify::GraphSpec with a declared feedback edge (loop
+  /// primed through a broadcast node, one unbounded-credit hop so the
+  /// credit-deadlock check passes). Feedback graphs are verify-only — the
+  /// executor rejects them — so this exercises the GraphSpec lane of the
+  /// fuzzer: Engine::VerifyGraphSpec must find no errors.
+  static verify::GraphSpec FeedbackSpec();
+
+ private:
+  PlanGenOptions options_;
+};
+
+}  // namespace dflow::testing
+
+#endif  // DFLOW_TESTING_PLAN_GEN_H_

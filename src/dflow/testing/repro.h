@@ -1,0 +1,54 @@
+#ifndef DFLOW_TESTING_REPRO_H_
+#define DFLOW_TESTING_REPRO_H_
+
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/testing/diff_runner.h"
+#include "dflow/testing/plan_gen.h"
+
+namespace dflow::testing {
+
+/// A self-contained, replayable record of one divergence ("dflow.repro.v1"):
+/// everything is derived from seeds, so the JSON carries no table data —
+/// just the generator/diff configuration, the shrink steps that minimized
+/// the case, and the fingerprints the replay must reproduce.
+struct Repro {
+  std::string schema = "dflow.repro.v1";
+
+  PlanGenOptions gen;
+  uint64_t case_seed = 0;
+  DiffOptions diff;
+
+  /// Accepted shrink steps, applied in order after regeneration.
+  std::vector<std::string> steps;
+
+  /// The divergence message DiffRunner reported for the minimized case.
+  std::string divergence;
+  /// The Volcano reference fingerprint of the minimized case.
+  std::string expected_fingerprint;
+  /// CountStages() of the minimized case (shrink quality, human-facing).
+  uint64_t num_stages = 0;
+};
+
+/// Deterministic writer: the same Repro always serializes byte-identically.
+std::string ReproToJson(const Repro& repro);
+
+Result<Repro> ReproFromJson(const std::string& json);
+
+struct ReplayOutcome {
+  GeneratedCase minimized;
+  DiffResult diff;
+  /// True when the replay diverged again AND the reference fingerprint
+  /// matches the recorded one (byte-identical regeneration).
+  bool reproduced = false;
+};
+
+/// Regenerates the case from its seed, re-applies the recorded shrink
+/// steps, and re-runs the differential oracle.
+Result<ReplayOutcome> ReplayRepro(const Repro& repro);
+
+}  // namespace dflow::testing
+
+#endif  // DFLOW_TESTING_REPRO_H_

@@ -1,0 +1,358 @@
+#include "dflow/testing/shrink.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "dflow/storage/table.h"
+#include "dflow/vector/data_chunk.h"
+
+namespace dflow::testing {
+
+namespace {
+
+void CollectColumnNames(const ExprPtr& e, std::set<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == Expr::Kind::kColumnRef) out->insert(e->column_name());
+  for (const ExprPtr& child : e->children()) CollectColumnNames(child, out);
+}
+
+/// Table-schema column names the (single-table) plan resolves against. With
+/// projections present, aggregates/group-by/order-by reference projection
+/// *outputs*, so only the projection expressions touch table columns.
+std::set<std::string> ReferencedTableColumns(const GeneratedCase& c) {
+  std::set<std::string> refs;
+  for (const ExprPtr& e : c.filter_conjuncts) CollectColumnNames(e, &refs);
+  if (!c.query.projections.empty()) {
+    for (const ExprPtr& e : c.query.projections) CollectColumnNames(e, &refs);
+    return refs;
+  }
+  for (const AggSpec& agg : c.query.aggregates) {
+    if (!agg.input.empty()) refs.insert(agg.input);
+  }
+  for (const std::string& g : c.query.group_by) refs.insert(g);
+  if (c.query.order_by.has_value()) refs.insert(c.query.order_by->column);
+  return refs;
+}
+
+/// Projection-output names consumed downstream (aggregates, group-by, sort).
+std::set<std::string> ReferencedProjectionOutputs(const GeneratedCase& c) {
+  std::set<std::string> refs;
+  for (const AggSpec& agg : c.query.aggregates) {
+    if (!agg.input.empty()) refs.insert(agg.input);
+  }
+  for (const std::string& g : c.query.group_by) refs.insert(g);
+  if (c.query.order_by.has_value()) refs.insert(c.query.order_by->column);
+  return refs;
+}
+
+bool IsSelectAll(const QuerySpec& q) {
+  return q.projections.empty() && q.aggregates.empty() && q.group_by.empty() &&
+         !q.count_only;
+}
+
+Result<std::shared_ptr<Table>> RebuildDropColumn(const Table& table,
+                                                 const std::string& column) {
+  std::vector<size_t> keep;
+  std::vector<Field> fields;
+  for (size_t i = 0; i < table.schema().num_fields(); ++i) {
+    const Field& f = table.schema().field(i);
+    if (f.name == column) continue;
+    keep.push_back(i);
+    fields.push_back(f);
+  }
+  if (keep.size() == table.schema().num_fields()) {
+    return Status::InvalidArgument("no column named " + column);
+  }
+  if (fields.empty()) {
+    return Status::InvalidArgument("cannot drop the last column");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::vector<DataChunk> chunks, table.ToChunks());
+  TableBuilder builder(table.name(), Schema(fields));
+  for (const DataChunk& chunk : chunks) {
+    DFLOW_RETURN_NOT_OK(builder.Append(chunk.SelectColumns(keep)));
+  }
+  DFLOW_ASSIGN_OR_RETURN(Table rebuilt, builder.Finish());
+  return std::make_shared<Table>(std::move(rebuilt));
+}
+
+Result<std::shared_ptr<Table>> RebuildHalveRows(const Table& table) {
+  if (table.num_rows() <= 1) {
+    return Status::InvalidArgument("table already minimal");
+  }
+  const uint64_t target = table.num_rows() / 2;
+  DFLOW_ASSIGN_OR_RETURN(std::vector<DataChunk> chunks, table.ToChunks());
+  TableBuilder builder(table.name(), table.schema());
+  uint64_t taken = 0;
+  for (const DataChunk& chunk : chunks) {
+    if (taken >= target) break;
+    const size_t want =
+        std::min<uint64_t>(chunk.num_rows(), target - taken);
+    if (want == chunk.num_rows()) {
+      DFLOW_RETURN_NOT_OK(builder.Append(chunk));
+    } else {
+      SelectionVector sel;
+      for (size_t r = 0; r < want; ++r) {
+        sel.Append(static_cast<uint32_t>(r));
+      }
+      DFLOW_RETURN_NOT_OK(builder.Append(chunk.Gather(sel)));
+    }
+    taken += want;
+  }
+  DFLOW_ASSIGN_OR_RETURN(Table rebuilt, builder.Finish());
+  return std::make_shared<Table>(std::move(rebuilt));
+}
+
+Result<size_t> FindTable(const GeneratedCase& c, const std::string& name) {
+  for (size_t i = 0; i < c.tables.size(); ++i) {
+    if (c.tables[i]->name() == name) return i;
+  }
+  return Status::InvalidArgument("no table named " + name);
+}
+
+/// Parses "prefix:<index>"; returns false when `step` has another shape.
+bool ParseIndexed(const std::string& step, const std::string& prefix,
+                  size_t* index) {
+  if (step.rfind(prefix + ":", 0) != 0) return false;
+  const std::string tail = step.substr(prefix.size() + 1);
+  if (tail.empty() ||
+      tail.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *index = static_cast<size_t>(std::stoull(tail));
+  return true;
+}
+
+}  // namespace
+
+Result<GeneratedCase> ApplyShrinkStep(const GeneratedCase& c,
+                                      const std::string& step) {
+  GeneratedCase out = c;
+  size_t index = 0;
+
+  if (step == "drop_order_by") {
+    if (!out.query.order_by.has_value()) {
+      return Status::InvalidArgument("no order_by");
+    }
+    out.query.order_by.reset();
+    return out;
+  }
+  if (step == "drop_order_limit") {
+    if (!out.query.order_by.has_value() || out.query.order_by->limit == 0) {
+      return Status::InvalidArgument("no order limit");
+    }
+    out.query.order_by->limit = 0;
+    return out;
+  }
+  if (step == "drop_count_only") {
+    if (!out.query.count_only) return Status::InvalidArgument("not count_only");
+    out.query.count_only = false;
+    return out;
+  }
+  if (step == "drop_aggregates") {
+    if (out.query.aggregates.empty()) {
+      return Status::InvalidArgument("no aggregates");
+    }
+    out.query.aggregates.clear();
+    out.query.group_by.clear();
+    return out;
+  }
+  if (ParseIndexed(step, "drop_aggregate", &index)) {
+    // Keep at least one aggregate; drop_aggregates removes the whole clause.
+    if (out.query.aggregates.size() < 2 ||
+        index >= out.query.aggregates.size()) {
+      return Status::InvalidArgument("aggregate index out of range");
+    }
+    out.query.aggregates.erase(out.query.aggregates.begin() + index);
+    return out;
+  }
+  if (step == "drop_group_by") {
+    if (out.query.group_by.empty()) return Status::InvalidArgument("no groups");
+    out.query.group_by.clear();
+    return out;
+  }
+  if (ParseIndexed(step, "drop_group_by", &index)) {
+    if (index >= out.query.group_by.size()) {
+      return Status::InvalidArgument("group index out of range");
+    }
+    out.query.group_by.erase(out.query.group_by.begin() + index);
+    return out;
+  }
+  if (step == "drop_projections") {
+    if (out.query.projections.empty()) {
+      return Status::InvalidArgument("no projections");
+    }
+    // Aggregates/group-by resolve against projection outputs; sorting is
+    // fine without the projection because "id" is a scanned column too.
+    if (!out.query.aggregates.empty() || !out.query.group_by.empty()) {
+      return Status::InvalidArgument("projections feed the aggregation");
+    }
+    out.query.projections.clear();
+    out.query.projection_names.clear();
+    return out;
+  }
+  if (ParseIndexed(step, "drop_projection", &index)) {
+    if (out.query.projections.size() < 2 ||
+        index >= out.query.projections.size()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+    const std::set<std::string> used = ReferencedProjectionOutputs(c);
+    if (used.count(out.query.projection_names[index]) > 0) {
+      return Status::InvalidArgument("projection output is referenced");
+    }
+    out.query.projections.erase(out.query.projections.begin() + index);
+    out.query.projection_names.erase(out.query.projection_names.begin() +
+                                     index);
+    return out;
+  }
+  if (ParseIndexed(step, "drop_filter_conjunct", &index)) {
+    if (index >= out.filter_conjuncts.size()) {
+      return Status::InvalidArgument("conjunct index out of range");
+    }
+    out.filter_conjuncts.erase(out.filter_conjuncts.begin() + index);
+    RebuildFilters(&out);
+    return out;
+  }
+  if (step == "drop_probe_filter") {
+    if (out.probe_filter_conjuncts.empty()) {
+      return Status::InvalidArgument("no probe filter");
+    }
+    out.probe_filter_conjuncts.clear();
+    RebuildFilters(&out);
+    return out;
+  }
+  if (ParseIndexed(step, "drop_probe_filter_conjunct", &index)) {
+    if (index >= out.probe_filter_conjuncts.size()) {
+      return Status::InvalidArgument("probe conjunct index out of range");
+    }
+    out.probe_filter_conjuncts.erase(out.probe_filter_conjuncts.begin() +
+                                     index);
+    RebuildFilters(&out);
+    return out;
+  }
+  if (step.rfind("drop_column:", 0) == 0) {
+    const std::string rest = step.substr(std::string("drop_column:").size());
+    const size_t sep = rest.find(':');
+    if (sep == std::string::npos) {
+      return Status::InvalidArgument("malformed drop_column step");
+    }
+    const std::string table_name = rest.substr(0, sep);
+    const std::string column = rest.substr(sep + 1);
+    if (column == "id") {
+      return Status::InvalidArgument("the id column is load-bearing");
+    }
+    if (c.is_join) {
+      return Status::InvalidArgument("join scans prune columns themselves");
+    }
+    if (ReferencedTableColumns(c).count(column) > 0) {
+      return Status::InvalidArgument("column is referenced by the plan");
+    }
+    DFLOW_ASSIGN_OR_RETURN(size_t t, FindTable(c, table_name));
+    DFLOW_ASSIGN_OR_RETURN(out.tables[t],
+                           RebuildDropColumn(*c.tables[t], column));
+    return out;
+  }
+  if (step.rfind("halve_rows:", 0) == 0) {
+    const std::string table_name =
+        step.substr(std::string("halve_rows:").size());
+    DFLOW_ASSIGN_OR_RETURN(size_t t, FindTable(c, table_name));
+    DFLOW_ASSIGN_OR_RETURN(out.tables[t], RebuildHalveRows(*c.tables[t]));
+    return out;
+  }
+  return Status::InvalidArgument("unknown shrink step: " + step);
+}
+
+std::vector<std::string> EnumerateShrinkSteps(const GeneratedCase& c) {
+  std::vector<std::string> steps;
+  if (c.is_join) {
+    if (!c.probe_filter_conjuncts.empty()) {
+      steps.push_back("drop_probe_filter");
+      for (size_t i = 0; i < c.probe_filter_conjuncts.size(); ++i) {
+        steps.push_back("drop_probe_filter_conjunct:" + std::to_string(i));
+      }
+    }
+    for (const auto& table : c.tables) {
+      if (table->num_rows() > 1) {
+        steps.push_back("halve_rows:" + table->name());
+      }
+    }
+    return steps;
+  }
+
+  if (c.query.order_by.has_value()) {
+    steps.push_back("drop_order_by");
+    if (c.query.order_by->limit > 0) steps.push_back("drop_order_limit");
+  }
+  if (c.query.count_only) steps.push_back("drop_count_only");
+  if (!c.query.aggregates.empty()) {
+    steps.push_back("drop_aggregates");
+    if (c.query.aggregates.size() > 1) {
+      for (size_t i = 0; i < c.query.aggregates.size(); ++i) {
+        steps.push_back("drop_aggregate:" + std::to_string(i));
+      }
+    }
+  }
+  if (!c.query.group_by.empty()) {
+    steps.push_back("drop_group_by");
+    for (size_t i = 0; i < c.query.group_by.size(); ++i) {
+      steps.push_back("drop_group_by:" + std::to_string(i));
+    }
+  }
+  if (!c.query.projections.empty()) {
+    steps.push_back("drop_projections");
+    if (c.query.projections.size() > 1) {
+      const std::set<std::string> used = ReferencedProjectionOutputs(c);
+      for (size_t i = 0; i < c.query.projections.size(); ++i) {
+        if (used.count(c.query.projection_names[i]) == 0) {
+          steps.push_back("drop_projection:" + std::to_string(i));
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < c.filter_conjuncts.size(); ++i) {
+    steps.push_back("drop_filter_conjunct:" + std::to_string(i));
+  }
+  if (IsSelectAll(c.query) && !c.tables.empty()) {
+    const std::set<std::string> refs = ReferencedTableColumns(c);
+    const Table& table = *c.tables[0];
+    if (table.schema().num_fields() > 1) {
+      for (const Field& f : table.schema().fields()) {
+        if (f.name != "id" && refs.count(f.name) == 0) {
+          steps.push_back("drop_column:" + table.name() + ":" + f.name);
+        }
+      }
+    }
+  }
+  for (const auto& table : c.tables) {
+    if (table->num_rows() > 1) {
+      steps.push_back("halve_rows:" + table->name());
+    }
+  }
+  return steps;
+}
+
+ShrinkResult Shrink(const GeneratedCase& c, const ShrinkOracle& oracle,
+                    size_t max_oracle_runs) {
+  ShrinkResult result;
+  result.minimized = c;
+  bool progress = true;
+  while (progress && result.oracle_runs < max_oracle_runs) {
+    progress = false;
+    for (const std::string& step : EnumerateShrinkSteps(result.minimized)) {
+      Result<GeneratedCase> candidate =
+          ApplyShrinkStep(result.minimized, step);
+      if (!candidate.ok()) continue;
+      if (result.oracle_runs >= max_oracle_runs) break;
+      ++result.oracle_runs;
+      if (oracle(candidate.ValueOrDie())) {
+        result.minimized = std::move(candidate).ValueOrDie();
+        result.applied_steps.push_back(step);
+        progress = true;
+        break;  // restart from the coarsest step on the smaller case
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dflow::testing

@@ -1,0 +1,52 @@
+#ifndef DFLOW_TESTING_SHRINK_H_
+#define DFLOW_TESTING_SHRINK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/testing/plan_gen.h"
+
+namespace dflow::testing {
+
+/// Returns true when the candidate case still exhibits the divergence being
+/// minimized (typically: DiffRunner reports diverged).
+using ShrinkOracle = std::function<bool(const GeneratedCase&)>;
+
+/// Applies one named reduction to a case. Steps are plain strings so a repro
+/// JSON can record and replay the exact reduction sequence:
+///   drop_order_by | drop_order_limit | drop_count_only | drop_aggregates |
+///   drop_aggregate:<i> | drop_group_by | drop_group_by:<i> |
+///   drop_projections | drop_projection:<i> | drop_filter_conjunct:<i> |
+///   drop_probe_filter | drop_probe_filter_conjunct:<i> |
+///   drop_column:<table>:<column> | halve_rows:<table>
+/// Returns InvalidArgument for steps that do not apply to (or would
+/// invalidate) the case; the shrinker just skips those.
+Result<GeneratedCase> ApplyShrinkStep(const GeneratedCase& c,
+                                      const std::string& step);
+
+/// Every step that could apply to `c` right now, coarsest first (whole
+/// clauses before single conjuncts before data reductions) so the greedy
+/// loop takes the biggest valid bites early.
+std::vector<std::string> EnumerateShrinkSteps(const GeneratedCase& c);
+
+struct ShrinkResult {
+  GeneratedCase minimized;
+  /// The accepted reductions, in order — recorded in repro JSON and
+  /// replayed verbatim by ReplayRepro.
+  std::vector<std::string> applied_steps;
+  /// Oracle invocations spent (accepted + rejected candidates).
+  size_t oracle_runs = 0;
+};
+
+/// Greedy delta-debugging: repeatedly tries EnumerateShrinkSteps in order,
+/// keeps any reduction the oracle still flags, and restarts from the top on
+/// every acceptance; stops when no step survives or `max_oracle_runs` is
+/// reached. Deterministic given a deterministic oracle.
+ShrinkResult Shrink(const GeneratedCase& c, const ShrinkOracle& oracle,
+                    size_t max_oracle_runs = 200);
+
+}  // namespace dflow::testing
+
+#endif  // DFLOW_TESTING_SHRINK_H_

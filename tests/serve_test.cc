@@ -217,6 +217,31 @@ TEST(PercentileTest, NearestRank) {
   EXPECT_EQ(PercentileNs({}, 0.99), 0u);
 }
 
+TEST(PercentileTest, TinySampleSetsAreWellDefined) {
+  // n = 1: every percentile is the lone sample.
+  EXPECT_EQ(PercentileNs({5}, 0.50), 5u);
+  EXPECT_EQ(PercentileNs({5}, 0.95), 5u);
+  EXPECT_EQ(PercentileNs({5}, 0.99), 5u);
+  // n = 2: p50 is the first sample (rank ceil(0.5*2)=1), p95/p99 the second.
+  EXPECT_EQ(PercentileNs({10, 20}, 0.50), 10u);
+  EXPECT_EQ(PercentileNs({10, 20}, 0.95), 20u);
+  EXPECT_EQ(PercentileNs({10, 20}, 0.99), 20u);
+}
+
+TEST(PercentileTest, ExactIntegerRanksAreNotInflatedByRounding) {
+  // 0.95 * 20 = 19 exactly in arithmetic, but 19.000000000000004 in binary
+  // floating point — the rank must stay 19, not spill to 20.
+  std::vector<sim::SimTime> twenty;
+  for (sim::SimTime i = 1; i <= 20; ++i) twenty.push_back(i * 100);
+  EXPECT_EQ(PercentileNs(twenty, 0.95), 1900u);
+  EXPECT_EQ(PercentileNs(twenty, 0.50), 1000u);
+  // Same rank computed two ways must agree: p50 of 40 == rank-20 sample.
+  std::vector<sim::SimTime> forty;
+  for (sim::SimTime i = 1; i <= 40; ++i) forty.push_back(i);
+  EXPECT_EQ(PercentileNs(forty, 0.50), 20u);
+  EXPECT_EQ(PercentileNs(forty, 0.95), 38u);
+}
+
 // ---------------------------------------------------------- service loop
 
 class ServeLoopTest : public ::testing::Test {

@@ -239,5 +239,48 @@ TEST_F(TraceEngineTest, JsonParserRejectsGarbage) {
   EXPECT_FALSE(trace::ExecutionReportFromJson("[1,2,3]").ok());
 }
 
+// reset_fabric=true promises a report scoped to its own run: after a faulted
+// execution leaves drop/corruption/stall counts on the links and devices,
+// the next (fault-free) run must report all fault counters at zero — i.e.
+// Fabric reset covers every counter CollectReport reads.
+TEST_F(TraceEngineTest, ResetFabricZeroesFaultCountersBetweenRuns) {
+  Engine engine(Config());
+  Register(engine);
+
+  sim::FaultConfig faults;
+  faults.seed = 7;
+  faults.drop_prob = 0.05;
+  faults.corrupt_prob = 0.05;
+  faults.stall_prob = 0.10;
+  faults.storage_error_prob = 0.02;
+  engine.EnableFaultInjection(faults);
+  auto faulted = engine.Execute(CountQuery()).ValueOrDie();
+  ASSERT_TRUE(faulted.report.fault.Any());
+
+  engine.DisableFaultInjection();
+  ExecOptions options;
+  options.reset_fabric = true;
+  auto clean = engine.Execute(CountQuery(), options).ValueOrDie();
+  const FaultReport& f = clean.report.fault;
+  EXPECT_EQ(f.chunks_dropped, 0u);
+  EXPECT_EQ(f.chunks_corrupted, 0u);
+  EXPECT_EQ(f.retransmits, 0u);
+  EXPECT_EQ(f.delivery_timeouts, 0u);
+  EXPECT_EQ(f.checksum_failures, 0u);
+  EXPECT_EQ(f.storage_io_errors, 0u);
+  EXPECT_EQ(f.storage_retries, 0u);
+  EXPECT_EQ(f.device_stalls, 0u);
+  EXPECT_EQ(f.device_stall_ns, 0u);
+  EXPECT_FALSE(f.Any());
+  // The clean run's result must match, too (faults never change answers).
+  EXPECT_EQ(clean.report.result_rows, faulted.report.result_rows);
+
+  // Chained runs (reset_fabric=false) keep the clock but still scope the
+  // metric counters to the new run.
+  options.reset_fabric = false;
+  auto chained = engine.Execute(CountQuery(), options).ValueOrDie();
+  EXPECT_FALSE(chained.report.fault.Any());
+}
+
 }  // namespace
 }  // namespace dflow

@@ -214,6 +214,179 @@ TEST(IteratorTest, SortAndLimit) {
   EXPECT_EQ(rows[0][0].int64_value(), 7999);
 }
 
+// ------------------------------------------------ hand-computed tiny tables
+//
+// Every operator pinned against a table small enough to verify by eye:
+//
+//   k | v  | name          k: 1..6, v: amounts, name: group tag
+//   --+----+-----          (one row group, one page)
+//   1 | 10 | red
+//   2 | 20 | blue
+//   3 | 30 | red
+//   4 | 40 | blue
+//   5 | 50 | red
+//   6 | 60 | blue
+
+struct TinyFixture {
+  Table table;
+  HeapFile file;
+  sim::FabricConfig config;
+  CostMeter meter{config};
+  BufferPool pool{8, &meter};
+  VolcanoContext ctx;
+
+  static Table Make() {
+    TableBuilder builder("tiny", KvSchema(), 10'000);
+    DataChunk chunk;
+    chunk.AddColumn(ColumnVector::FromInt64({1, 2, 3, 4, 5, 6}));
+    chunk.AddColumn(ColumnVector::FromInt64({10, 20, 30, 40, 50, 60}));
+    chunk.AddColumn(ColumnVector::FromString(
+        {"red", "blue", "red", "blue", "red", "blue"}));
+    DFLOW_CHECK(builder.Append(chunk).ok());
+    return builder.Finish().ValueOrDie();
+  }
+
+  TinyFixture() : table(Make()), file(HeapFile::FromTable(table).ValueOrDie()) {
+    ctx.pool = &pool;
+    ctx.meter = &meter;
+  }
+};
+
+TEST(TinyTableTest, SeqScanPreservesRowOrderAndValues) {
+  TinyFixture fx;
+  SeqScanIterator scan(&fx.file, &fx.ctx);
+  auto rows = DrainIterator(&scan).ValueOrDie();
+  ASSERT_EQ(rows.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(rows[i][0].int64_value(), static_cast<int64_t>(i + 1));
+    EXPECT_EQ(rows[i][1].int64_value(), static_cast<int64_t>((i + 1) * 10));
+  }
+  EXPECT_EQ(rows[0][2].string_value(), "red");
+  EXPECT_EQ(rows[5][2].string_value(), "blue");
+}
+
+TEST(TinyTableTest, FilterKeepsExactlyTheMatchingRows) {
+  TinyFixture fx;
+  // v > 25 AND name = 'red'  ->  rows k=3 (v=30) and k=5 (v=50).
+  auto pred =
+      Expr::Resolve(Expr::And({Expr::Cmp(CompareOp::kGt, Expr::Col("v"),
+                                         Expr::Lit(Value::Int64(25))),
+                               Expr::Cmp(CompareOp::kEq, Expr::Col("name"),
+                                         Expr::Lit(Value::String("red")))}),
+                    fx.file.schema())
+          .ValueOrDie();
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  FilterIterator filter(std::move(scan), pred, &fx.ctx);
+  auto rows = DrainIterator(&filter).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].int64_value(), 3);
+  EXPECT_EQ(rows[1][0].int64_value(), 5);
+}
+
+TEST(TinyTableTest, ProjectComputesExactArithmetic) {
+  TinyFixture fx;
+  // v - k: 9, 18, 27, 36, 45, 54.
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  auto diff = Expr::Resolve(
+                  Expr::Arith(ArithOp::kSub, Expr::Col("v"), Expr::Col("k")),
+                  fx.file.schema())
+                  .ValueOrDie();
+  auto proj =
+      ProjectIterator::Make(std::move(scan), {diff}, {"d"}, &fx.ctx)
+          .ValueOrDie();
+  auto rows = DrainIterator(proj.get()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(rows[i][0].int64_value(), static_cast<int64_t>(9 * (i + 1)));
+  }
+}
+
+TEST(TinyTableTest, GroupedAggregatesMatchHandComputation) {
+  TinyFixture fx;
+  // red:  v in {10, 30, 50} -> sum 90,  min 10, max 50, count 3
+  // blue: v in {20, 40, 60} -> sum 120, min 20, max 60, count 3
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  auto agg = HashAggIterator::Make(std::move(scan), {"name"},
+                                   {{AggFunc::kSum, "v", "s"},
+                                    {AggFunc::kMin, "v", "lo"},
+                                    {AggFunc::kMax, "v", "hi"},
+                                    {AggFunc::kCount, "", "n"}},
+                                   &fx.ctx)
+                 .ValueOrDie();
+  auto rows = DrainIterator(agg.get()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  for (const Row& row : rows) {
+    if (row[0].string_value() == "red") {
+      EXPECT_EQ(row[1].int64_value(), 90);
+      EXPECT_EQ(row[2].int64_value(), 10);
+      EXPECT_EQ(row[3].int64_value(), 50);
+      EXPECT_EQ(row[4].int64_value(), 3);
+    } else {
+      EXPECT_EQ(row[0].string_value(), "blue");
+      EXPECT_EQ(row[1].int64_value(), 120);
+      EXPECT_EQ(row[2].int64_value(), 20);
+      EXPECT_EQ(row[3].int64_value(), 60);
+      EXPECT_EQ(row[4].int64_value(), 3);
+    }
+  }
+}
+
+TEST(TinyTableTest, UngroupedAggregatesOverEmptyInput) {
+  TinyFixture fx;
+  // A filter nothing passes: SUM/MIN/MAX are NULL, COUNT is 0.
+  auto pred = Expr::Resolve(Expr::Cmp(CompareOp::kGt, Expr::Col("v"),
+                                      Expr::Lit(Value::Int64(1000))),
+                            fx.file.schema())
+                  .ValueOrDie();
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  RowIteratorPtr filter(
+      new FilterIterator(std::move(scan), std::move(pred), &fx.ctx));
+  auto agg = HashAggIterator::Make(std::move(filter), {},
+                                   {{AggFunc::kSum, "v", "s"},
+                                    {AggFunc::kMin, "v", "lo"},
+                                    {AggFunc::kCount, "", "n"}},
+                                   &fx.ctx)
+                 .ValueOrDie();
+  auto rows = DrainIterator(agg.get()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0][0].is_null());
+  EXPECT_TRUE(rows[0][1].is_null());
+  EXPECT_EQ(rows[0][2].int64_value(), 0);
+}
+
+TEST(TinyTableTest, HashJoinMatchesExactPairs) {
+  TinyFixture fx;
+  // Build side: k in {2, 4, 6} (name = blue). Probe side: all six rows on
+  // k = k -> exactly the three blue rows join.
+  auto blue = Expr::Resolve(Expr::Cmp(CompareOp::kEq, Expr::Col("name"),
+                                      Expr::Lit(Value::String("blue"))),
+                            fx.file.schema())
+                  .ValueOrDie();
+  RowIteratorPtr build_scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  RowIteratorPtr build(
+      new FilterIterator(std::move(build_scan), std::move(blue), &fx.ctx));
+  RowIteratorPtr probe(new SeqScanIterator(&fx.file, &fx.ctx));
+  HashJoinIterator join(std::move(build), std::move(probe), 0, 0, &fx.ctx);
+  auto rows = DrainIterator(&join).ValueOrDie();
+  ASSERT_EQ(rows.size(), 3u);
+  // Probe order is preserved: k = 2, 4, 6.
+  EXPECT_EQ(rows[0][0].int64_value(), 2);
+  EXPECT_EQ(rows[1][0].int64_value(), 4);
+  EXPECT_EQ(rows[2][0].int64_value(), 6);
+}
+
+TEST(TinyTableTest, SortDescendingWithLimitPinsTopRows) {
+  TinyFixture fx;
+  RowIteratorPtr scan(new SeqScanIterator(&fx.file, &fx.ctx));
+  auto sort =
+      SortIterator::Make(std::move(scan), "v", /*descending=*/true, 2, &fx.ctx)
+          .ValueOrDie();
+  auto rows = DrainIterator(sort.get()).ValueOrDie();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1].int64_value(), 60);
+  EXPECT_EQ(rows[1][1].int64_value(), 50);
+}
+
 TEST(IteratorTest, EvalOnRowMatchesKernelSemantics) {
   Row row = {Value::Int64(4), Value::Null(DataType::kInt64),
              Value::String("promo pack")};
