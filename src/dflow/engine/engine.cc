@@ -127,6 +127,19 @@ bool Engine::PlacementHealthy(const Placement& placement, int node) {
   return true;
 }
 
+std::vector<std::string> Engine::PlacementDevices(const Placement& placement,
+                                                  int node) {
+  std::set<std::string> seen;
+  std::vector<std::string> devices;
+  for (Site s : placement.sites) {
+    sim::Device* d = SiteDevice(s, node);
+    if (d != nullptr && seen.insert(d->name()).second) {
+      devices.push_back(d->name());
+    }
+  }
+  return devices;
+}
+
 void Engine::ArmGraph(DataflowGraph* graph) {
   if (tracer_ != nullptr) graph->SetTracer(tracer_.get());
   if (fault_ == nullptr) return;

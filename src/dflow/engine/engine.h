@@ -105,6 +105,10 @@ class Engine {
   const std::set<std::string>& unhealthy_devices() const { return unhealthy_; }
   /// True iff every device this placement uses (on `node`) is healthy.
   bool PlacementHealthy(const Placement& placement, int node);
+  /// The (deduplicated, ordered) device names this placement runs stages
+  /// on — what the circuit-breaker registry keys its per-device state by.
+  std::vector<std::string> PlacementDevices(const Placement& placement,
+                                            int node);
 
   // --------------------------------------------------- static verification
   /// Statically checks the graph the engine would build for (spec,

@@ -232,9 +232,29 @@ Status DataflowGraph::SetEdgeRateLimit(NodeId from, NodeId to, double gbps) {
   return Status::OK();
 }
 
-void DataflowGraph::Fail(Status status) {
-  if (status_.ok()) status_ = std::move(status);
+void DataflowGraph::Fail(Status status, lifecycle::FailureKind kind) {
+  if (status_.ok()) {
+    status_ = std::move(status);
+    failure_kind_ = kind;
+  }
   MaybeComplete();
+}
+
+void DataflowGraph::Cancel(Status reason) {
+  DFLOW_CHECK(!reason.ok());
+  if (!started_ || completion_reported_ || !status_.ok()) return;
+  const lifecycle::FailureKind kind =
+      reason.IsDeadlineExceeded() ? lifecycle::FailureKind::kDeadlineExceeded
+                                  : lifecycle::FailureKind::kCancelled;
+  DFLOW_TRACE(tracer_, Instant("lifecycle", "graph", "cancel", sim_->now(),
+                               /*value=*/0, reason.ToString()));
+  Fail(std::move(reason), kind);
+}
+
+bool DataflowGraph::CancelRequested() {
+  if (cancel_token_ == nullptr || !cancel_token_->cancelled()) return false;
+  if (status_.ok()) Cancel(cancel_token_->reason());
+  return true;
 }
 
 bool DataflowGraph::SendQueuesEmpty(const Node* n) const {
@@ -250,7 +270,8 @@ bool DataflowGraph::DeviceCrashed(Node* n) {
   if (status_.ok()) {
     failed_device_ = n->device->name();
     Fail(Status::IOError("device '" + n->device->name() +
-                         "' crashed mid-query"));
+                         "' crashed mid-query"),
+         lifecycle::FailureKind::kDeviceCrash);
   }
   return true;
 }
@@ -301,7 +322,7 @@ void DataflowGraph::CheckEventTime() {
 }
 
 void DataflowGraph::Pump(Node* n) {
-  if (!status_.ok()) return;
+  if (!status_.ok() || CancelRequested()) return;
   CheckEventTime();
   if (n->type == Node::Type::kSink) return;
   if (n->finished || n->device_busy) return;
@@ -317,7 +338,8 @@ void DataflowGraph::Pump(Node* n) {
           Fail(Status::IOError("storage read for '" + n->name +
                                "' failed after " +
                                std::to_string(n->storage_retries) +
-                               " retries"));
+                               " retries"),
+               lifecycle::FailureKind::kStorageExhausted);
           return;
         }
         n->storage_retries += 1;
@@ -479,7 +501,7 @@ void DataflowGraph::PumpEdges(Node* n) {
 }
 
 void DataflowGraph::PumpEdge(Edge* e) {
-  if (!status_.ok()) return;
+  if (!status_.ok() || CancelRequested()) return;
   while (!e->send_queue.empty() && e->gate.HasCredit()) {
     e->gate.Acquire();
     auto [chunk, wire] = std::move(e->send_queue.front());
@@ -612,8 +634,9 @@ void DataflowGraph::CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt) {
                                sim_->now(), /*value=*/seq));
   if (it->second.attempt >= policy_.max_delivery_attempts) {
     Fail(Status::IOError(
-        "edge " + e->from->name + "->" + e->to->name + " gave up after " +
-        std::to_string(it->second.attempt) + " delivery attempts"));
+             "edge " + e->from->name + "->" + e->to->name + " gave up after " +
+             std::to_string(it->second.attempt) + " delivery attempts"),
+         lifecycle::FailureKind::kDeliveryExhausted);
     return;
   }
   recovery_stats_.retransmits += 1;
@@ -625,7 +648,7 @@ void DataflowGraph::CheckDelivery(Edge* e, uint64_t seq, uint32_t attempt) {
 }
 
 void DataflowGraph::Deliver(Edge* e, DataChunk chunk, uint64_t wire_bytes) {
-  if (!status_.ok()) return;
+  if (!status_.ok() || CancelRequested()) return;
   CheckEventTime();
   DFLOW_INVARIANTS_ONLY(e->inv_consumed += 1;)
   CheckEdgeInvariants(e);

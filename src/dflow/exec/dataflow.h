@@ -10,6 +10,7 @@
 #include "dflow/exec/operator.h"
 #include "dflow/exec/partition.h"
 #include "dflow/exec/scan.h"
+#include "dflow/lifecycle/cancel.h"
 #include "dflow/sim/credit.h"
 #include "dflow/sim/dma.h"
 #include "dflow/sim/device.h"
@@ -145,6 +146,27 @@ class DataflowGraph {
   /// succeeded or failed for another reason).
   const std::string& failed_device() const { return failed_device_; }
 
+  /// Structured classification of why the graph stopped (kNone while
+  /// running or after success). Stamped at the failure site, so callers
+  /// never have to string-match status messages.
+  lifecycle::FailureKind failure_kind() const { return failure_kind_; }
+
+  /// Attaches a cooperative cancellation token. Event handlers poll it:
+  /// once cancelled, the next event converts the token's reason into a
+  /// graph failure (stages and edges stop emitting, the completion
+  /// callback fires with the reason, credits quiesce). The owner may also
+  /// call Cancel() directly for same-event teardown.
+  void SetCancelToken(lifecycle::CancelTokenPtr token) {
+    cancel_token_ = std::move(token);
+  }
+
+  /// Cancels a launched, unfinished graph: the first non-OK reason
+  /// (kCancelled or kDeadlineExceeded by convention) becomes the graph's
+  /// status and the completion callback fires immediately, letting the
+  /// owner release scheduler ledger demand now instead of at drain. A
+  /// no-op on graphs that already completed or failed.
+  void Cancel(Status reason);
+
   /// Runs the whole graph to completion on the simulator. Fails if any
   /// operator errored or the event budget was exceeded.
   Status Run(uint64_t max_events = 200'000'000);
@@ -221,7 +243,11 @@ class DataflowGraph {
   void MarkNodeDone(Node* n);
   bool SendQueuesEmpty(const Node* n) const;
   bool DeviceCrashed(Node* n);
-  void Fail(Status status);
+  void Fail(Status status,
+            lifecycle::FailureKind kind = lifecycle::FailureKind::kOther);
+  /// Polls the cancel token; converts a pending cancellation into a graph
+  /// failure and returns true when the graph is (now) cancelled.
+  bool CancelRequested();
   Status Validate() const;
   Status Start();
   void MaybeComplete();
@@ -234,6 +260,8 @@ class DataflowGraph {
   RecoveryPolicy policy_;
   RecoveryStats recovery_stats_;
   std::string failed_device_;
+  lifecycle::FailureKind failure_kind_ = lifecycle::FailureKind::kNone;
+  lifecycle::CancelTokenPtr cancel_token_;
   Status status_;
   bool started_ = false;
   std::function<void(const Status&)> completion_callback_;

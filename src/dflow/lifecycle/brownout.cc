@@ -1,0 +1,60 @@
+#include "dflow/lifecycle/brownout.h"
+
+#include <algorithm>
+
+namespace dflow::lifecycle {
+
+const char* BrownoutLevelName(BrownoutLevel level) {
+  switch (level) {
+    case BrownoutLevel::kFull:
+      return "FULL";
+    case BrownoutLevel::kForceCheap:
+      return "FORCE_CHEAP";
+    case BrownoutLevel::kShedLowPriority:
+      return "SHED_LOW_PRIORITY";
+    case BrownoutLevel::kProbesOnly:
+      return "PROBES_ONLY";
+  }
+  return "UNKNOWN";
+}
+
+double BrownoutController::WindowedMissRate(
+    const BrownoutSignals& signals) const {
+  const uint64_t misses = signals.deadline_misses - misses_at_change_;
+  const uint64_t terminals = signals.terminals - terminals_at_change_;
+  if (terminals == 0) return misses > 0 ? 1.0 : 0.0;
+  return static_cast<double>(misses) / static_cast<double>(terminals);
+}
+
+BrownoutLevel BrownoutController::Update(const BrownoutSignals& signals,
+                                         sim::SimTime now) {
+  if (!config_.enabled) return level_;
+  if (now < level_since_ns_ + config_.dwell_ns) {
+    return level_;  // dwell not yet served (the initial kFull dwell too)
+  }
+  const double miss_rate = WindowedMissRate(signals);
+  const bool pressure_up = signals.queue_fraction >= config_.queue_up ||
+                           miss_rate >= config_.miss_up ||
+                           signals.open_breakers >= config_.breakers_up;
+  const bool pressure_down = signals.queue_fraction < config_.queue_down &&
+                             miss_rate < config_.miss_down &&
+                             signals.open_breakers < config_.breakers_down;
+  BrownoutLevel next = level_;
+  if (pressure_up && level_ != BrownoutLevel::kProbesOnly) {
+    next = static_cast<BrownoutLevel>(static_cast<uint8_t>(level_) + 1);
+    ++escalations_;
+  } else if (pressure_down && level_ != BrownoutLevel::kFull) {
+    next = static_cast<BrownoutLevel>(static_cast<uint8_t>(level_) - 1);
+    ++deescalations_;
+  }
+  if (next != level_) {
+    level_ = next;
+    level_since_ns_ = now;
+    misses_at_change_ = signals.deadline_misses;
+    terminals_at_change_ = signals.terminals;
+    peak_ = std::max(peak_, level_);
+  }
+  return level_;
+}
+
+}  // namespace dflow::lifecycle

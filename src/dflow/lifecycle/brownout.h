@@ -1,0 +1,92 @@
+#ifndef DFLOW_LIFECYCLE_BROWNOUT_H_
+#define DFLOW_LIFECYCLE_BROWNOUT_H_
+
+#include <cstdint>
+#include <cstddef>
+
+#include "dflow/sim/simulator.h"
+
+namespace dflow::lifecycle {
+
+/// Ordered service-degradation ladder. Levels are strictly ordered by
+/// severity; the controller moves one rung at a time with dwell-time
+/// hysteresis, driven only by deterministic observed signals, so the whole
+/// ladder trajectory is a pure function of (config, seed).
+enum class BrownoutLevel : uint8_t {
+  kFull = 0,           // full service
+  kForceCheap = 1,     // force the cheapest (CPU-only) placement variant
+  kShedLowPriority = 2,// additionally shed low-priority arrivals
+  kProbesOnly = 3,     // admit nothing except breaker probes
+};
+const char* BrownoutLevelName(BrownoutLevel level);  // "FULL" / ...
+
+/// Signals sampled by the service loop on every arrival and completion.
+struct BrownoutSignals {
+  /// queued_total / global_queue_capacity, in [0, 1].
+  double queue_fraction = 0.0;
+  /// Deadline misses / terminal queries since the last level change
+  /// (windowed inside the controller from the cumulative counters below).
+  uint64_t deadline_misses = 0;  // cumulative
+  uint64_t terminals = 0;        // cumulative terminal (done or not) queries
+  /// Devices whose circuit breaker is currently open.
+  size_t open_breakers = 0;
+};
+
+struct BrownoutConfig {
+  /// Master switch; disabled keeps the controller pinned at kFull (and the
+  /// service byte-identical to the pre-lifecycle behaviour).
+  bool enabled = false;
+  /// Escalate one level when ANY of: queue fraction, windowed deadline-miss
+  /// rate, or open-breaker count reaches its *_up threshold.
+  double queue_up = 0.75;
+  double miss_up = 0.25;
+  size_t breakers_up = 1;
+  /// De-escalate one level when ALL signals are strictly below these.
+  double queue_down = 0.25;
+  double miss_down = 0.05;
+  size_t breakers_down = 1;  // i.e. zero open breakers
+  /// Minimum virtual time at a level before the next move (hysteresis).
+  sim::SimTime dwell_ns = 2'000'000;
+  /// At kShedLowPriority and above, arrivals from tenants with priority >=
+  /// this are shed with code BROWNOUT (lower number = more important).
+  int shed_priority_min = 2;
+};
+
+/// The ladder state machine. The service loop calls Update() at every
+/// arrival and terminal completion; the returned level governs placement
+/// forcing and shedding for subsequent decisions.
+class BrownoutController {
+ public:
+  explicit BrownoutController(BrownoutConfig config) : config_(config) {}
+
+  const BrownoutConfig& config() const { return config_; }
+  BrownoutLevel level() const { return level_; }
+
+  /// Re-evaluates the ladder against `signals` at `now`; moves at most one
+  /// rung and only after dwell_ns at the current one. Returns the level in
+  /// force after the update.
+  BrownoutLevel Update(const BrownoutSignals& signals, sim::SimTime now);
+
+  /// Times the ladder moved up (escalations) / down, and the worst rung.
+  uint64_t escalations() const { return escalations_; }
+  uint64_t deescalations() const { return deescalations_; }
+  BrownoutLevel peak_level() const { return peak_; }
+
+ private:
+  double WindowedMissRate(const BrownoutSignals& signals) const;
+
+  BrownoutConfig config_;
+  BrownoutLevel level_ = BrownoutLevel::kFull;
+  BrownoutLevel peak_ = BrownoutLevel::kFull;
+  sim::SimTime level_since_ns_ = 0;
+  /// Counter snapshot at the last level change: the miss rate is computed
+  /// over the window since then, so old incidents age out of the signal.
+  uint64_t misses_at_change_ = 0;
+  uint64_t terminals_at_change_ = 0;
+  uint64_t escalations_ = 0;
+  uint64_t deescalations_ = 0;
+};
+
+}  // namespace dflow::lifecycle
+
+#endif  // DFLOW_LIFECYCLE_BROWNOUT_H_

@@ -1,0 +1,35 @@
+#include "dflow/lifecycle/cancel.h"
+
+#include <utility>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::lifecycle {
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "NONE";
+    case FailureKind::kDeviceCrash:
+      return "DEVICE_CRASH";
+    case FailureKind::kDeliveryExhausted:
+      return "DELIVERY_EXHAUSTED";
+    case FailureKind::kStorageExhausted:
+      return "STORAGE_EXHAUSTED";
+    case FailureKind::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case FailureKind::kCancelled:
+      return "CANCELLED";
+    case FailureKind::kOther:
+      return "OTHER";
+  }
+  return "UNKNOWN";
+}
+
+void CancelToken::Cancel(Status reason) {
+  DFLOW_CHECK(!reason.ok());
+  if (cancelled()) return;  // first reason wins
+  reason_ = std::move(reason);
+}
+
+}  // namespace dflow::lifecycle

@@ -1,0 +1,58 @@
+#ifndef DFLOW_LIFECYCLE_CANCEL_H_
+#define DFLOW_LIFECYCLE_CANCEL_H_
+
+#include <memory>
+#include <string>
+
+#include "dflow/common/status.h"
+
+namespace dflow::lifecycle {
+
+/// Structured classification of why a query's dataflow graph stopped.
+/// Stable vocabulary shared by the executor (which stamps the kind at the
+/// failure site), the retry policy (which decides what is transient), and
+/// the reports (which must not fold distinct causes into one bucket).
+enum class FailureKind {
+  kNone = 0,          // the graph did not fail
+  kDeviceCrash,       // a processing element died mid-query
+  kDeliveryExhausted, // an edge ran out of retransmission attempts
+  kStorageExhausted,  // a source ran out of storage-read retries
+  kDeadlineExceeded,  // cancelled because its virtual-time deadline passed
+  kCancelled,         // cancelled explicitly (not deadline-driven)
+  kOther,             // operator error, validation failure, ...
+};
+const char* FailureKindName(FailureKind kind);
+
+/// Cooperative cancellation handle shared between a query's owner (the
+/// service loop) and its DataflowGraph. Cancelling is level-triggered and
+/// first-reason-wins: once set, every graph event handler that polls the
+/// token converts the reason into a graph failure, which stops all further
+/// emission, reports completion, and lets the owner release scheduler
+/// ledger demand immediately instead of at drain.
+///
+/// The token is deliberately passive (no callbacks): all effects happen
+/// inside simulator events, so cancellation is exactly as deterministic as
+/// the event loop that observes it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. The first reason sticks; later calls are
+  /// no-ops. `reason` must be a non-OK status (kCancelled or
+  /// kDeadlineExceeded by convention).
+  void Cancel(Status reason);
+
+  bool cancelled() const { return !reason_.ok(); }
+  const Status& reason() const { return reason_; }
+
+ private:
+  Status reason_;  // OK = not cancelled
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace dflow::lifecycle
+
+#endif  // DFLOW_LIFECYCLE_CANCEL_H_

@@ -1,0 +1,190 @@
+#include "dflow/lifecycle/lifecycle.h"
+
+#include <algorithm>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::lifecycle {
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kAdmitted:
+      return "ADMITTED";
+    case QueryState::kRunning:
+      return "RUNNING";
+    case QueryState::kRetrying:
+      return "RETRYING";
+    case QueryState::kDegraded:
+      return "DEGRADED";
+    case QueryState::kDone:
+      return "DONE";
+    case QueryState::kCancelled:
+      return "CANCELLED";
+    case QueryState::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+const char* OutcomeCodeName(OutcomeCode code) {
+  switch (code) {
+    case OutcomeCode::kDone:
+      return "DONE";
+    case OutcomeCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case OutcomeCode::kCancelled:
+      return "CANCELLED";
+    case OutcomeCode::kRetryExhausted:
+      return "RETRY_EXHAUSTED";
+    case OutcomeCode::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+bool IsTerminal(QueryState state) {
+  return state == QueryState::kDone || state == QueryState::kCancelled ||
+         state == QueryState::kFailed;
+}
+
+bool LegalTransition(QueryState from, QueryState to) {
+  switch (from) {
+    case QueryState::kAdmitted:
+      // A queued query can start (possibly already degraded at admission)
+      // or be cancelled before ever launching.
+      return to == QueryState::kRunning || to == QueryState::kDegraded ||
+             to == QueryState::kCancelled;
+    case QueryState::kRunning:
+    case QueryState::kDegraded:
+      return to == QueryState::kDone || to == QueryState::kRetrying ||
+             to == QueryState::kCancelled || to == QueryState::kFailed;
+    case QueryState::kRetrying:
+      // Relaunch (on the original or a fallback placement), cancellation
+      // mid-backoff, or failure when the relaunch itself cannot start.
+      return to == QueryState::kRunning || to == QueryState::kDegraded ||
+             to == QueryState::kCancelled || to == QueryState::kFailed;
+    case QueryState::kDone:
+    case QueryState::kCancelled:
+    case QueryState::kFailed:
+      return false;  // terminal
+  }
+  return false;
+}
+
+bool RetryPolicy::Retryable(FailureKind kind) const {
+  switch (kind) {
+    case FailureKind::kDeviceCrash:
+      return retry_device_crash;
+    case FailureKind::kDeliveryExhausted:
+      return retry_delivery_exhausted;
+    case FailureKind::kStorageExhausted:
+      return retry_storage_exhausted;
+    case FailureKind::kNone:
+    case FailureKind::kDeadlineExceeded:
+    case FailureKind::kCancelled:
+    case FailureKind::kOther:
+      return false;
+  }
+  return false;
+}
+
+sim::SimTime RetryBackoffNs(const RetryPolicy& policy, uint32_t attempt,
+                            uint64_t query_id) {
+  DFLOW_CHECK(attempt >= 1);
+  if (policy.backoff_base_ns == 0) return 0;
+  const uint32_t shift = std::min<uint32_t>(attempt - 1, 32);
+  sim::SimTime backoff = policy.backoff_base_ns << shift;
+  if (backoff > policy.backoff_max_ns || backoff < policy.backoff_base_ns) {
+    backoff = policy.backoff_max_ns;
+  }
+  // SplitMix64-style hash of (seed, query, attempt): the same tuple always
+  // jitters identically, different queries de-synchronize.
+  uint64_t z = policy.jitter_seed ^ (query_id * 0x9E3779B97F4A7C15ull) ^
+               (static_cast<uint64_t>(attempt) << 32);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const sim::SimTime jitter_span = policy.backoff_base_ns / 4;
+  const sim::SimTime jitter = jitter_span == 0 ? 0 : z % (jitter_span + 1);
+  return std::min(backoff + jitter, policy.backoff_max_ns);
+}
+
+QueryRecord& LifecycleManager::Admit(uint64_t query_id,
+                                     sim::SimTime deadline_ns) {
+  auto [it, inserted] = records_.emplace(query_id, QueryRecord{});
+  DFLOW_CHECK(inserted);
+  QueryRecord& record = it->second;
+  record.query_id = query_id;
+  record.deadline_ns = deadline_ns;
+  record.token = std::make_shared<CancelToken>();
+  return record;
+}
+
+QueryRecord* LifecycleManager::Get(uint64_t query_id) {
+  auto it = records_.find(query_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const QueryRecord* LifecycleManager::Get(uint64_t query_id) const {
+  auto it = records_.find(query_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void LifecycleManager::Transition(uint64_t query_id, QueryState next) {
+  auto it = records_.find(query_id);
+  DFLOW_CHECK(it != records_.end());
+  QueryRecord& record = it->second;
+  DFLOW_CHECK(LegalTransition(record.state, next))
+      << "illegal lifecycle transition for query " << query_id << ": "
+      << QueryStateName(record.state) << " -> " << QueryStateName(next);
+  record.state = next;
+  if (IsTerminal(next)) records_.erase(it);
+}
+
+void LifecycleManager::OnLaunch(uint64_t query_id, bool degraded) {
+  auto it = records_.find(query_id);
+  DFLOW_CHECK(it != records_.end());
+  ++it->second.attempts;
+  Transition(query_id,
+             degraded ? QueryState::kDegraded : QueryState::kRunning);
+}
+
+void LifecycleManager::OnRetryScheduled(uint64_t query_id) {
+  ++retries_scheduled_;
+  Transition(query_id, QueryState::kRetrying);
+}
+
+RetryDecision LifecycleManager::Decide(uint64_t query_id,
+                                       const QueryFailure& failure) const {
+  const QueryRecord* record = Get(query_id);
+  DFLOW_CHECK(record != nullptr);
+  RetryDecision decision;
+  if (failure.kind == FailureKind::kDeadlineExceeded) {
+    decision.outcome = OutcomeCode::kDeadlineExceeded;
+    return decision;
+  }
+  if (failure.kind == FailureKind::kCancelled) {
+    decision.outcome = OutcomeCode::kCancelled;
+    return decision;
+  }
+  if (!policy_.Retryable(failure.kind)) {
+    decision.outcome = OutcomeCode::kFailed;
+    return decision;
+  }
+  // record->attempts counts launches; retry attempt n is 1-based.
+  const uint32_t retry_attempt = record->attempts;  // prior launches
+  if (retry_attempt > policy_.max_attempts ||
+      policy_.fallback_chain.empty()) {
+    decision.outcome = record->attempts > 1 ? OutcomeCode::kRetryExhausted
+                                            : OutcomeCode::kFailed;
+    return decision;
+  }
+  decision.retry = true;
+  decision.backoff_ns = RetryBackoffNs(policy_, retry_attempt, query_id);
+  const size_t chain_index =
+      std::min<size_t>(retry_attempt - 1, policy_.fallback_chain.size() - 1);
+  decision.placement = policy_.fallback_chain[chain_index];
+  return decision;
+}
+
+}  // namespace dflow::lifecycle

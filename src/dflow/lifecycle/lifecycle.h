@@ -1,0 +1,159 @@
+#ifndef DFLOW_LIFECYCLE_LIFECYCLE_H_
+#define DFLOW_LIFECYCLE_LIFECYCLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dflow/engine/engine.h"
+#include "dflow/lifecycle/cancel.h"
+#include "dflow/sim/simulator.h"
+
+namespace dflow::lifecycle {
+
+/// Per-query lifecycle state machine (DESIGN.md §7):
+///
+///   ADMITTED ──launch──> RUNNING ──ok──────────────> DONE
+///      │                  │  └──transient failure──> RETRYING ──backoff──┐
+///      │                  │         (RETRYING relaunches may run on a    │
+///      │                  │          fallback placement: DEGRADED)       │
+///      │                  ├──cancel/deadline───────> CANCELLED           │
+///      │                  └──non-retryable/chain-─-> FAILED              │
+///      │                       exhausted                                 │
+///      └──cancel/deadline while queued────────────> CANCELLED            │
+///   RUNNING/DEGRADED <───────────────────────────────────────────────────┘
+enum class QueryState : uint8_t {
+  kAdmitted = 0,
+  kRunning,
+  kRetrying,
+  kDegraded,  // running again on a fallback placement
+  kDone,
+  kCancelled,
+  kFailed,
+};
+const char* QueryStateName(QueryState state);  // "ADMITTED" / ...
+bool IsTerminal(QueryState state);
+/// Whether the state machine permits `from` -> `to` (the manager CHECKs
+/// this on every transition; exposed for the table-driven tests).
+bool LegalTransition(QueryState from, QueryState to);
+
+/// Stable terminal outcome codes. These are API: they appear in traces,
+/// reports, and CI expectations, and are deliberately distinct — a
+/// deadline miss is not an OVERLOAD shed and not a failure.
+enum class OutcomeCode : uint8_t {
+  kDone = 0,
+  kDeadlineExceeded,
+  kCancelled,
+  kRetryExhausted,  // transient failures outlasted the retry budget
+  kFailed,          // non-retryable failure
+};
+const char* OutcomeCodeName(OutcomeCode code);  // "DONE" / ...
+
+/// A structured query failure: what the executor observed, classified so
+/// the retry policy can tell transient from fatal without string-matching
+/// status messages.
+struct QueryFailure {
+  FailureKind kind = FailureKind::kOther;
+  std::string device;  // crashed device, when kind == kDeviceCrash
+  Status status;
+};
+
+/// Bounded retry-with-backoff over an ordered placement fallback chain.
+/// Attempt 0 is the original admission; retry attempt i (1-based) runs on
+/// fallback_chain[min(i-1, size-1)]. Idempotence is structural: every
+/// attempt re-plans and re-executes from the query plan, never from
+/// partial state.
+struct RetryPolicy {
+  /// Which transient failure kinds are retried. Defaults reproduce the
+  /// pre-lifecycle behaviour: an accelerator crash degrades to the
+  /// fallback chain, everything else fails the query.
+  bool retry_device_crash = true;
+  bool retry_delivery_exhausted = false;
+  bool retry_storage_exhausted = false;
+  /// Retries after the initial attempt (0 disables retrying).
+  uint32_t max_attempts = 1;
+  /// Backoff before retry attempt i: base * 2^(i-1) + jitter, capped.
+  /// 0 relaunches in the same simulator event (the legacy crash path).
+  sim::SimTime backoff_base_ns = 0;
+  sim::SimTime backoff_max_ns = 8'000'000;
+  /// Seeds the deterministic per-(query, attempt) backoff jitter so
+  /// simultaneous retries de-synchronize reproducibly.
+  uint64_t jitter_seed = 0;
+  /// Ordered placement fallback chain for retries.
+  std::vector<PlacementChoice> fallback_chain = {PlacementChoice::kCpuOnly};
+
+  bool Retryable(FailureKind kind) const;
+};
+
+/// Deterministic backoff before retry attempt `attempt` (1-based) of
+/// `query_id`: exponential in the attempt with a seeded jitter of up to
+/// 1/4 of the base, capped at backoff_max_ns. Pure function — the
+/// table-driven determinism tests enumerate it.
+sim::SimTime RetryBackoffNs(const RetryPolicy& policy, uint32_t attempt,
+                            uint64_t query_id);
+
+/// What to do about one failed attempt.
+struct RetryDecision {
+  bool retry = false;
+  sim::SimTime backoff_ns = 0;
+  PlacementChoice placement = PlacementChoice::kCpuOnly;
+  /// Terminal outcome when !retry.
+  OutcomeCode outcome = OutcomeCode::kFailed;
+};
+
+/// Book-keeping for one query from admission to a terminal state.
+struct QueryRecord {
+  uint64_t query_id = 0;
+  QueryState state = QueryState::kAdmitted;
+  /// Launch attempts so far (0 until the first launch).
+  uint32_t attempts = 0;
+  /// Absolute virtual-time deadline; 0 = none.
+  sim::SimTime deadline_ns = 0;
+  CancelTokenPtr token;
+};
+
+/// Owns the per-query records and the retry policy; validates every state
+/// transition against the machine above. Deliberately unaware of tenants,
+/// admission, and graphs — the service loop supplies those and asks this
+/// class only "what state is query q in" and "should this failure retry".
+class LifecycleManager {
+ public:
+  explicit LifecycleManager(RetryPolicy policy) : policy_(std::move(policy)) {}
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Registers an admitted query (creating its cancel token).
+  QueryRecord& Admit(uint64_t query_id, sim::SimTime deadline_ns);
+
+  /// Record access; nullptr once the query reached a terminal state (the
+  /// record is dropped to bound memory) or was never admitted.
+  QueryRecord* Get(uint64_t query_id);
+  const QueryRecord* Get(uint64_t query_id) const;
+
+  /// Moves the query to `next`, CHECK-failing on an illegal transition.
+  /// Terminal transitions erase the record and bump the outcome counters.
+  void Transition(uint64_t query_id, QueryState next);
+
+  /// Counts a launch attempt (Admit/Retrying -> Running or Degraded).
+  void OnLaunch(uint64_t query_id, bool degraded);
+
+  /// Applies the retry policy to one failed attempt at `now`.
+  RetryDecision Decide(uint64_t query_id, const QueryFailure& failure) const;
+
+  size_t live() const { return records_.size(); }
+  uint64_t retries_scheduled() const { return retries_scheduled_; }
+
+  /// Called when a retry is scheduled (Running -> Retrying).
+  void OnRetryScheduled(uint64_t query_id);
+
+ private:
+  RetryPolicy policy_;
+  std::map<uint64_t, QueryRecord> records_;
+  uint64_t retries_scheduled_ = 0;
+};
+
+}  // namespace dflow::lifecycle
+
+#endif  // DFLOW_LIFECYCLE_LIFECYCLE_H_

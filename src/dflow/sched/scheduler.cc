@@ -149,13 +149,22 @@ Result<ScheduleDecision> Scheduler::Plan(
 
 Result<IncrementalDecision> Scheduler::PlanOne(const QuerySpec& spec,
                                                const CommittedDemand& committed,
-                                               PlacementChoice choice) const {
+                                               PlacementChoice choice,
+                                               const PlacementFilter& filter)
+    const {
   DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
                          engine_->PlanVariants(spec));
   IncrementalDecision decision;
   if (choice == PlacementChoice::kAuto) {
     std::vector<RankedPlacement> healthy =
         HealthyVariants(engine_, std::move(variants));
+    if (filter) {
+      std::vector<RankedPlacement> allowed;
+      for (RankedPlacement& v : healthy) {
+        if (filter(v.placement)) allowed.push_back(std::move(v));
+      }
+      if (!allowed.empty()) healthy = std::move(allowed);
+    }
     double best_completion = 0;
     size_t best = 0;
     for (size_t v = 0; v < healthy.size(); ++v) {

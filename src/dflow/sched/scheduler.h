@@ -2,6 +2,7 @@
 #define DFLOW_SCHED_SCHEDULER_H_
 
 #include <array>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -71,12 +72,21 @@ class Scheduler {
   // The serving layer calls PlanOne at admission, Charge when the query
   // launches, and Release when it completes.
 
+  /// Vetoes candidate placements (e.g. ones whose devices have an open
+  /// circuit breaker). Applied to kAuto variant selection on top of the
+  /// health registry; like the health filter, it is advisory — when it
+  /// rejects every candidate the unfiltered list is kept, so PlanOne
+  /// always returns a plan and the caller decides whether to launch it.
+  using PlacementFilter = std::function<bool(const Placement&)>;
+
   /// Picks the variant with the lowest contended completion estimate given
   /// what is already committed. kCpuOnly / kFullOffload force the extreme
-  /// plan (still costed, for the ledger). Does not mutate `committed`.
+  /// plan (still costed, for the ledger; the filter is not applied to a
+  /// forced choice). Does not mutate `committed`.
   Result<IncrementalDecision> PlanOne(
       const QuerySpec& spec, const CommittedDemand& committed,
-      PlacementChoice choice = PlacementChoice::kAuto) const;
+      PlacementChoice choice = PlacementChoice::kAuto,
+      const PlacementFilter& filter = nullptr) const;
 
   /// Adds / removes a query's estimated demand to / from the ledger.
   void Charge(const CostEstimate& cost, CommittedDemand* committed) const;

@@ -10,6 +10,8 @@ const char* RejectCodeName(RejectCode code) {
       return "QUEUE_FULL";
     case RejectCode::kOverload:
       return "OVERLOAD";
+    case RejectCode::kBrownout:
+      return "BROWNOUT";
   }
   return "UNKNOWN";
 }
@@ -72,6 +74,19 @@ void AdmissionController::OnCompletion(size_t tenant) {
   DFLOW_CHECK(in_flight_[tenant] > 0 && in_flight_total_ > 0);
   --in_flight_[tenant];
   --in_flight_total_;
+}
+
+std::optional<Ticket> AdmissionController::CancelQueued(uint64_t query_id) {
+  for (std::deque<Ticket>& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->query_id != query_id) continue;
+      Ticket ticket = *it;
+      queue.erase(it);
+      --queued_total_;
+      return ticket;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace dflow::serve

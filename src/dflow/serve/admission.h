@@ -16,8 +16,10 @@ namespace dflow::serve {
 enum class RejectCode {
   kQueueFull,  // the tenant's bounded queue is at capacity
   kOverload,   // the global waiting-query budget is exhausted
+  kBrownout,   // the brownout ladder is shedding this priority class
 };
-const char* RejectCodeName(RejectCode code);  // "QUEUE_FULL" / "OVERLOAD"
+// "QUEUE_FULL" / "OVERLOAD" / "BROWNOUT"
+const char* RejectCodeName(RejectCode code);
 
 struct AdmissionConfig {
   /// Queries executing concurrently on the fabric, across all tenants.
@@ -59,6 +61,10 @@ class AdmissionController {
 
   /// A query finished (or was failed); frees its in-flight slot.
   void OnCompletion(size_t tenant);
+
+  /// Removes a still-queued ticket (deadline hit or explicit cancel before
+  /// launch). Returns the ticket if it was found waiting.
+  std::optional<Ticket> CancelQueued(uint64_t query_id);
 
   size_t queued(size_t tenant) const { return queues_[tenant].size(); }
   size_t queued_total() const { return queued_total_; }

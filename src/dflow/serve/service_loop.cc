@@ -4,8 +4,21 @@
 #include <utility>
 
 #include "dflow/common/logging.h"
+#include "dflow/exec/invariants.h"
 
 namespace dflow::serve {
+
+namespace {
+
+// The legacy degrade_on_crash knob predates LifecyclePolicy; map it onto
+// the retry policy so old callers keep their exact semantics.
+lifecycle::RetryPolicy EffectiveRetryPolicy(const ServiceConfig& config) {
+  lifecycle::RetryPolicy retry = config.lifecycle.retry;
+  if (!config.degrade_on_crash) retry.retry_device_crash = false;
+  return retry;
+}
+
+}  // namespace
 
 ServiceLoop::ServiceLoop(Engine* engine, std::vector<TenantConfig> tenants,
                          ServiceConfig config)
@@ -14,7 +27,10 @@ ServiceLoop::ServiceLoop(Engine* engine, std::vector<TenantConfig> tenants,
       config_(config),
       driver_(tenants_, config.seed, config.horizon_ns),
       admission_(config.admission, &tenants_),
-      scheduler_(engine) {
+      scheduler_(engine),
+      lifecycle_(EffectiveRetryPolicy(config)),
+      breakers_(config.lifecycle.breaker),
+      brownout_(config.lifecycle.brownout) {
   DFLOW_CHECK(engine != nullptr && !tenants_.empty());
   stats_.resize(tenants_.size());
   latencies_.resize(tenants_.size());
@@ -42,6 +58,14 @@ Result<ServiceResult> ServiceLoop::Run() {
       sim.ScheduleAt(a.at, [this, a] { OnArrival(a, /*closed_loop=*/true); });
     }
   }
+  for (const CancelRequest& cancel : config_.cancel_schedule) {
+    const uint64_t id = cancel.query_id;
+    sim.ScheduleAt(cancel.at_ns, [this, id] {
+      if (!failure_.ok()) return;
+      CancelQuery(id, Status::Cancelled("query " + std::to_string(id) +
+                                        " cancelled by schedule"));
+    });
+  }
 
   const bool drained = sim.RunWithLimit(config_.max_events);
   DFLOW_RETURN_NOT_OK(failure_);
@@ -54,10 +78,34 @@ Result<ServiceResult> ServiceLoop::Run() {
                             std::to_string(active_.size()) +
                             " queries still marked active");
   }
+  // Conservation at drain: every launch charged the ledger exactly once
+  // and every terminal attempt released it exactly once — a crash retry
+  // that double-charged (or a cancellation that leaked its release) shows
+  // up here as residual demand.
+  DFLOW_INVARIANT(pending_retries_.empty(),
+                  "service drained with retries still pending backoff");
+  DFLOW_INVARIANT(ledger_charges_ == ledger_releases_,
+                  "scheduler ledger: " + std::to_string(ledger_charges_) +
+                      " charges vs " + std::to_string(ledger_releases_) +
+                      " releases");
+  DFLOW_INVARIANT(committed_.network_users == 0,
+                  "scheduler ledger: " +
+                      std::to_string(committed_.network_users) +
+                      " network users still committed at drain");
+  DFLOW_INVARIANTS_ONLY({
+    double residual = committed_.network_ns + committed_.network_bytes;
+    for (int s = 0; s < kNumSites; ++s) residual += committed_.site_busy_ns[s];
+    DFLOW_INVARIANT(residual <= 1e-3,
+                    "scheduler ledger: residual committed demand " +
+                        std::to_string(residual) + " at drain");
+  });
 
   ServiceResult result;
   ServiceReport& report = result.service;
-  report.makespan_ns = sim.now();
+  // Not sim.now(): a stale deadline event for a query that already
+  // finished is a no-op far in the virtual future and must not pad the
+  // reported makespan.
+  report.makespan_ns = last_activity_ns_;
   report.peak_in_flight = peak_in_flight_;
   std::vector<sim::SimTime> all_latencies;
   for (size_t t = 0; t < tenants_.size(); ++t) {
@@ -67,24 +115,47 @@ Result<ServiceResult> ServiceLoop::Run() {
     ts.p99_ns = PercentileNs(latencies_[t], 0.99);
     report.arrivals_total += ts.arrivals;
     report.admitted_total += ts.admitted;
-    report.shed_total += ts.shed_queue_full + ts.shed_overload;
+    report.shed_total +=
+        ts.shed_queue_full + ts.shed_overload + ts.shed_brownout;
     report.completed_total += ts.completed;
     report.failed_total += ts.failed;
     report.degraded_total += ts.degraded;
+    report.deadline_missed_total += ts.deadline_missed;
+    report.cancelled_total += ts.cancelled;
+    report.retries_total += ts.retries;
+    report.retry_exhausted_total += ts.retry_exhausted;
+    report.shed_brownout_total += ts.shed_brownout;
     all_latencies.insert(all_latencies.end(), latencies_[t].begin(),
                          latencies_[t].end());
     report.tenants.push_back(ts);
   }
   report.p99_ns = PercentileNs(std::move(all_latencies), 0.99);
+  report.breaker_transitions = breakers_.transitions_total();
+  report.breaker_probes = breakers_.probes_total();
+  report.brownout_escalations = brownout_.escalations();
+  report.brownout_peak_level =
+      static_cast<uint64_t>(brownout_.peak_level());
   result.fabric = CollectFabricReport();
   result.fabric.fault.cpu_fallback = report.degraded_total > 0;
   result.fabric.fault.failed_device = first_failed_device_;
   result.fabric.result_rows = 0;
   for (const auto& [id, st] : finished_) {
-    (void)id;
+    uint64_t rows = 0;
     for (const DataChunk& c : graphs_[st.first]->sink_chunks(st.second)) {
-      result.fabric.result_rows += c.num_rows();
+      rows += c.num_rows();
     }
+    result.fabric.result_rows += rows;
+    auto out = outcomes_.find(id);
+    if (out != outcomes_.end()) {
+      out->second.result_rows = rows;
+      if (config_.collect_results) {
+        out->second.chunks = graphs_[st.first]->sink_chunks(st.second);
+      }
+    }
+  }
+  for (auto& [id, outcome] : outcomes_) {
+    (void)id;
+    result.outcomes.push_back(std::move(outcome));
   }
   return result;
 }
@@ -92,6 +163,7 @@ Result<ServiceResult> ServiceLoop::Run() {
 void ServiceLoop::OnArrival(const Arrival& arrival, bool closed_loop) {
   if (!failure_.ok()) return;
   const sim::SimTime now = engine_->fabric().simulator().now();
+  last_activity_ns_ = now;
   Ticket ticket;
   ticket.query_id = next_query_id_++;
   ticket.tenant = arrival.tenant;
@@ -101,12 +173,31 @@ void ServiceLoop::OnArrival(const Arrival& arrival, bool closed_loop) {
 
   TenantStats& ts = stats_[arrival.tenant];
   ++ts.arrivals;
-  const std::string& tenant_name = tenants_[arrival.tenant].name;
+  const TenantConfig& tenant = tenants_[arrival.tenant];
   const std::string& template_name =
-      tenants_[arrival.tenant].templates[arrival.template_index].name;
+      tenant.templates[arrival.template_index].name;
   DFLOW_TRACE(engine_->tracer(),
-              Instant("serve", "tenant:" + tenant_name, "arrival", now,
+              Instant("serve", "tenant:" + tenant.name, "arrival", now,
                       ticket.query_id, template_name));
+
+  // Brownout shedding precedes queueing: at SHED_LOW_PRIORITY the ladder
+  // drops low-priority arrivals, at PROBES_ONLY it drops everything (the
+  // probes it still admits are launches of already-queued queries).
+  const lifecycle::BrownoutLevel level = brownout_.level();
+  if (config_.lifecycle.brownout.enabled &&
+      (level == lifecycle::BrownoutLevel::kProbesOnly ||
+       (level >= lifecycle::BrownoutLevel::kShedLowPriority &&
+        tenant.priority >= config_.lifecycle.brownout.shed_priority_min))) {
+    ++ts.shed_brownout;
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("serve", "tenant:" + tenant.name,
+                        std::string("shed:") +
+                            RejectCodeName(RejectCode::kBrownout),
+                        now, ticket.query_id, template_name));
+    if (closed_loop) ScheduleReissue(arrival.tenant);
+    UpdateBrownout();
+    return;
+  }
 
   if (std::optional<RejectCode> rejected = admission_.Offer(ticket)) {
     if (*rejected == RejectCode::kQueueFull) {
@@ -115,20 +206,42 @@ void ServiceLoop::OnArrival(const Arrival& arrival, bool closed_loop) {
       ++ts.shed_overload;
     }
     DFLOW_TRACE(engine_->tracer(),
-                Instant("serve", "tenant:" + tenant_name,
+                Instant("serve", "tenant:" + tenant.name,
                         std::string("shed:") + RejectCodeName(*rejected), now,
                         ticket.query_id, template_name));
     // A shed closed-loop client backs off a think time and tries again.
     if (closed_loop) ScheduleReissue(arrival.tenant);
+    UpdateBrownout();
     return;
   }
+  // Accepted into the lifecycle: create the record (and cancel token) and
+  // arm the absolute virtual-time deadline.
+  const sim::SimTime deadline =
+      tenant.deadline_ns == 0 ? 0 : now + tenant.deadline_ns;
+  lifecycle_.Admit(ticket.query_id, deadline);
+  if (deadline > 0) {
+    const uint64_t id = ticket.query_id;
+    engine_->fabric().simulator().ScheduleAt(deadline,
+                                             [this, id] { OnDeadline(id); });
+  }
+  UpdateBrownout();
   EmitQueueDepth(arrival.tenant);
   DrainRunnable();
 }
 
 void ServiceLoop::DrainRunnable() {
-  while (std::optional<Ticket> ticket = admission_.PopRunnable()) {
-    const Status started = StartQuery(*ticket, /*degraded_restart=*/false);
+  while (true) {
+    // PROBES_ONLY serves at concurrency one: the single launch doubles as
+    // the breaker probe, and completions keep re-entering this loop, so
+    // the queue drains (slowly) instead of deadlocking.
+    if (brownout_.level() == lifecycle::BrownoutLevel::kProbesOnly &&
+        admission_.in_flight_total() >= 1) {
+      break;
+    }
+    std::optional<Ticket> ticket = admission_.PopRunnable();
+    if (!ticket.has_value()) break;
+    const Status started = StartQuery(*ticket, /*is_retry=*/false,
+                                      PlacementChoice::kCpuOnly);
     if (!started.ok()) {
       failure_ = started;
       return;
@@ -143,18 +256,55 @@ void ServiceLoop::DrainRunnable() {
                       admission_.in_flight_total()));
 }
 
-Status ServiceLoop::StartQuery(const Ticket& ticket, bool degraded_restart) {
+Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
+                               PlacementChoice retry_placement) {
   const sim::SimTime now = engine_->fabric().simulator().now();
   const TenantConfig& tenant = tenants_[ticket.tenant];
   const TemplateMix& tmpl = tenant.templates[ticket.template_index];
   TenantStats& ts = stats_[ticket.tenant];
+  const lifecycle::QueryRecord* record = lifecycle_.Get(ticket.query_id);
+  DFLOW_CHECK(record != nullptr);
 
-  // Re-plan against the live demand ledger on every admission; a restart
-  // after an accelerator crash is pinned to the CPU-only data path.
-  PlacementChoice choice =
-      degraded_restart ? PlacementChoice::kCpuOnly : config_.placement;
-  DFLOW_ASSIGN_OR_RETURN(IncrementalDecision decision,
-                         scheduler_.PlanOne(tmpl.spec, committed_, choice));
+  // A query popped at (or past) its deadline is a miss, not a launch.
+  if (record->deadline_ns > 0 && now >= record->deadline_ns) {
+    ++ts.deadline_missed;
+    ++deadline_missed_total_;
+    RecordOutcome(ticket, lifecycle::OutcomeCode::kDeadlineExceeded,
+                  record->attempts);
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("lifecycle", "tenant:" + tenant.name,
+                        "deadline_exceeded", now, ticket.query_id,
+                        "missed before launch"));
+    lifecycle_.Transition(ticket.query_id, lifecycle::QueryState::kCancelled);
+    FinishSlot(ticket);
+    return Status::OK();
+  }
+
+  // Placement choice: a retry is pinned to its fallback-chain entry; a
+  // brownout at FORCE_CHEAP or above pins fresh launches to the cheapest
+  // (CPU-only) data path.
+  PlacementChoice choice = is_retry ? retry_placement : config_.placement;
+  if (!is_retry &&
+      brownout_.level() >= lifecycle::BrownoutLevel::kForceCheap &&
+      choice != PlacementChoice::kCpuOnly) {
+    choice = PlacementChoice::kCpuOnly;
+  }
+
+  // Re-plan against the live demand ledger on every launch. Open-breaker
+  // devices are vetoed from kAuto variant selection.
+  Scheduler::PlacementFilter filter;
+  if (breakers_.enabled() && choice == PlacementChoice::kAuto) {
+    filter = [this, now](const Placement& placement) {
+      for (const std::string& dev :
+           engine_->PlacementDevices(placement, /*node=*/0)) {
+        if (!breakers_.Allows(dev, now)) return false;
+      }
+      return true;
+    };
+  }
+  DFLOW_ASSIGN_OR_RETURN(
+      IncrementalDecision decision,
+      scheduler_.PlanOne(tmpl.spec, committed_, choice, filter));
   bool degraded_at_admission = false;
   if (!engine_->PlacementHealthy(decision.placement, /*node=*/0) &&
       choice != PlacementChoice::kCpuOnly) {
@@ -165,7 +315,27 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool degraded_restart) {
         scheduler_.PlanOne(tmpl.spec, committed_, PlacementChoice::kCpuOnly));
     degraded_at_admission = true;
   }
+  if (breakers_.enabled() && choice != PlacementChoice::kCpuOnly) {
+    // Breaker veto on the final placement (forced choices bypass the kAuto
+    // filter): fall back to the CPU-only plan as the deterministic last
+    // resort rather than feeding a tripping device.
+    bool blocked = false;
+    for (const std::string& dev :
+         engine_->PlacementDevices(decision.placement, /*node=*/0)) {
+      if (!breakers_.Allows(dev, now)) {
+        blocked = true;
+        break;
+      }
+    }
+    if (blocked) {
+      DFLOW_ASSIGN_OR_RETURN(decision,
+                             scheduler_.PlanOne(tmpl.spec, committed_,
+                                                PlacementChoice::kCpuOnly));
+      degraded_at_admission = true;
+    }
+  }
   scheduler_.Charge(decision.cost, &committed_);
+  ++ledger_charges_;
 
   graphs_.push_back(
       std::make_unique<DataflowGraph>(&engine_->fabric().simulator()));
@@ -200,22 +370,37 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool degraded_restart) {
   st.cost = decision.cost;
   st.variant = decision.placement.name;
   st.template_name = tmpl.name;
-  st.degraded = degraded_restart || degraded_at_admission;
+  st.degraded = is_retry || degraded_at_admission;
+  st.devices = engine_->PlacementDevices(decision.placement, /*node=*/0);
+  if (breakers_.enabled()) {
+    for (const std::string& dev : st.devices) {
+      if (breakers_.state(dev, now) == lifecycle::BreakerState::kHalfOpen &&
+          breakers_.BeginProbe(dev, now)) {
+        st.probe_device = dev;
+        DFLOW_TRACE(engine_->tracer(),
+                    Instant("lifecycle", "breaker:" + dev, "probe", now,
+                            ticket.query_id, label));
+        break;  // one probe per launch
+      }
+    }
+  }
   active_.emplace(ticket.query_id, std::move(st));
 
-  if (degraded_restart || degraded_at_admission) {
+  if (is_retry || degraded_at_admission) {
     ++ts.degraded;
   }
-  if (!degraded_restart) {
+  if (!is_retry) {
     ++ts.admitted;
     if (now > ticket.arrival_ns) ++ts.queued;
   }
+  lifecycle_.OnLaunch(ticket.query_id, is_retry || degraded_at_admission);
   DFLOW_TRACE(engine_->tracer(),
               Instant("serve", "tenant:" + tenant.name, "admit", now,
                       ticket.query_id,
                       decision.placement.name + " (" + decision.rationale +
                           ")"));
 
+  graph->SetCancelToken(record->token);
   const uint64_t query_id = ticket.query_id;
   graph->SetCompletionCallback([this, query_id](const Status& status) {
     OnQueryDone(query_id, status);
@@ -229,49 +414,271 @@ void ServiceLoop::OnQueryDone(uint64_t query_id, const Status& status) {
   DFLOW_CHECK(it != active_.end());
   QueryState st = std::move(it->second);
   active_.erase(it);
-  finished_.emplace(query_id,
-                    std::make_pair(st.graph_index, st.pipeline.sink));
 
   const sim::SimTime now = engine_->fabric().simulator().now();
+  last_activity_ns_ = now;
   const size_t tenant = st.ticket.tenant;
   const std::string& tenant_name = tenants_[tenant].name;
   TenantStats& ts = stats_[tenant];
+  // Release this attempt's demand immediately — also on cancellation and
+  // deadline, which is the whole point: a cancelled query frees its
+  // scheduler ledger at cancel time, not at drain.
   scheduler_.Release(st.cost, &committed_);
+  ++ledger_releases_;
+
+  const lifecycle::QueryRecord* record = lifecycle_.Get(query_id);
+  DFLOW_CHECK(record != nullptr);
+  const uint32_t attempts = record->attempts;
 
   if (status.ok()) {
+    // Success feedback to every device the placement ran on (closes a
+    // half-open breaker's probe, clears failure streaks).
+    for (const std::string& dev : st.devices) {
+      breakers_.RecordSuccess(dev, now);
+    }
+    lifecycle_.Transition(query_id, lifecycle::QueryState::kDone);
+    finished_[query_id] = std::make_pair(st.graph_index, st.pipeline.sink);
+    RecordOutcome(st.ticket, lifecycle::OutcomeCode::kDone, attempts);
     ++ts.completed;
     latencies_[tenant].push_back(now - st.ticket.arrival_ns);
     DFLOW_TRACE(engine_->tracer(),
                 Span("serve", "tenant:" + tenant_name, st.template_name,
                      st.ticket.arrival_ns, now, query_id, st.variant));
-  } else {
-    const std::string& dev = graphs_[st.graph_index]->failed_device();
-    if (!dev.empty()) {
-      engine_->MarkDeviceUnhealthy(dev);
-      if (first_failed_device_.empty()) first_failed_device_ = dev;
-      DFLOW_TRACE(engine_->tracer(),
-                  Instant("serve", "tenant:" + tenant_name, "device_crash",
-                          now, query_id, dev));
-    }
-    if (config_.degrade_on_crash && !dev.empty() && !st.degraded) {
-      // The accelerator died under this query: keep its admission slot
-      // and relaunch it on the CPU-only plan. Queued queries are
-      // untouched — they re-plan around the quarantined device when
-      // their turn comes.
-      const Status restarted =
-          StartQuery(st.ticket, /*degraded_restart=*/true);
-      if (!restarted.ok()) failure_ = restarted;
-      return;
-    }
-    ++ts.failed;
-    DFLOW_TRACE(engine_->tracer(),
-                Instant("serve", "tenant:" + tenant_name, "query_failed", now,
-                        query_id, status.ToString()));
+    FinishSlot(st.ticket);
+    return;
   }
 
-  admission_.OnCompletion(tenant);
-  if (st.ticket.closed_loop) ScheduleReissue(tenant);
+  // Failed attempt: classify structurally (no status-string matching).
+  DataflowGraph* graph = graphs_[st.graph_index].get();
+  lifecycle::QueryFailure failure;
+  failure.kind = graph->failure_kind();
+  failure.device = graph->failed_device();
+  failure.status = status;
+
+  if (failure.kind == lifecycle::FailureKind::kDeviceCrash &&
+      !failure.device.empty()) {
+    breakers_.RecordFailure(failure.device, now);
+    if (config_.lifecycle.quarantine_on_crash) {
+      engine_->MarkDeviceUnhealthy(failure.device);
+    }
+    if (first_failed_device_.empty()) first_failed_device_ = failure.device;
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("serve", "tenant:" + tenant_name, "device_crash",
+                        now, query_id, failure.device));
+  }
+  if (!st.probe_device.empty() && st.probe_device != failure.device) {
+    // The probe query died of an unrelated cause; free the probe slot
+    // conservatively (counts as a failed probe, re-opening the breaker).
+    breakers_.RecordFailure(st.probe_device, now);
+  }
+
+  const lifecycle::RetryDecision decision = lifecycle_.Decide(query_id, failure);
+  if (decision.retry) {
+    lifecycle_.OnRetryScheduled(query_id);
+    ++ts.retries;
+    DFLOW_TRACE(
+        engine_->tracer(),
+        Instant("lifecycle", "tenant:" + tenant_name, "retry", now, query_id,
+                std::string(lifecycle::FailureKindName(failure.kind)) +
+                    " backoff=" + std::to_string(decision.backoff_ns) + "ns"));
+    // The query keeps its admission slot across the retry; queued queries
+    // are untouched — they re-plan around the unhealthy device when their
+    // turn comes.
+    if (decision.backoff_ns == 0) {
+      // Immediate relaunch in the same event (the legacy crash path).
+      const Status restarted =
+          StartQuery(st.ticket, /*is_retry=*/true, decision.placement);
+      if (!restarted.ok()) failure_ = restarted;
+    } else {
+      PendingRetry pending;
+      pending.ticket = st.ticket;
+      pending.placement = decision.placement;
+      pending_retries_.emplace(query_id, std::move(pending));
+      engine_->fabric().simulator().ScheduleAt(
+          now + decision.backoff_ns, [this, query_id] { LaunchRetry(query_id); });
+    }
+    return;
+  }
+
+  // Terminal failure: distinct stable outcome codes, not one bucket.
+  finished_[query_id] = std::make_pair(st.graph_index, st.pipeline.sink);
+  RecordOutcome(st.ticket, decision.outcome, attempts);
+  lifecycle::QueryState terminal = lifecycle::QueryState::kFailed;
+  switch (decision.outcome) {
+    case lifecycle::OutcomeCode::kDeadlineExceeded:
+      ++ts.deadline_missed;
+      ++deadline_missed_total_;
+      terminal = lifecycle::QueryState::kCancelled;
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("lifecycle", "tenant:" + tenant_name,
+                          "deadline_exceeded", now, query_id,
+                          status.ToString()));
+      break;
+    case lifecycle::OutcomeCode::kCancelled:
+      ++ts.cancelled;
+      terminal = lifecycle::QueryState::kCancelled;
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("lifecycle", "tenant:" + tenant_name, "cancelled",
+                          now, query_id, status.ToString()));
+      break;
+    case lifecycle::OutcomeCode::kRetryExhausted:
+      ++ts.retry_exhausted;
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("lifecycle", "tenant:" + tenant_name,
+                          "retry_exhausted", now, query_id,
+                          status.ToString()));
+      break;
+    case lifecycle::OutcomeCode::kDone:
+    case lifecycle::OutcomeCode::kFailed:
+      ++ts.failed;
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("serve", "tenant:" + tenant_name, "query_failed",
+                          now, query_id, status.ToString()));
+      break;
+  }
+  lifecycle_.Transition(query_id, terminal);
+  FinishSlot(st.ticket);
+}
+
+void ServiceLoop::OnDeadline(uint64_t query_id) {
+  if (!failure_.ok()) return;
+  CancelQuery(query_id,
+              Status::DeadlineExceeded("query " + std::to_string(query_id) +
+                                       " passed its deadline"));
+}
+
+void ServiceLoop::CancelQuery(uint64_t query_id, Status reason) {
+  const lifecycle::QueryRecord* record = lifecycle_.Get(query_id);
+  if (record == nullptr) return;  // already terminal
+  const bool deadline = reason.IsDeadlineExceeded();
+  const sim::SimTime now = engine_->fabric().simulator().now();
+  last_activity_ns_ = now;
+  switch (record->state) {
+    case lifecycle::QueryState::kAdmitted: {
+      // Still queued: drop the ticket before it ever launches.
+      std::optional<Ticket> ticket = admission_.CancelQueued(query_id);
+      DFLOW_CHECK(ticket.has_value());
+      TenantStats& ts = stats_[ticket->tenant];
+      if (deadline) {
+        ++ts.deadline_missed;
+        ++deadline_missed_total_;
+      } else {
+        ++ts.cancelled;
+      }
+      RecordOutcome(*ticket,
+                    deadline ? lifecycle::OutcomeCode::kDeadlineExceeded
+                             : lifecycle::OutcomeCode::kCancelled,
+                    /*attempts=*/0);
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("lifecycle",
+                          "tenant:" + tenants_[ticket->tenant].name,
+                          deadline ? "deadline_exceeded" : "cancelled", now,
+                          query_id, "while queued"));
+      lifecycle_.Transition(query_id, lifecycle::QueryState::kCancelled);
+      ++terminal_total_;
+      UpdateBrownout();
+      EmitQueueDepth(ticket->tenant);
+      if (ticket->closed_loop) ScheduleReissue(ticket->tenant);
+      break;
+    }
+    case lifecycle::QueryState::kRetrying: {
+      // Waiting out a retry backoff: the scheduled relaunch becomes a
+      // no-op once the pending entry is gone.
+      auto it = pending_retries_.find(query_id);
+      DFLOW_CHECK(it != pending_retries_.end());
+      const Ticket ticket = it->second.ticket;
+      pending_retries_.erase(it);
+      TenantStats& ts = stats_[ticket.tenant];
+      if (deadline) {
+        ++ts.deadline_missed;
+        ++deadline_missed_total_;
+      } else {
+        ++ts.cancelled;
+      }
+      RecordOutcome(ticket,
+                    deadline ? lifecycle::OutcomeCode::kDeadlineExceeded
+                             : lifecycle::OutcomeCode::kCancelled,
+                    record->attempts);
+      DFLOW_TRACE(engine_->tracer(),
+                  Instant("lifecycle", "tenant:" + tenants_[ticket.tenant].name,
+                          deadline ? "deadline_exceeded" : "cancelled", now,
+                          query_id, "during retry backoff"));
+      lifecycle_.Transition(query_id, lifecycle::QueryState::kCancelled);
+      FinishSlot(ticket);
+      break;
+    }
+    case lifecycle::QueryState::kRunning:
+    case lifecycle::QueryState::kDegraded: {
+      // Running on the fabric: set the token (so in-flight graph events
+      // observe it) and fail the graph now; its completion callback runs
+      // synchronously and does all terminal accounting.
+      auto it = active_.find(query_id);
+      DFLOW_CHECK(it != active_.end());
+      record->token->Cancel(reason);
+      graphs_[it->second.graph_index]->Cancel(std::move(reason));
+      break;
+    }
+    case lifecycle::QueryState::kDone:
+    case lifecycle::QueryState::kCancelled:
+    case lifecycle::QueryState::kFailed:
+      break;  // unreachable: terminal records are erased
+  }
+}
+
+void ServiceLoop::LaunchRetry(uint64_t query_id) {
+  if (!failure_.ok()) return;
+  auto it = pending_retries_.find(query_id);
+  if (it == pending_retries_.end()) return;  // cancelled during backoff
+  last_activity_ns_ = engine_->fabric().simulator().now();
+  const PendingRetry pending = std::move(it->second);
+  pending_retries_.erase(it);
+  const Status restarted =
+      StartQuery(pending.ticket, /*is_retry=*/true, pending.placement);
+  if (!restarted.ok()) failure_ = restarted;
+}
+
+void ServiceLoop::FinishSlot(const Ticket& ticket) {
+  ++terminal_total_;
+  admission_.OnCompletion(ticket.tenant);
+  UpdateBrownout();
+  if (ticket.closed_loop) ScheduleReissue(ticket.tenant);
   DrainRunnable();
+}
+
+void ServiceLoop::RecordOutcome(const Ticket& ticket,
+                                lifecycle::OutcomeCode outcome,
+                                uint32_t attempts) {
+  ServiceResult::QueryOutcome rec;
+  rec.query_id = ticket.query_id;
+  rec.tenant = ticket.tenant;
+  rec.template_name =
+      tenants_[ticket.tenant].templates[ticket.template_index].name;
+  rec.outcome = outcome;
+  rec.attempts = attempts;
+  outcomes_.emplace(ticket.query_id, std::move(rec));
+}
+
+void ServiceLoop::UpdateBrownout() {
+  if (!config_.lifecycle.brownout.enabled) return;
+  const sim::SimTime now = engine_->fabric().simulator().now();
+  lifecycle::BrownoutSignals signals;
+  signals.queue_fraction =
+      config_.admission.global_queue_capacity == 0
+          ? 0.0
+          : static_cast<double>(admission_.queued_total()) /
+                static_cast<double>(config_.admission.global_queue_capacity);
+  signals.deadline_misses = deadline_missed_total_;
+  signals.terminals = terminal_total_;
+  signals.open_breakers = breakers_.open_count(now);
+  const lifecycle::BrownoutLevel before = brownout_.level();
+  const lifecycle::BrownoutLevel after = brownout_.Update(signals, now);
+  if (after != before) {
+    DFLOW_TRACE(engine_->tracer(),
+                Instant("lifecycle", "brownout", lifecycle::BrownoutLevelName(after),
+                        now, static_cast<uint64_t>(after),
+                        std::string("from ") +
+                            lifecycle::BrownoutLevelName(before)));
+  }
 }
 
 void ServiceLoop::ScheduleReissue(size_t tenant) {
@@ -298,7 +705,9 @@ ExecutionReport ServiceLoop::CollectFabricReport() const {
   sim::Fabric& fabric = engine_->fabric();
   ExecutionReport report;
   report.variant = "service";
-  report.sim_ns = fabric.simulator().now();
+  // Time of the last real service action (stale no-op deadline events in
+  // the far future do not count).
+  report.sim_ns = last_activity_ns_;
   report.media_bytes = fabric.store_media()->bytes_processed();
   report.network_bytes = fabric.storage_uplink()->bytes_transferred();
   report.interconnect_bytes = fabric.node(0).interconnect->bytes_transferred();

@@ -8,12 +8,37 @@
 #include <vector>
 
 #include "dflow/engine/engine.h"
+#include "dflow/lifecycle/breaker.h"
+#include "dflow/lifecycle/brownout.h"
+#include "dflow/lifecycle/lifecycle.h"
 #include "dflow/sched/scheduler.h"
 #include "dflow/serve/admission.h"
 #include "dflow/serve/service_report.h"
 #include "dflow/serve/workload.h"
 
 namespace dflow::serve {
+
+/// Query-lifecycle policy of one service run (DESIGN.md §7). The defaults
+/// reproduce the pre-lifecycle serving behaviour exactly: a device crash
+/// gets one immediate CPU-only retry and a permanent quarantine, there are
+/// no deadlines, and breakers and the brownout ladder are off.
+struct LifecyclePolicy {
+  lifecycle::RetryPolicy retry;
+  lifecycle::BreakerConfig breaker;
+  lifecycle::BrownoutConfig brownout;
+  /// Permanently quarantine a crashed device in the engine's health
+  /// registry (the PR 1 policy). Turn off when breakers are enabled — a
+  /// breaker re-probes a flapping device instead of writing it off.
+  bool quarantine_on_crash = true;
+};
+
+/// An externally scheduled cancellation (tests / the chaos bench): cancel
+/// `query_id` at virtual time `at_ns`, wherever the query is at that
+/// moment — still queued, in retry backoff, or running on the fabric.
+struct CancelRequest {
+  sim::SimTime at_ns = 0;
+  uint64_t query_id = 0;
+};
 
 struct ServiceConfig {
   /// Seeds every arrival / mix RNG stream (per tenant, derived).
@@ -26,10 +51,18 @@ struct ServiceConfig {
   /// whole service to one data path (the bench sweeps both).
   PlacementChoice placement = PlacementChoice::kAuto;
   AdmissionConfig admission;
-  /// Re-admit a query CPU-only when its accelerator crashes mid-run
-  /// (instead of failing it); the crashed device is quarantined either
-  /// way.
+  /// Legacy knob, kept for callers that predate LifecyclePolicy: when
+  /// false, device crashes are not retried (lifecycle.retry's
+  /// retry_device_crash is forced off).
   bool degrade_on_crash = true;
+  /// Deadlines, retries, breakers, brownout (defaults = legacy behaviour).
+  LifecyclePolicy lifecycle;
+  /// Explicit cancellations to inject at fixed virtual times.
+  std::vector<CancelRequest> cancel_schedule;
+  /// Copy each terminal attempt's sink chunks into its QueryOutcome (the
+  /// chaos oracle fingerprints them against a fault-free reference). Off
+  /// by default: serving benches only need the counts.
+  bool collect_results = false;
   /// Event budget for the whole service run.
   uint64_t max_events = 200'000'000;
 };
@@ -40,11 +73,32 @@ struct ServiceResult {
   /// bytes per data-path segment, device busy time, aggregated fault
   /// counters across all per-query graphs.
   ExecutionReport fabric;
+
+  /// Terminal record of one admitted query — what the chaos lanes
+  /// fingerprint over (retried queries must land on the same rows as a
+  /// fault-free reference run of the same plan).
+  struct QueryOutcome {
+    uint64_t query_id = 0;
+    size_t tenant = 0;
+    std::string template_name;
+    lifecycle::OutcomeCode outcome = lifecycle::OutcomeCode::kDone;
+    /// Launch attempts consumed (1 = no retries; 0 = cancelled while
+    /// queued).
+    uint32_t attempts = 0;
+    /// Rows the terminal attempt delivered to its sink.
+    uint64_t result_rows = 0;
+    /// The sink chunks themselves; only when collect_results is set.
+    std::vector<DataChunk> chunks;
+  };
+  /// Every query that entered the lifecycle, ordered by query id.
+  std::vector<QueryOutcome> outcomes;
 };
 
 /// The virtual-time query service: wires the workload driver, the
-/// admission controller, the incremental scheduler, and per-query
-/// dataflow graphs onto one shared fabric simulation.
+/// admission controller, the incremental scheduler, the lifecycle manager
+/// (deadlines, cancellation, retries), per-device circuit breakers, the
+/// brownout ladder, and per-query dataflow graphs onto one shared fabric
+/// simulation.
 ///
 /// Every admitted query runs as its own DataflowGraph on the engine's
 /// simulator, so one query's failure (crashed accelerator, delivery
@@ -69,12 +123,38 @@ class ServiceLoop {
     std::string variant;
     std::string template_name;
     bool degraded = false;
+    /// Devices the placement runs on — circuit-breaker feedback targets.
+    std::vector<std::string> devices;
+    /// Set when this launch took a half-open breaker's probe slot.
+    std::string probe_device;
+  };
+  /// A retry waiting out its backoff (slot retained; cancellable).
+  struct PendingRetry {
+    Ticket ticket;
+    PlacementChoice placement = PlacementChoice::kCpuOnly;
   };
 
   void OnArrival(const Arrival& arrival, bool closed_loop);
   void DrainRunnable();
-  Status StartQuery(const Ticket& ticket, bool degraded_restart);
+  /// Launches one attempt. `is_retry` relaunches after a transient
+  /// failure, pinned to `retry_placement` from the fallback chain.
+  Status StartQuery(const Ticket& ticket, bool is_retry,
+                    PlacementChoice retry_placement);
   void OnQueryDone(uint64_t query_id, const Status& status);
+  /// Deadline event: cancels the query with DEADLINE_EXCEEDED wherever it
+  /// is; a no-op once the query reached a terminal state.
+  void OnDeadline(uint64_t query_id);
+  /// Cancels a live query (queued, in backoff, or running). The reason's
+  /// code (kDeadlineExceeded vs. kCancelled) picks the outcome counter.
+  void CancelQuery(uint64_t query_id, Status reason);
+  /// Relaunches a retry whose backoff elapsed (unless cancelled meanwhile).
+  void LaunchRetry(uint64_t query_id);
+  /// Terminal housekeeping for a query that held an in-flight slot.
+  void FinishSlot(const Ticket& ticket);
+  void RecordOutcome(const Ticket& ticket, lifecycle::OutcomeCode outcome,
+                     uint32_t attempts);
+  /// Re-evaluates the brownout ladder against live signals.
+  void UpdateBrownout();
   void ScheduleReissue(size_t tenant);
   void EmitQueueDepth(size_t tenant);
   ExecutionReport CollectFabricReport() const;
@@ -86,12 +166,17 @@ class ServiceLoop {
   AdmissionController admission_;
   Scheduler scheduler_;
   CommittedDemand committed_;
+  lifecycle::LifecycleManager lifecycle_;
+  lifecycle::BreakerRegistry breakers_;
+  lifecycle::BrownoutController brownout_;
 
   std::vector<std::unique_ptr<DataflowGraph>> graphs_;
   std::map<uint64_t, QueryState> active_;
-  /// query_id -> (graph index, sink node): for result-row accounting
-  /// after the run (graphs outlive their queries).
+  std::map<uint64_t, PendingRetry> pending_retries_;
+  /// query_id -> (graph index, sink node) of the *terminal* attempt: for
+  /// result-row accounting after the run (graphs outlive their queries).
   std::map<uint64_t, std::pair<size_t, size_t>> finished_;
+  std::map<uint64_t, ServiceResult::QueryOutcome> outcomes_;
   uint64_t next_query_id_ = 0;
   Status failure_;  // first configuration-level error (fails the run)
 
@@ -99,6 +184,16 @@ class ServiceLoop {
   std::vector<std::vector<sim::SimTime>> latencies_;  // per tenant
   uint64_t peak_in_flight_ = 0;
   std::string first_failed_device_;
+  /// Cumulative run-wide counters feeding the brownout signals and the
+  /// ledger-conservation invariant.
+  uint64_t deadline_missed_total_ = 0;
+  uint64_t terminal_total_ = 0;
+  /// Virtual time of the last real service action; reported as the
+  /// makespan (stale deadline events in the far future are no-ops and do
+  /// not extend it).
+  sim::SimTime last_activity_ns_ = 0;
+  uint64_t ledger_charges_ = 0;
+  uint64_t ledger_releases_ = 0;
 };
 
 }  // namespace dflow::serve

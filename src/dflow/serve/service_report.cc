@@ -29,13 +29,31 @@ std::string ServiceReport::ToString() const {
      << " completed=" << completed_total << " failed=" << failed_total
      << " degraded=" << degraded_total << " peak_in_flight=" << peak_in_flight
      << " p99=" << p99_ns << "ns";
+  if (deadline_missed_total + cancelled_total + retries_total +
+          retry_exhausted_total + shed_brownout_total + breaker_transitions +
+          breaker_probes + brownout_escalations + brownout_peak_level >
+      0) {
+    os << "\n  lifecycle: deadline_missed=" << deadline_missed_total
+       << " cancelled=" << cancelled_total << " retries=" << retries_total
+       << " retry_exhausted=" << retry_exhausted_total
+       << " shed_brownout=" << shed_brownout_total
+       << " breaker_transitions=" << breaker_transitions
+       << " breaker_probes=" << breaker_probes
+       << " brownout_escalations=" << brownout_escalations
+       << " brownout_peak_level=" << brownout_peak_level;
+  }
   for (const TenantStats& t : tenants) {
     os << "\n  tenant " << t.name << ": arrivals=" << t.arrivals
        << " admitted=" << t.admitted << " queued=" << t.queued
-       << " shed=" << (t.shed_queue_full + t.shed_overload)
+       << " shed="
+       << (t.shed_queue_full + t.shed_overload + t.shed_brownout)
        << " completed=" << t.completed << " failed=" << t.failed
-       << " degraded=" << t.degraded << " depth_peak=" << t.queue_depth_peak
-       << " p50=" << t.p50_ns << " p95=" << t.p95_ns << " p99=" << t.p99_ns;
+       << " degraded=" << t.degraded
+       << " deadline_missed=" << t.deadline_missed
+       << " cancelled=" << t.cancelled << " retries=" << t.retries
+       << " retry_exhausted=" << t.retry_exhausted
+       << " depth_peak=" << t.queue_depth_peak << " p50=" << t.p50_ns
+       << " p95=" << t.p95_ns << " p99=" << t.p99_ns;
   }
   return os.str();
 }

@@ -22,6 +22,13 @@ struct TenantStats {
   uint64_t failed = 0;    // admitted but finished with an error
   uint64_t degraded = 0;  // re-admitted CPU-only after a device crash
   uint64_t queue_depth_peak = 0;
+  // ---- lifecycle counters (PR 6): distinct terminal outcomes and the
+  // retry machinery that produced them.
+  uint64_t deadline_missed = 0;   // cancelled with DEADLINE_EXCEEDED
+  uint64_t cancelled = 0;         // explicitly cancelled (not deadline)
+  uint64_t retries = 0;           // retry attempts scheduled
+  uint64_t retry_exhausted = 0;   // failed after spending the retry budget
+  uint64_t shed_brownout = 0;     // rejected: brownout ladder shedding
   // Virtual-time latency (arrival -> completion), nearest-rank.
   sim::SimTime p50_ns = 0;
   sim::SimTime p95_ns = 0;
@@ -41,6 +48,16 @@ struct ServiceReport {
   uint64_t degraded_total = 0;
   uint64_t peak_in_flight = 0;
   sim::SimTime p99_ns = 0;  // across all tenants' completions
+  // ---- lifecycle totals (PR 6).
+  uint64_t deadline_missed_total = 0;
+  uint64_t cancelled_total = 0;
+  uint64_t retries_total = 0;
+  uint64_t retry_exhausted_total = 0;
+  uint64_t shed_brownout_total = 0;
+  uint64_t breaker_transitions = 0;  // circuit-breaker state changes
+  uint64_t breaker_probes = 0;       // half-open probe launches
+  uint64_t brownout_escalations = 0;
+  uint64_t brownout_peak_level = 0;  // highest ladder rung reached
   std::vector<TenantStats> tenants;
 
   std::string ToString() const;

@@ -28,6 +28,10 @@ struct TenantConfig {
   size_t queue_capacity = 8;
   /// Per-tenant in-flight cap (0 = only the global cap applies).
   size_t max_in_flight = 0;
+  /// Relative virtual-time deadline for each of this tenant's queries,
+  /// measured from arrival (0 = none). A query that misses it — queued or
+  /// running — is cancelled with DEADLINE_EXCEEDED.
+  sim::SimTime deadline_ns = 0;
 
   // Open-loop arrivals, Poisson-like: each slot of slot_ns draws
   // Bernoulli(arrival_probability); an accepted slot places the arrival

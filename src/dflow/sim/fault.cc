@@ -73,9 +73,26 @@ void FaultInjector::CrashDeviceAt(const std::string& device_name,
   crash_at_[device_name] = when;
 }
 
+void FaultInjector::RestoreDeviceAt(const std::string& device_name,
+                                    SimTime when) {
+  auto it = crash_at_.find(device_name);
+  DFLOW_CHECK(it != crash_at_.end());
+  DFLOW_CHECK_GT(when, it->second);
+  restore_at_[device_name] = when;
+}
+
 bool FaultInjector::IsCrashed(const std::string& device_name) {
   auto it = crash_at_.find(device_name);
   if (it == crash_at_.end() || Now() < it->second) return false;
+  auto restore = restore_at_.find(device_name);
+  if (restore != restore_at_.end() && Now() >= restore->second) {
+    // The outage window has passed; allow a later CrashDeviceAt to open a
+    // fresh window (and to be recorded as a fresh observation).
+    crash_at_.erase(it);
+    restore_at_.erase(restore);
+    crash_seen_.erase(device_name);
+    return false;
+  }
   if (crash_seen_.insert(device_name).second) {
     counters_.crashes_observed++;
     Record("crash", device_name);

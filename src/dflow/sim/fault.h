@@ -88,12 +88,19 @@ class FaultInjector {
   void FailStorageRequest(uint64_t nth);
 
   // ------------------------------------------------------ scheduled crash
-  /// Permanently kills `device_name` at virtual time `when`. From then on
-  /// IsCrashed() returns true forever (crashes do not heal).
+  /// Kills `device_name` at virtual time `when`. Without a matching
+  /// RestoreDeviceAt the crash is permanent (crashes do not heal).
   void CrashDeviceAt(const std::string& device_name, SimTime when);
 
-  /// True once the device's crash time has passed. Records the first
-  /// observation in the trace.
+  /// Revives `device_name` at virtual time `when` (> its crash time),
+  /// turning the crash into a transient outage window [crash, restore).
+  /// Such "flapping" devices are what circuit breakers exist for: health
+  /// quarantine would write the device off forever, a breaker probes it
+  /// after cool-down and readmits it once the window has passed.
+  void RestoreDeviceAt(const std::string& device_name, SimTime when);
+
+  /// True while inside a crash window. Records the first observation of
+  /// each window in the trace.
   bool IsCrashed(const std::string& device_name);
 
   // ------------------------------------------------------------ reporting
@@ -132,6 +139,7 @@ class FaultInjector {
   const Simulator* sim_;
   Random rng_;
   std::map<std::string, SimTime> crash_at_;
+  std::map<std::string, SimTime> restore_at_;
   std::set<std::string> crash_seen_;
   std::set<uint64_t> scheduled_storage_failures_;
   Counters counters_;

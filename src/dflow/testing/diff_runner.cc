@@ -5,6 +5,7 @@
 
 #include "dflow/engine/engine.h"
 #include "dflow/exec/test_hooks.h"
+#include "dflow/serve/service_loop.h"
 #include "dflow/sim/fault.h"
 
 namespace dflow::testing {
@@ -255,6 +256,89 @@ Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
       crashed.fault_injector()->CrashDeviceAt("storage_proc", 300'000);
       run_query("crash", &crashed, strict, /*fault_free=*/false);
     }
+  }
+
+  // --- Chaos-serve lane: the full lifecycle under fire. ------------------
+  // The same query is served repeatedly through the service loop while a
+  // flapping accelerator, random link faults, deadlines, an explicit
+  // cancellation, breakers, and retries are all active. Completed queries
+  // (retried or not) are held to the fault-free Volcano reference; other
+  // terminal outcomes are legal, but every completion must be exact.
+  if (options_.chaos_serve) {
+    Engine chaotic(config);
+    DFLOW_RETURN_NOT_OK(RegisterTables(&chaotic, c));
+    sim::FaultConfig fc;
+    fc.seed = MixSeed(c.seed, 0xc4a05ULL);
+    fc.drop_prob = 0.01;
+    fc.corrupt_prob = 0.01;
+    fc.stall_prob = 0.02;
+    chaotic.EnableFaultInjection(fc);
+    chaotic.fault_injector()->CrashDeviceAt("storage_proc", 2'000'000);
+    chaotic.fault_injector()->RestoreDeviceAt("storage_proc", 12'000'000);
+
+    serve::TenantConfig tenant;
+    tenant.name = "chaos";
+    tenant.queue_capacity = 8;
+    tenant.slot_ns = 1'500'000;
+    tenant.arrival_probability = 0.6;
+    tenant.deadline_ns = 25'000'000;
+    tenant.templates = {{c.query, "case", 1}};
+
+    serve::ServiceConfig sc;
+    sc.seed = MixSeed(c.seed, 0x5e7eULL);
+    sc.horizon_ns = 30'000'000;
+    sc.placement = PlacementChoice::kAuto;
+    sc.admission.global_max_in_flight = 2;
+    sc.admission.global_queue_capacity = 8;
+    sc.collect_results = true;
+    sc.lifecycle.quarantine_on_crash = false;
+    sc.lifecycle.breaker.enabled = true;
+    sc.lifecycle.breaker.failure_threshold = 1;
+    sc.lifecycle.breaker.cooldown_ns = 4'000'000;
+    sc.lifecycle.retry.max_attempts = 2;
+    sc.lifecycle.retry.retry_delivery_exhausted = true;
+    sc.lifecycle.retry.backoff_base_ns = 250'000;
+    sc.lifecycle.retry.jitter_seed = sc.seed;
+    sc.lifecycle.retry.fallback_chain = {PlacementChoice::kCpuOnly,
+                                         PlacementChoice::kCpuOnly};
+    sc.cancel_schedule.push_back(serve::CancelRequest{8'000'000, 2});
+
+    serve::ServiceLoop loop(&chaotic, {tenant}, sc);
+    auto served = loop.Run();
+    if (!served.ok()) {
+      add_failure("chaos-serve", served.status());
+      note_divergence("lane 'chaos-serve' failed: " +
+                      served.status().message());
+      return out;
+    }
+    const serve::ServiceResult& sr = served.ValueOrDie();
+    uint64_t completions = 0;
+    uint64_t retried_completions = 0;
+    for (const serve::ServiceResult::QueryOutcome& q : sr.outcomes) {
+      if (q.outcome != lifecycle::OutcomeCode::kDone) continue;
+      ++completions;
+      if (q.attempts > 1) ++retried_completions;
+      CanonicalResult canon = CanonicalizeChunks(q.chunks);
+      if (canon.fingerprint != out.reference_fingerprint) {
+        note_divergence("lane 'chaos-serve' query " +
+                        std::to_string(q.query_id) + " (attempts " +
+                        std::to_string(q.attempts) + ") fingerprint " +
+                        canon.fingerprint + " != volcano reference " +
+                        out.reference_fingerprint);
+      }
+    }
+    LaneResult lane;
+    lane.lane = "chaos-serve";
+    lane.fingerprint = out.reference_fingerprint;
+    lane.rows = completions;
+    lane.sim_ns = sr.service.makespan_ns;
+    if (completions == 0 && sr.service.admitted_total > 0) {
+      note_divergence("lane 'chaos-serve' admitted " +
+                      std::to_string(sr.service.admitted_total) +
+                      " queries but completed none");
+    }
+    (void)retried_completions;  // retried-exactness is the per-query check
+    out.lanes.push_back(std::move(lane));
   }
 
   return out;

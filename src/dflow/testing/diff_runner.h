@@ -31,6 +31,14 @@ struct DiffOptions {
   BugKind inject_bug = BugKind::kNone;
   /// Buffer pool pages for the Volcano baseline.
   size_t pool_pages = 256;
+  /// Adds the "chaos-serve" lane: the query is served repeatedly through a
+  /// ServiceLoop on a faulty fabric with a flapping (crash + restore)
+  /// accelerator, deadlines, a scheduled cancellation, circuit breakers,
+  /// and retries enabled. Every query that completes — including ones that
+  /// were retried onto a fallback placement — must fingerprint identically
+  /// to the fault-free Volcano reference; misses/cancels are legal
+  /// outcomes, silent wrong answers are not. (fuzz_plans --deadlines)
+  bool chaos_serve = false;
 };
 
 /// One engine/placement/fault execution of the case.

@@ -44,7 +44,9 @@ std::string ReproToJson(const Repro& repro) {
   out += "    \"inject_bug\": " +
          trace::JsonQuote(std::string(BugKindToString(repro.diff.inject_bug))) +
          ",\n";
-  out += "    \"pool_pages\": " + std::to_string(repro.diff.pool_pages) + "\n";
+  out += "    \"pool_pages\": " + std::to_string(repro.diff.pool_pages) + ",\n";
+  out += std::string("    \"chaos_serve\": ") +
+         (repro.diff.chaos_serve ? "true" : "false") + "\n";
   out += "  },\n";
   out += "  \"steps\": [";
   for (size_t i = 0; i < repro.steps.size(); ++i) {
@@ -110,6 +112,10 @@ Result<Repro> ReproFromJson(const std::string& json) {
                          BugKindFromString(bug->AsString()));
   DFLOW_RETURN_NOT_OK(read_u64(*diff, "pool_pages", &u));
   repro.diff.pool_pages = u;
+  // Optional (added with the chaos-serve lane): absent in older repro
+  // files, which must stay replayable.
+  const trace::JsonValue* chaos = diff->Find("chaos_serve");
+  if (chaos != nullptr) repro.diff.chaos_serve = chaos->AsBool();
 
   const trace::JsonValue* steps = root.Find("steps");
   if (steps == nullptr) return MissingField("steps");

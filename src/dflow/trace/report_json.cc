@@ -199,6 +199,16 @@ std::string ServiceReportToJson(const serve::ServiceReport& report) {
   os << ",\"degraded_total\":" << report.degraded_total;
   os << ",\"peak_in_flight\":" << report.peak_in_flight;
   os << ",\"p99_ns\":" << report.p99_ns;
+  os << ",\"lifecycle\":{";
+  os << "\"deadline_missed_total\":" << report.deadline_missed_total;
+  os << ",\"cancelled_total\":" << report.cancelled_total;
+  os << ",\"retries_total\":" << report.retries_total;
+  os << ",\"retry_exhausted_total\":" << report.retry_exhausted_total;
+  os << ",\"shed_brownout_total\":" << report.shed_brownout_total;
+  os << ",\"breaker_transitions\":" << report.breaker_transitions;
+  os << ",\"breaker_probes\":" << report.breaker_probes;
+  os << ",\"brownout_escalations\":" << report.brownout_escalations;
+  os << ",\"brownout_peak_level\":" << report.brownout_peak_level << "}";
   os << ",\"tenants\":[";
   for (size_t t = 0; t < report.tenants.size(); ++t) {
     const serve::TenantStats& ts = report.tenants[t];
@@ -212,6 +222,11 @@ std::string ServiceReportToJson(const serve::ServiceReport& report) {
     os << ",\"completed\":" << ts.completed;
     os << ",\"failed\":" << ts.failed;
     os << ",\"degraded\":" << ts.degraded;
+    os << ",\"deadline_missed\":" << ts.deadline_missed;
+    os << ",\"cancelled\":" << ts.cancelled;
+    os << ",\"retries\":" << ts.retries;
+    os << ",\"retry_exhausted\":" << ts.retry_exhausted;
+    os << ",\"shed_brownout\":" << ts.shed_brownout;
     os << ",\"queue_depth_peak\":" << ts.queue_depth_peak;
     os << ",\"p50_ns\":" << ts.p50_ns;
     os << ",\"p95_ns\":" << ts.p95_ns;
@@ -236,6 +251,19 @@ Result<serve::ServiceReport> ServiceReportFromJson(const std::string& json) {
   report.degraded_total = GetU64(root, "degraded_total");
   report.peak_in_flight = GetU64(root, "peak_in_flight");
   report.p99_ns = GetU64(root, "p99_ns");
+  // Additive in v1: documents written before the lifecycle manager have no
+  // "lifecycle" object; every counter parses as 0.
+  report.deadline_missed_total = GetU64(root, "lifecycle.deadline_missed_total");
+  report.cancelled_total = GetU64(root, "lifecycle.cancelled_total");
+  report.retries_total = GetU64(root, "lifecycle.retries_total");
+  report.retry_exhausted_total =
+      GetU64(root, "lifecycle.retry_exhausted_total");
+  report.shed_brownout_total = GetU64(root, "lifecycle.shed_brownout_total");
+  report.breaker_transitions = GetU64(root, "lifecycle.breaker_transitions");
+  report.breaker_probes = GetU64(root, "lifecycle.breaker_probes");
+  report.brownout_escalations =
+      GetU64(root, "lifecycle.brownout_escalations");
+  report.brownout_peak_level = GetU64(root, "lifecycle.brownout_peak_level");
   const JsonValue* tenants = root.Find("tenants");
   if (tenants != nullptr && tenants->type() == JsonValue::Type::kArray) {
     for (const JsonValue& entry : tenants->AsArray()) {
@@ -249,6 +277,11 @@ Result<serve::ServiceReport> ServiceReportFromJson(const std::string& json) {
       ts.completed = GetU64(entry, "completed");
       ts.failed = GetU64(entry, "failed");
       ts.degraded = GetU64(entry, "degraded");
+      ts.deadline_missed = GetU64(entry, "deadline_missed");
+      ts.cancelled = GetU64(entry, "cancelled");
+      ts.retries = GetU64(entry, "retries");
+      ts.retry_exhausted = GetU64(entry, "retry_exhausted");
+      ts.shed_brownout = GetU64(entry, "shed_brownout");
       ts.queue_depth_peak = GetU64(entry, "queue_depth_peak");
       ts.p50_ns = GetU64(entry, "p50_ns");
       ts.p95_ns = GetU64(entry, "p95_ns");

@@ -6,6 +6,7 @@
 #include "dflow/serve/service_loop.h"
 #include "dflow/sim/fault.h"
 #include "dflow/storage/object_store.h"
+#include "dflow/trace/report_json.h"
 #include "dflow/workload/tpch_like.h"
 
 namespace dflow {
@@ -383,6 +384,88 @@ TEST_F(FaultTest, ServiceFailsQueriesWhenDegradationDisabled) {
   EXPECT_EQ(r.completed_total + r.failed_total, r.admitted_total);
   EXPECT_GT(r.completed_total, 0u);
   EXPECT_EQ(result.fabric.fault.failed_device, "storage_proc");
+}
+
+// ------------------------------------------- cancellation under faults
+
+// The pair below pins cancel-mid-retransmit: a lossy fabric keeps edges
+// busy retransmitting, and a scheduled cancellation lands while a query's
+// chunks are still in flight. The cancelled graph must stop emitting,
+// report CANCELLED (not FAILED), and release its admission slot and
+// scheduler-ledger demand immediately — ServiceLoop::Run DFLOW_INVARIANTs
+// charge/release equality and zero residual demand at drain, so a leaked
+// credit fails the run itself.
+
+serve::ServiceConfig LossyServiceConfig() {
+  serve::ServiceConfig service;
+  service.seed = 42;
+  service.horizon_ns = 10'000'000;
+  service.placement = PlacementChoice::kFullOffload;
+  service.admission.global_max_in_flight = 2;
+  service.admission.global_queue_capacity = 8;
+  return service;
+}
+
+serve::TenantConfig LossyTenant(const QuerySpec& spec) {
+  serve::TenantConfig tenant;
+  tenant.name = "steady";
+  tenant.queue_capacity = 8;
+  tenant.arrival_probability = 0.8;
+  tenant.slot_ns = 500'000;
+  tenant.templates = {{spec, "q6", 1}};
+  return tenant;
+}
+
+TEST_F(FaultTest, CancelMidRetransmitLeaksNoCredits) {
+  sim::FaultConfig config;
+  config.drop_prob = 0.25;  // heavy loss: retransmissions are constant
+  engine_.EnableFaultInjection(config);
+
+  serve::ServiceConfig service = LossyServiceConfig();
+  // Query 0 starts on an idle fabric at its arrival; by 2 ms it is deep
+  // in its (retransmission-stretched) data movement.
+  service.cancel_schedule = {{2'000'000, 0}};
+
+  serve::ServiceLoop loop(&engine_, {LossyTenant(Q6Like())}, service);
+  auto result = loop.Run().ValueOrDie();  // invariants checked inside Run
+  const serve::ServiceReport& r = result.service;
+  EXPECT_EQ(r.cancelled_total, 1u);
+  EXPECT_EQ(r.failed_total, 0u);  // cancellation is not failure
+  EXPECT_GT(r.completed_total, 0u);  // the service kept serving
+  EXPECT_GT(result.fabric.fault.retransmits, 0u);
+  EXPECT_EQ(r.arrivals_total, r.admitted_total + r.shed_total);
+
+  bool saw_cancelled = false;
+  for (const auto& q : result.outcomes) {
+    if (q.query_id == 0) {
+      EXPECT_EQ(q.outcome, lifecycle::OutcomeCode::kCancelled);
+      saw_cancelled = true;
+    }
+  }
+  EXPECT_TRUE(saw_cancelled);
+}
+
+TEST_F(FaultTest, SameLossyScheduleWithoutCancelCompletesEverything) {
+  // The control half of the pair: identical fabric, faults, and arrivals,
+  // no cancellation — every admitted query completes, so the difference
+  // in the previous test is attributable to the cancel alone. Run twice:
+  // cancellation aside, the lossy service is still byte-deterministic.
+  auto run = [&] {
+    Engine engine(Config());
+    RegisterTables(&engine);
+    sim::FaultConfig config;
+    config.drop_prob = 0.25;
+    engine.EnableFaultInjection(config);
+    serve::ServiceLoop loop(&engine, {LossyTenant(Q6Like())},
+                            LossyServiceConfig());
+    auto result = loop.Run().ValueOrDie();
+    EXPECT_EQ(result.service.cancelled_total, 0u);
+    EXPECT_EQ(result.service.failed_total, 0u);
+    EXPECT_EQ(result.service.completed_total, result.service.admitted_total);
+    EXPECT_GT(result.fabric.fault.retransmits, 0u);
+    return trace::ServiceReportToJson(result.service);
+  };
+  EXPECT_EQ(run(), run());
 }
 
 // ------------------------------------------------------- metric hygiene

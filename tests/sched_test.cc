@@ -182,6 +182,82 @@ TEST_F(SchedTest, PlanOneForcedExtremesResolveAndCost) {
   EXPECT_GT(cpu.cost.network_bytes, off.cost.network_bytes);
 }
 
+TEST_F(SchedTest, CrashRetryChargesAndReleasesExactlyOncePerAttempt) {
+  // The serving layer's crash-retry sequence against the ledger: charge
+  // the doomed attempt, release it when the crash is reported, charge the
+  // fallback attempt, release it at completion. After every
+  // charge/release pair the ledger must return EXACTLY to its prior
+  // state — a double charge (or a leaked release) across the retry shows
+  // up as residue here and as a DFLOW_INVARIANT failure in
+  // ServiceLoop::Run.
+  CommittedDemand ledger;
+  auto doomed =
+      scheduler_.PlanOne(RowReturning(0.2), ledger).ValueOrDie();
+  scheduler_.Charge(doomed.cost, &ledger);
+  ASSERT_GT(ledger.network_users, 0);
+
+  // Crash: the attempt's demand is released immediately so the re-planned
+  // retry is costed against reality, not the dead attempt's claim.
+  scheduler_.Release(doomed.cost, &ledger);
+  EXPECT_EQ(ledger.network_users, 0);
+  EXPECT_EQ(ledger.network_ns, 0.0);
+  EXPECT_EQ(ledger.network_bytes, 0.0);
+  for (double busy : ledger.site_busy_ns) EXPECT_EQ(busy, 0.0);
+
+  auto retry =
+      scheduler_
+          .PlanOne(RowReturning(0.2), ledger, PlacementChoice::kCpuOnly)
+          .ValueOrDie();
+  scheduler_.Charge(retry.cost, &ledger);
+  scheduler_.Release(retry.cost, &ledger);
+  EXPECT_EQ(ledger.network_users, 0);
+  EXPECT_EQ(ledger.network_ns, 0.0);
+  EXPECT_EQ(ledger.network_bytes, 0.0);
+  for (double busy : ledger.site_busy_ns) EXPECT_EQ(busy, 0.0);
+
+  // Release clamps at zero rather than going negative — which means a
+  // double release is silently absorbed here. That is exactly why the
+  // service loop ALSO counts charges vs releases and pins their equality
+  // with DFLOW_INVARIANT at drain: the clamp must never be what hides an
+  // accounting bug.
+  scheduler_.Release(retry.cost, &ledger);
+  EXPECT_EQ(ledger.network_ns, 0.0);
+  for (double busy : ledger.site_busy_ns) EXPECT_GE(busy, 0.0);
+}
+
+TEST_F(SchedTest, PlacementFilterVetoesDevicesButNeverStarves) {
+  CommittedDemand ledger;
+  // Veto every placement that touches the storage processor (an open
+  // circuit breaker would): the chosen plan must avoid the device.
+  Scheduler::PlacementFilter no_storage_proc =
+      [this](const Placement& p) {
+        for (Site s : p.sites) {
+          sim::Device* d = engine_.SiteDevice(s, 0);
+          if (d != nullptr && d->name() == "storage_proc") return false;
+        }
+        return true;
+      };
+  auto filtered = scheduler_
+                      .PlanOne(Heavy(0.3), ledger, PlacementChoice::kAuto,
+                               no_storage_proc)
+                      .ValueOrDie();
+  for (const std::string& dev :
+       engine_.PlacementDevices(filtered.placement, 0)) {
+    EXPECT_NE(dev, "storage_proc");
+  }
+
+  // A filter that rejects everything is advisory: PlanOne still returns a
+  // plan (the caller decides whether to launch), it never starves.
+  Scheduler::PlacementFilter reject_all = [](const Placement&) {
+    return false;
+  };
+  auto unfiltered =
+      scheduler_
+          .PlanOne(Heavy(0.3), ledger, PlacementChoice::kAuto, reject_all)
+          .ValueOrDie();
+  EXPECT_FALSE(unfiltered.placement.sites.empty());
+}
+
 TEST_F(SchedTest, ExecuteConcurrentHonoursStartOffsets) {
   std::vector<QuerySpec> specs(2, Heavy(0.2));
   auto variants = engine_.PlanVariants(specs[0]).ValueOrDie();

@@ -60,6 +60,18 @@ SERVICE_COUNTERS = [
     "service.degraded_total",
     "service.peak_in_flight",
     "service.p99_ns",
+    # Query-lifecycle counters (PR 6): distinct terminal outcomes plus the
+    # retry / breaker / brownout machinery that produced them. Captured
+    # only when present so pre-lifecycle reports stay checkable.
+    "service.lifecycle.deadline_missed_total",
+    "service.lifecycle.cancelled_total",
+    "service.lifecycle.retries_total",
+    "service.lifecycle.retry_exhausted_total",
+    "service.lifecycle.shed_brownout_total",
+    "service.lifecycle.breaker_transitions",
+    "service.lifecycle.breaker_probes",
+    "service.lifecycle.brownout_escalations",
+    "service.lifecycle.brownout_peak_level",
 ]
 
 

@@ -8,8 +8,13 @@
 // replayable "dflow.repro.v1" JSON.
 //
 // Usage: fuzz_plans [--seeds=N] [--seed_base=S] [--variants=K] [--faults=0|1]
-//                   [--inject_bug=none|filter_drop_first_row]
+//                   [--deadlines] [--inject_bug=none|filter_drop_first_row]
 //                   [--repro_dir=DIR] [--replay=FILE] [--verbose]
+//
+// --deadlines adds the chaos-serve lane: every non-join case is also served
+// through a ServiceLoop with deadlines, a scheduled cancellation, circuit
+// breakers, retries, and a flapping accelerator; each completed (possibly
+// retried) query must fingerprint identically to the Volcano reference.
 //   exit 0  all seeds agree (or the replay reproduced its recorded repro)
 //   exit 1  at least one divergence (repro JSON written when --repro_dir set)
 //   exit 2  harness/setup failure
@@ -40,6 +45,7 @@ struct Args {
   uint64_t seed_base = 0;
   size_t variants = 2;
   bool faults = true;
+  bool deadlines = false;
   testing::BugKind inject_bug = testing::BugKind::kNone;
   std::string repro_dir;
   std::string replay;
@@ -107,6 +113,10 @@ int main(int argc, char** argv) {
       args.variants = std::stoull(value);
     } else if (dflow::ParseFlag(argv[i], "--faults", &value)) {
       args.faults = value != "0";
+    } else if (dflow::ParseFlag(argv[i], "--deadlines", &value)) {
+      args.deadlines = value != "0";
+    } else if (std::strcmp(argv[i], "--deadlines") == 0) {
+      args.deadlines = true;
     } else if (dflow::ParseFlag(argv[i], "--inject_bug", &value)) {
       auto bug = dflow::testing::BugKindFromString(value);
       if (!bug.ok()) {
@@ -124,7 +134,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fuzz_plans [--seeds=N] [--seed_base=S] "
-                   "[--variants=K] [--faults=0|1] [--inject_bug=KIND] "
+                   "[--variants=K] [--faults=0|1] [--deadlines] "
+                   "[--inject_bug=KIND] "
                    "[--repro_dir=DIR] [--replay=FILE] [--verbose]\n");
       return 2;
     }
@@ -139,6 +150,7 @@ int main(int argc, char** argv) {
   dflow::testing::DiffOptions diff_options;
   diff_options.placement_samples = args.variants;
   diff_options.sample_faults = args.faults;
+  diff_options.chaos_serve = args.deadlines;
   diff_options.inject_bug = args.inject_bug;
   dflow::testing::DiffRunner runner(diff_options);
 
