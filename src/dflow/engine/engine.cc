@@ -55,28 +55,6 @@ std::string ExecutionReport::ToString() const {
   return os.str();
 }
 
-struct Engine::PreparedQuery {
-  enum class StageKind {
-    kDecode,
-    kFilter,
-    kProject,
-    kPartialAgg,
-    kFinalAgg,
-    kCount,
-    kSort,
-    kLimit,
-  };
-
-  std::shared_ptr<Table> table;
-  std::vector<std::string> scan_columns;
-  Schema scan_schema;
-  ExprPtr filter;                    // resolved against scan_schema
-  std::vector<ExprPtr> projections;  // resolved against scan_schema
-  Schema after_project;              // schema entering aggregation
-  std::vector<StageKind> kinds;
-  std::vector<StageDesc> descs;
-};
-
 Engine::Engine(sim::FabricConfig config)
     : config_(config), fabric_(config), volcano_(config) {}
 
@@ -435,6 +413,9 @@ Result<Placement> Engine::ChoosePlacement(const QuerySpec& spec,
 
 Result<QueryResult> Engine::Execute(const QuerySpec& spec,
                                     const ExecOptions& options) {
+  if (options.mode == ExecMode::kParallel) {
+    return ExecuteParallel(spec, options);
+  }
   DFLOW_ASSIGN_OR_RETURN(
       Placement placement,
       ChoosePlacement(spec, options.placement, options.node));
@@ -889,6 +870,9 @@ Result<Engine::ConcurrentResult> Engine::ExecuteConcurrent(
 
 Result<JoinRunResult> Engine::ExecutePartitionedJoin(
     const JoinSpec& spec, const ExecOptions& options) {
+  if (options.mode == ExecMode::kParallel) {
+    return ExecuteParallelJoin(spec, options);
+  }
   if (spec.num_nodes < 1 || spec.num_nodes > fabric_.num_nodes()) {
     return Status::InvalidArgument(
         "join needs 1.." + std::to_string(fabric_.num_nodes()) + " nodes");

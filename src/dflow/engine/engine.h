@@ -9,6 +9,7 @@
 #include "dflow/engine/report.h"
 #include "dflow/engine/volcano_runner.h"
 #include "dflow/exec/dataflow.h"
+#include "dflow/exec/parallel/parallel_executor.h"
 #include "dflow/opt/placement.h"
 #include "dflow/plan/query_spec.h"
 #include "dflow/storage/catalog.h"
@@ -24,8 +25,25 @@ enum class PlacementChoice {
   kFullOffload,  // every stage at the earliest capable site
 };
 
+/// How Engine::Execute actually runs the plan.
+enum class ExecMode {
+  /// The discrete-event simulator over the modeled fabric (the default,
+  /// and the oracle every other mode is differential-tested against).
+  kSimulated,
+  /// Real threads on the host: the morsel-driven work-stealing executor
+  /// (src/dflow/exec/parallel/). No fabric, no placement, no simulated
+  /// time — wall-clock performance with byte-identical results.
+  kParallel,
+};
+
 struct ExecOptions {
   PlacementChoice placement = PlacementChoice::kAuto;
+  /// Simulator (default) or the real multithreaded executor.
+  ExecMode mode = ExecMode::kSimulated;
+  /// Worker threads for ExecMode::kParallel (>= 1).
+  uint32_t parallel_workers = 4;
+  /// Rows per morsel for ExecMode::kParallel (0 = library default).
+  size_t morsel_rows = parallel::kDefaultMorselRows;
   /// Credits (chunks in flight) per pipeline edge.
   uint32_t credits = 8;
   /// DMA rate limit on the network edge, Gbps (0 = none). Set by the
@@ -49,14 +67,21 @@ struct ExecOptions {
 struct QueryResult {
   std::vector<DataChunk> chunks;
   ExecutionReport report;
+  /// Populated only by ExecMode::kParallel (morsel/steal/wall-clock
+  /// counters); all zeros for simulated runs.
+  parallel::ParallelExecStats parallel;
 };
 
 /// Result of a distributed partitioned join.
 struct JoinRunResult {
-  /// Joined-row count per node (the per-node COUNT sink).
+  /// Joined-row count per node (the per-node COUNT sink). In
+  /// ExecMode::kParallel this is the per-partition count (the same hash
+  /// routing, so the same values the simulated per-node sinks report).
   std::vector<int64_t> node_counts;
   int64_t total_rows = 0;
   ExecutionReport report;
+  /// Populated only by ExecMode::kParallel.
+  parallel::ParallelExecStats parallel;
 };
 
 /// The data flow engine: a catalog, a simulated fabric, the placement
@@ -203,7 +228,27 @@ class Engine {
 
   // Implementation helpers exposed for the pipeline builder (and useful to
   // power users assembling custom graphs on the engine's fabric).
-  struct PreparedQuery;
+  struct PreparedQuery {
+    enum class StageKind {
+      kDecode,
+      kFilter,
+      kProject,
+      kPartialAgg,
+      kFinalAgg,
+      kCount,
+      kSort,
+      kLimit,
+    };
+
+    std::shared_ptr<Table> table;
+    std::vector<std::string> scan_columns;
+    Schema scan_schema;
+    ExprPtr filter;                    // resolved against scan_schema
+    std::vector<ExprPtr> projections;  // resolved against scan_schema
+    Schema after_project;              // schema entering aggregation
+    std::vector<StageKind> kinds;
+    std::vector<StageDesc> descs;
+  };
 
   /// The processing element hosting `site` on compute node `node`.
   sim::Device* SiteDevice(Site site, int node);
@@ -213,6 +258,13 @@ class Engine {
 
  private:
   Result<PreparedQuery> Prepare(const QuerySpec& spec) const;
+  /// ExecMode::kParallel implementations (engine/parallel_runner.cc):
+  /// plan the query with Prepare, then run it on the morsel-driven
+  /// work-stealing executor with real threads.
+  Result<QueryResult> ExecuteParallel(const QuerySpec& spec,
+                                      const ExecOptions& options);
+  Result<JoinRunResult> ExecuteParallelJoin(const JoinSpec& spec,
+                                            const ExecOptions& options);
   Result<PlacementOptimizer::Input> MakeOptimizerInput(
       const QuerySpec& spec, const PreparedQuery& prepared,
       uint64_t encoded_bytes, uint64_t decoded_bytes,

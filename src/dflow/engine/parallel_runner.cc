@@ -1,0 +1,266 @@
+// ExecMode::kParallel: Engine entry points for the morsel-driven real-
+// thread executor, plus the QuerySpec -> ParallelPipelineSpec lowering.
+//
+// The simulator stays the oracle: these paths must produce byte-identical
+// canonical results (DiffRunner's real-parallel lane enforces it against
+// the Volcano reference for every fuzzed plan).
+
+#include "dflow/engine/parallel_runner.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dflow/exec/aggregate.h"
+#include "dflow/exec/filter.h"
+#include "dflow/exec/misc_ops.h"
+#include "dflow/exec/parallel/parallel_join.h"
+#include "dflow/exec/project.h"
+#include "dflow/exec/scan.h"
+
+namespace dflow {
+
+namespace {
+
+/// Output schema of the worker chain: what the merge chain receives.
+Result<Schema> WorkerOutputSchema(const Engine::PreparedQuery& prepared,
+                                  const QuerySpec& spec) {
+  if (spec.count_only) return CountOperator().output_schema();
+  if (!spec.aggregates.empty()) {
+    DFLOW_ASSIGN_OR_RETURN(
+        OperatorPtr proto,
+        HashAggregateOperator::Make(prepared.after_project, spec.group_by,
+                                    spec.aggregates, AggMode::kPartial));
+    return proto->output_schema();
+  }
+  return prepared.after_project;
+}
+
+/// Output schema of the merge chain: what ORDER BY / LIMIT receive.
+Result<Schema> MergedOutputSchema(const Engine::PreparedQuery& prepared,
+                                  const QuerySpec& spec) {
+  if (spec.count_only) return CountOperator().output_schema();
+  if (!spec.aggregates.empty()) {
+    DFLOW_ASSIGN_OR_RETURN(Schema partial,
+                           WorkerOutputSchema(prepared, spec));
+    DFLOW_ASSIGN_OR_RETURN(
+        OperatorPtr proto,
+        HashAggregateOperator::Make(partial, spec.group_by,
+                                    MakeMergeSpecs(spec.aggregates),
+                                    AggMode::kFinal));
+    return proto->output_schema();
+  }
+  return prepared.after_project;
+}
+
+}  // namespace
+
+Result<parallel::ParallelPipelineSpec> BuildParallelPipelineSpec(
+    const Engine::PreparedQuery& prepared, const QuerySpec& spec) {
+  parallel::ParallelPipelineSpec pipeline;
+
+  // Worker chain: streaming stages plus worker-local bounded state. One
+  // instance per worker; the captured resolved expressions are shared and
+  // const-evaluated, which is thread-safe.
+  pipeline.make_worker_chain =
+      [prepared, spec]() -> Result<std::vector<OperatorPtr>> {
+    std::vector<OperatorPtr> ops;
+    if (prepared.filter != nullptr) {
+      DFLOW_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          FilterOperator::Make(prepared.filter, prepared.scan_schema));
+      ops.push_back(std::move(op));
+    }
+    if (!prepared.projections.empty()) {
+      std::vector<ExprPtr> exprs = prepared.projections;
+      DFLOW_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          ProjectOperator::Make(std::move(exprs), spec.projection_names,
+                                prepared.scan_schema));
+      ops.push_back(std::move(op));
+    }
+    if (spec.count_only) {
+      ops.push_back(OperatorPtr(new CountOperator()));
+    } else if (!spec.aggregates.empty()) {
+      // Unbounded worker-local pre-aggregation (max_groups = 0): the
+      // worker never flushes early, so the merge sees exactly one partial
+      // state per (worker, group).
+      DFLOW_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          HashAggregateOperator::Make(prepared.after_project, spec.group_by,
+                                      spec.aggregates, AggMode::kPartial));
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  };
+
+  // Merge chain: combines the workers' partial states exactly.
+  if (spec.count_only) {
+    pipeline.make_merge_chain =
+        [prepared, spec]() -> Result<std::vector<OperatorPtr>> {
+      DFLOW_ASSIGN_OR_RETURN(Schema count_schema,
+                             WorkerOutputSchema(prepared, spec));
+      // Each worker's CountOperator emits one row (possibly zero); the sum
+      // of the per-worker counts is the global COUNT(*).
+      std::vector<AggSpec> sum_counts{{AggFunc::kSum, "count", "count"}};
+      DFLOW_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          HashAggregateOperator::Make(count_schema, {}, sum_counts,
+                                      AggMode::kComplete));
+      std::vector<OperatorPtr> ops;
+      ops.push_back(std::move(op));
+      return ops;
+    };
+  } else if (!spec.aggregates.empty()) {
+    pipeline.make_merge_chain =
+        [prepared, spec]() -> Result<std::vector<OperatorPtr>> {
+      DFLOW_ASSIGN_OR_RETURN(Schema partial,
+                             WorkerOutputSchema(prepared, spec));
+      DFLOW_ASSIGN_OR_RETURN(
+          OperatorPtr op,
+          HashAggregateOperator::Make(partial, spec.group_by,
+                                      MakeMergeSpecs(spec.aggregates),
+                                      AggMode::kFinal));
+      std::vector<OperatorPtr> ops;
+      ops.push_back(std::move(op));
+      return ops;
+    };
+  }
+
+  // Without a total order from the query itself, canonically order the
+  // merged rows so downstream stages (and the client) see a stream that
+  // never depends on scheduling.
+  pipeline.canonical_order = !spec.order_by.has_value();
+
+  if (spec.order_by.has_value() || spec.limit > 0) {
+    pipeline.make_output_chain =
+        [prepared, spec]() -> Result<std::vector<OperatorPtr>> {
+      DFLOW_ASSIGN_OR_RETURN(Schema merged,
+                             MergedOutputSchema(prepared, spec));
+      std::vector<OperatorPtr> ops;
+      if (spec.order_by.has_value()) {
+        DFLOW_ASSIGN_OR_RETURN(
+            OperatorPtr op,
+            SortOperator::Make(merged, spec.order_by->column,
+                               spec.order_by->descending,
+                               spec.order_by->limit));
+        ops.push_back(std::move(op));
+      }
+      if (spec.limit > 0) {
+        ops.push_back(OperatorPtr(new LimitOperator(merged, spec.limit)));
+      }
+      return ops;
+    };
+  }
+
+  return pipeline;
+}
+
+Result<QueryResult> Engine::ExecuteParallel(const QuerySpec& spec,
+                                            const ExecOptions& options) {
+  DFLOW_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(spec));
+  DFLOW_ASSIGN_OR_RETURN(
+      TableScanSource scan,
+      TableScanSource::Make(prepared.table, prepared.scan_columns,
+                            prepared.filter));
+  TableScanSource::ScanStats scan_stats;
+  DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches,
+                         scan.Produce(&scan_stats));
+  std::vector<DataChunk> inputs;
+  for (ScanBatch& b : batches) {
+    for (ScanChunk& sc : b.chunks) inputs.push_back(std::move(sc.chunk));
+  }
+
+  DFLOW_ASSIGN_OR_RETURN(parallel::ParallelPipelineSpec pipeline,
+                         BuildParallelPipelineSpec(prepared, spec));
+  parallel::ParallelExecOptions popt;
+  popt.workers = std::max(1u, options.parallel_workers);
+  popt.morsel_rows = options.morsel_rows;
+  popt.queue_capacity = options.credits;
+
+  QueryResult result;
+  DFLOW_ASSIGN_OR_RETURN(
+      result.chunks,
+      parallel::RunMorselPipeline(inputs, pipeline, popt, &result.parallel));
+  result.report.variant = "real-parallel:w" + std::to_string(popt.workers);
+  result.report.sim_ns = 0;  // no simulated time in this mode
+  uint64_t rows = 0;
+  for (const DataChunk& c : result.chunks) rows += c.num_rows();
+  result.report.result_rows = rows;
+  result.report.scan = scan_stats;
+  return result;
+}
+
+Result<JoinRunResult> Engine::ExecuteParallelJoin(const JoinSpec& spec,
+                                                  const ExecOptions& options) {
+  if (spec.num_nodes < 1) {
+    return Status::InvalidArgument("join needs >= 1 partition");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Table> build_table,
+                         catalog_.Lookup(spec.build_table));
+  DFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Table> probe_table,
+                         catalog_.Lookup(spec.probe_table));
+
+  parallel::ParallelJoinInputs inputs;
+  inputs.build_schema = build_table->schema();
+  inputs.probe_schema = probe_table->schema();
+  DFLOW_ASSIGN_OR_RETURN(inputs.build_key,
+                         build_table->schema().FieldIndex(spec.build_key));
+  DFLOW_ASSIGN_OR_RETURN(inputs.probe_key,
+                         probe_table->schema().FieldIndex(spec.probe_key));
+  // Partition count mirrors the simulated plan's num_nodes, so the
+  // per-partition counts line up with the per-node sink counts.
+  inputs.partitions = static_cast<uint32_t>(spec.num_nodes);
+  if (spec.probe_filter != nullptr) {
+    DFLOW_ASSIGN_OR_RETURN(
+        inputs.probe_filter,
+        Expr::Resolve(spec.probe_filter, probe_table->schema()));
+  }
+
+  {
+    DFLOW_ASSIGN_OR_RETURN(TableScanSource scan,
+                           TableScanSource::Make(build_table, {}, nullptr));
+    DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches, scan.Produce());
+    for (ScanBatch& b : batches) {
+      for (ScanChunk& sc : b.chunks) {
+        inputs.build_chunks.push_back(std::move(sc.chunk));
+      }
+    }
+  }
+  TableScanSource::ScanStats scan_stats;
+  {
+    // Zone pruning via the filter; the surviving rows still get the row
+    // filter inside the join's probe tasks.
+    DFLOW_ASSIGN_OR_RETURN(
+        TableScanSource scan,
+        TableScanSource::Make(probe_table, {}, inputs.probe_filter));
+    DFLOW_ASSIGN_OR_RETURN(std::vector<ScanBatch> batches,
+                           scan.Produce(&scan_stats));
+    for (ScanBatch& b : batches) {
+      for (ScanChunk& sc : b.chunks) {
+        inputs.probe_chunks.push_back(std::move(sc.chunk));
+      }
+    }
+  }
+
+  parallel::ParallelExecOptions popt;
+  popt.workers = std::max(1u, options.parallel_workers);
+  popt.morsel_rows = options.morsel_rows;
+  popt.queue_capacity = options.credits;
+
+  JoinRunResult result;
+  DFLOW_ASSIGN_OR_RETURN(
+      parallel::ParallelJoinResult joined,
+      parallel::RunParallelHashJoin(inputs, popt, &result.parallel));
+  result.node_counts = std::move(joined.partition_counts);
+  result.total_rows = joined.total_rows;
+  result.report.variant =
+      "real-parallel-join:w" + std::to_string(popt.workers);
+  result.report.sim_ns = 0;
+  result.report.result_rows = static_cast<uint64_t>(result.total_rows);
+  result.report.scan = scan_stats;
+  return result;
+}
+
+}  // namespace dflow

@@ -1,0 +1,27 @@
+#ifndef DFLOW_ENGINE_PARALLEL_RUNNER_H_
+#define DFLOW_ENGINE_PARALLEL_RUNNER_H_
+
+#include "dflow/engine/engine.h"
+#include "dflow/exec/parallel/parallel_executor.h"
+#include "dflow/plan/query_spec.h"
+
+namespace dflow {
+
+/// Lowers a prepared query to the real-parallel executor's three-layer
+/// pipeline shape (see parallel::ParallelPipelineSpec):
+///
+///   worker chain   [filter] [project] ([count] | [partial agg])
+///   merge chain    [count-sum merge]  | [final agg]   (else empty)
+///   output chain   [sort] [limit]                     (else empty)
+///
+/// with canonical ordering enabled whenever the query lacks an ORDER BY.
+/// Decode/encode stages of the simulated plan are omitted: they are
+/// identity on data and model wire sizes the real executor doesn't have.
+/// Exposed so tests and benches can run engine-shaped pipelines on custom
+/// inputs without an Engine.
+Result<parallel::ParallelPipelineSpec> BuildParallelPipelineSpec(
+    const Engine::PreparedQuery& prepared, const QuerySpec& spec);
+
+}  // namespace dflow
+
+#endif  // DFLOW_ENGINE_PARALLEL_RUNNER_H_

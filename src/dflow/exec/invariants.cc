@@ -1,19 +1,22 @@
 #include "dflow/exec/invariants.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace dflow::invariants {
 
 namespace {
-uint64_t g_checks_run = 0;
+// Relaxed atomic: a monotone statistic read by tests, bumped concurrently
+// by the real-parallel executor's worker threads.
+std::atomic<uint64_t> g_checks_run{0};
 }  // namespace
 
-uint64_t checks_run() { return g_checks_run; }
+uint64_t checks_run() { return g_checks_run.load(std::memory_order_relaxed); }
 
 #ifndef DFLOW_INVARIANTS_DISABLED
 
-void BumpCheck() { g_checks_run += 1; }
+void BumpCheck() { g_checks_run.fetch_add(1, std::memory_order_relaxed); }
 
 void InvariantFailed(const char* file, int line, const char* condition,
                      const std::string& detail) {

@@ -1,0 +1,38 @@
+#include "dflow/exec/parallel/morsel.h"
+
+#include <algorithm>
+
+#include "dflow/vector/column_vector.h"
+
+namespace dflow::parallel {
+
+DataChunk Morsel::Materialize() const {
+  if (chunk == nullptr) return DataChunk();
+  if (row_begin == 0 && row_end == chunk->num_rows()) return *chunk;
+  std::vector<uint32_t> indices;
+  indices.reserve(num_rows());
+  for (uint32_t r = row_begin; r < row_end; ++r) indices.push_back(r);
+  return chunk->Gather(SelectionVector(std::move(indices)));
+}
+
+std::vector<Morsel> SplitIntoMorsels(const std::vector<DataChunk>& chunks,
+                                     size_t morsel_rows) {
+  if (morsel_rows == 0) morsel_rows = kDefaultMorselRows;
+  std::vector<Morsel> morsels;
+  uint64_t sequence = 0;
+  for (const DataChunk& chunk : chunks) {
+    const size_t rows = chunk.num_rows();
+    if (rows == 0) continue;
+    for (size_t begin = 0; begin < rows; begin += morsel_rows) {
+      Morsel m;
+      m.chunk = &chunk;
+      m.row_begin = static_cast<uint32_t>(begin);
+      m.row_end = static_cast<uint32_t>(std::min(rows, begin + morsel_rows));
+      m.sequence = sequence++;
+      morsels.push_back(m);
+    }
+  }
+  return morsels;
+}
+
+}  // namespace dflow::parallel

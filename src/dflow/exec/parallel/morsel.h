@@ -1,0 +1,44 @@
+#ifndef DFLOW_EXEC_PARALLEL_MORSEL_H_
+#define DFLOW_EXEC_PARALLEL_MORSEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dflow/vector/data_chunk.h"
+
+namespace dflow::parallel {
+
+/// Default rows per morsel. Half a vector batch: small enough that a
+/// skewed filter can't serialize a pipeline behind one giant task, large
+/// enough that per-task overhead (deque push, queue handoff) stays in the
+/// noise against ~1k rows of real columnar work.
+inline constexpr size_t kDefaultMorselRows = 1024;
+
+/// The unit of parallel work: a row range of one input chunk. Morsels are
+/// created once, up front, from the scan's chunk list; workers claim them
+/// as tasks (morsel-driven parallelism). `sequence` is the morsel's global
+/// position in scan order — downstream merging sorts on it so the final
+/// output never depends on which worker ran which morsel.
+struct Morsel {
+  const DataChunk* chunk = nullptr;
+  uint32_t row_begin = 0;
+  uint32_t row_end = 0;  // exclusive
+  uint64_t sequence = 0;
+
+  size_t num_rows() const { return row_end - row_begin; }
+
+  /// The morsel's rows as a standalone chunk (whole-chunk morsels return a
+  /// copy of the chunk; partial morsels gather the row range).
+  DataChunk Materialize() const;
+};
+
+/// Chops `chunks` into row-range morsels of at most `morsel_rows` rows
+/// each, numbered in scan order. The chunk pointers alias `chunks`, which
+/// must outlive the morsels. morsel_rows == 0 falls back to the default.
+std::vector<Morsel> SplitIntoMorsels(const std::vector<DataChunk>& chunks,
+                                     size_t morsel_rows);
+
+}  // namespace dflow::parallel
+
+#endif  // DFLOW_EXEC_PARALLEL_MORSEL_H_

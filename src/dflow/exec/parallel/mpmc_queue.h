@@ -1,0 +1,174 @@
+#ifndef DFLOW_EXEC_PARALLEL_MPMC_QUEUE_H_
+#define DFLOW_EXEC_PARALLEL_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "dflow/exec/invariants.h"
+
+namespace dflow::parallel {
+
+/// Outcome of a blocking queue operation.
+enum class QueueOp {
+  kOk,
+  /// The queue was closed: Push rejected the item; Pop found the queue
+  /// closed *and* fully drained.
+  kClosed,
+};
+
+/// A bounded multi-producer/multi-consumer FIFO: the real-thread analogue
+/// of the simulator's credit-gated edges. The capacity plays the role the
+/// per-edge credit count plays in the discrete-event executor — at most
+/// `capacity` chunks are in flight between a producer stage and its
+/// consumer, and a full queue blocks the producer exactly like an
+/// exhausted credit ledger parks a simulated sender.
+///
+/// Close semantics: Close() wakes every blocked producer and consumer.
+/// After Close, Push returns kClosed and drops the item; Pop keeps
+/// returning kOk until the queue is drained, then returns kClosed — so a
+/// consumer sees every item produced before the close.
+///
+/// A capacity of zero is a construction error (an edge with zero credits
+/// can never move a chunk): the queue is born closed and `valid()` is
+/// false, making the misconfiguration observable without a death test.
+///
+/// Items keep strict FIFO order *per producer*: a single producer's items
+/// are popped in push order (the internal deque is FIFO and all operations
+/// are serialized on one mutex). Items from different producers interleave
+/// arbitrarily — downstream code must impose order (see
+/// parallel_executor.cc's sequence tags) when it matters.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) closed_ = true;
+  }
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// False iff constructed with capacity 0 (permanently closed).
+  bool valid() const { return capacity_ > 0; }
+
+  /// Blocks while the queue is full; returns kClosed (dropping `item`) if
+  /// the queue is or becomes closed while waiting.
+  QueueOp Push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return QueueOp::kClosed;
+    items_.push_back(std::move(item));
+    DFLOW_INVARIANTS_ONLY(pushed_ += 1);
+    CheckLedgerLocked();
+    not_empty_.notify_one();
+    return QueueOp::kOk;
+  }
+
+  /// Non-blocking Push; false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    DFLOW_INVARIANTS_ONLY(pushed_ += 1);
+    CheckLedgerLocked();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and open; returns kClosed only once
+  /// the queue is closed *and* every pushed item has been popped.
+  QueueOp Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return QueueOp::kClosed;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    DFLOW_INVARIANTS_ONLY(popped_ += 1);
+    CheckLedgerLocked();
+    not_full_.notify_one();
+    return QueueOp::kOk;
+  }
+
+  /// Non-blocking Pop; false when nothing is immediately available.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    DFLOW_INVARIANTS_ONLY(popped_ += 1);
+    CheckLedgerLocked();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue and wakes everyone. Idempotent. Pending items stay
+  /// drainable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Tuple-conservation ledger (0 when the invariant oracle is compiled
+  /// out): every pushed item is either popped or still queued.
+  uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t v = 0;
+    DFLOW_INVARIANTS_ONLY(v = pushed_);
+    return v;
+  }
+  uint64_t popped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t v = 0;
+    DFLOW_INVARIANTS_ONLY(v = popped_);
+    return v;
+  }
+
+ private:
+  /// The queue-side half of the executor's tuple-conservation invariant:
+  /// pushed == popped + queued, and occupancy never exceeds capacity (the
+  /// credit bound). Caller holds mutex_.
+  void CheckLedgerLocked() {
+    DFLOW_INVARIANT(items_.size() <= capacity_,
+                    "queue occupancy " + std::to_string(items_.size()) +
+                        " exceeds capacity " + std::to_string(capacity_));
+    DFLOW_INVARIANTS_ONLY(DFLOW_INVARIANT(
+        pushed_ == popped_ + items_.size(),
+        "tuple conservation violated: pushed " + std::to_string(pushed_) +
+            " != popped " + std::to_string(popped_) + " + queued " +
+            std::to_string(items_.size())));
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+#ifndef DFLOW_INVARIANTS_DISABLED
+  uint64_t pushed_ = 0;
+  uint64_t popped_ = 0;
+#endif
+};
+
+}  // namespace dflow::parallel
+
+#endif  // DFLOW_EXEC_PARALLEL_MPMC_QUEUE_H_

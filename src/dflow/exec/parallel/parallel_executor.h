@@ -1,0 +1,82 @@
+#ifndef DFLOW_EXEC_PARALLEL_PARALLEL_EXECUTOR_H_
+#define DFLOW_EXEC_PARALLEL_PARALLEL_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/exec/operator.h"
+#include "dflow/exec/parallel/morsel.h"
+
+namespace dflow::parallel {
+
+struct ParallelExecOptions {
+  /// Worker threads (>= 1). 1 gives the serial shape of the same code
+  /// path — useful as the scaling baseline and for debugging.
+  uint32_t workers = 4;
+  /// Rows per morsel (0 = kDefaultMorselRows).
+  size_t morsel_rows = kDefaultMorselRows;
+  /// Capacity of the worker→merge result queue: the real-thread
+  /// incarnation of ExecOptions::credits (chunks in flight per edge).
+  size_t queue_capacity = 8;
+  /// Seed for the scheduler's randomized victim selection.
+  uint64_t steal_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+struct ParallelExecStats {
+  uint64_t morsels = 0;
+  uint64_t rows_in = 0;
+  uint64_t tasks_run = 0;
+  uint64_t steals = 0;
+  uint64_t queue_items = 0;
+  /// Wall-clock time of the parallel region (split → merge complete),
+  /// measured on a steady clock. The one place outside bench code where
+  /// real time is allowed: it reports performance and never influences
+  /// results.
+  uint64_t wall_ns = 0;
+};
+
+/// Builds one linear operator chain. Worker-chain factories are invoked
+/// once per worker (each worker owns private operator state); merge and
+/// output factories once.
+using ChainFactory = std::function<Result<std::vector<OperatorPtr>>()>;
+
+/// A morsel-parallel pipeline in three layers:
+///
+///   morsels → [worker chain]×W → ordered union → [merge chain]
+///           → (canonical order) → [output chain]
+///
+/// Worker chains run concurrently over morsels (streaming stages plus
+/// worker-local partial state such as pre-aggregation or counting). Their
+/// outputs carry the originating morsel's sequence number and are sorted
+/// on it before the single-threaded merge chain runs, so the merge sees a
+/// deterministic stream no matter how work was stolen. Stateful worker
+/// output produced at Finish (e.g. partial aggregates) is tagged after all
+/// morsels, in worker order — deterministic in *position* but not in
+/// content (which morsels a worker processed depends on stealing), which
+/// is why a query without a total order asks for `canonical_order`: after
+/// the merge chain the rows are sorted canonically (column by column,
+/// nulls first), making the final output independent of interleaving.
+/// The output chain (ORDER BY / LIMIT) then runs over that deterministic
+/// stream.
+struct ParallelPipelineSpec {
+  ChainFactory make_worker_chain;           // required; may return {}
+  ChainFactory make_merge_chain;            // optional (null = pass-through)
+  /// Sort the merged rows canonically before the output chain. Set
+  /// whenever the query lacks an ORDER BY.
+  bool canonical_order = false;
+  ChainFactory make_output_chain;           // optional (ORDER BY, LIMIT)
+};
+
+/// Runs `inputs` through the pipeline with real threads. Returns the final
+/// chunk stream; deterministic for a fixed (inputs, spec) regardless of
+/// worker count or interleaving whenever the spec follows the contract
+/// above. `inputs` must stay alive for the duration of the call.
+Result<std::vector<DataChunk>> RunMorselPipeline(
+    const std::vector<DataChunk>& inputs, const ParallelPipelineSpec& spec,
+    const ParallelExecOptions& options, ParallelExecStats* stats = nullptr);
+
+}  // namespace dflow::parallel
+
+#endif  // DFLOW_EXEC_PARALLEL_PARALLEL_EXECUTOR_H_

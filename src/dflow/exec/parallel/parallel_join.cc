@@ -1,0 +1,192 @@
+#include "dflow/exec/parallel/parallel_join.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "dflow/exec/filter.h"
+#include "dflow/exec/join.h"
+#include "dflow/exec/parallel/morsel.h"
+#include "dflow/exec/parallel/task_scheduler.h"
+#include "dflow/exec/partition.h"
+
+namespace dflow::parallel {
+
+Result<ParallelJoinResult> RunParallelHashJoin(
+    const ParallelJoinInputs& inputs, const ParallelExecOptions& options,
+    ParallelExecStats* stats) {
+  if (inputs.partitions == 0) {
+    return Status::InvalidArgument("join needs >= 1 partition");
+  }
+  if (options.workers == 0) {
+    return Status::InvalidArgument("join needs >= 1 worker");
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  const uint32_t p = inputs.partitions;
+
+  std::vector<std::shared_ptr<JoinHashTable>> tables;
+  tables.reserve(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    tables.push_back(
+        std::make_shared<JoinHashTable>(inputs.build_schema, inputs.build_key));
+  }
+  // One lock per partition: workers insert into distinct partitions
+  // concurrently; same-partition inserts serialize. Insert order inside a
+  // partition varies with scheduling, but a hash table's *contents* — and
+  // so its probe match counts — do not.
+  std::vector<std::mutex> partition_mutex(p);
+
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  Status first_error;  // guarded by error_mutex
+  auto record_error = [&](const Status& s) {
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error.ok()) first_error = s;
+    failed.store(true, std::memory_order_relaxed);
+  };
+
+  WorkStealingScheduler::Options sched_options;
+  sched_options.workers = options.workers;
+  sched_options.steal_seed = options.steal_seed;
+
+  const HashPartitioner build_part(inputs.build_key, p);
+  const HashPartitioner probe_part(inputs.probe_key, p);
+
+  uint64_t tasks = 0;
+  uint64_t steals = 0;
+  uint64_t morsel_count = 0;
+  uint64_t probe_rows = 0;
+
+  // ------------------------------------------------------- build phase
+  {
+    const std::vector<Morsel> morsels =
+        SplitIntoMorsels(inputs.build_chunks, options.morsel_rows);
+    morsel_count += morsels.size();
+    WorkStealingScheduler scheduler(sched_options);
+    for (size_t i = 0; i < morsels.size(); ++i) {
+      const Morsel& morsel = morsels[i];
+      scheduler.SubmitTo(
+          static_cast<uint32_t>(i % options.workers),
+          [&, morsel](uint32_t) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            const DataChunk chunk = morsel.Materialize();
+            std::vector<DataChunk> parts;
+            Status s = build_part.Split(chunk, &parts);
+            if (!s.ok()) {
+              record_error(s);
+              return;
+            }
+            for (uint32_t part = 0; part < p; ++part) {
+              if (parts[part].empty()) continue;
+              std::lock_guard<std::mutex> lock(partition_mutex[part]);
+              s = tables[part]->Insert(parts[part]);
+              if (!s.ok()) {
+                record_error(s);
+                return;
+              }
+            }
+          });
+    }
+    record_error(scheduler.Wait());
+    const WorkStealingScheduler::Stats ss = scheduler.stats();
+    tasks += ss.tasks_run;
+    steals += ss.steals;
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    DFLOW_RETURN_NOT_OK(first_error);
+  }
+
+  // ------------------------------------------------------- probe phase
+  std::vector<int64_t> partition_counts(p, 0);  // guarded by count_mutex
+  std::mutex count_mutex;
+  {
+    const std::vector<Morsel> morsels =
+        SplitIntoMorsels(inputs.probe_chunks, options.morsel_rows);
+    morsel_count += morsels.size();
+    for (const Morsel& m : morsels) probe_rows += m.num_rows();
+    WorkStealingScheduler scheduler(sched_options);
+    for (size_t i = 0; i < morsels.size(); ++i) {
+      const Morsel& morsel = morsels[i];
+      scheduler.SubmitTo(
+          static_cast<uint32_t>(i % options.workers),
+          [&, morsel](uint32_t) {
+            if (failed.load(std::memory_order_relaxed)) return;
+            DataChunk chunk = morsel.Materialize();
+            if (inputs.probe_filter != nullptr) {
+              auto filter = FilterOperator::Make(inputs.probe_filter,
+                                                 inputs.probe_schema);
+              if (!filter.ok()) {
+                record_error(filter.status());
+                return;
+              }
+              std::vector<DataChunk> kept;
+              const Status s = filter.ValueOrDie()->Push(chunk, &kept);
+              if (!s.ok()) {
+                record_error(s);
+                return;
+              }
+              if (kept.empty()) return;
+              chunk = std::move(kept[0]);
+              for (size_t k = 1; k < kept.size(); ++k) {
+                for (size_t r = 0; r < kept[k].num_rows(); ++r) {
+                  chunk.AppendRowFrom(kept[k], r);
+                }
+              }
+            }
+            if (chunk.empty()) return;
+            std::vector<DataChunk> parts;
+            Status s = probe_part.Split(chunk, &parts);
+            if (!s.ok()) {
+              record_error(s);
+              return;
+            }
+            std::vector<int64_t> local(p, 0);
+            for (uint32_t part = 0; part < p; ++part) {
+              if (parts[part].empty()) continue;
+              std::vector<std::pair<uint32_t, uint32_t>> matches;
+              s = tables[part]->Probe(parts[part].column(inputs.probe_key),
+                                      &matches);
+              if (!s.ok()) {
+                record_error(s);
+                return;
+              }
+              local[part] += static_cast<int64_t>(matches.size());
+            }
+            std::lock_guard<std::mutex> lock(count_mutex);
+            for (uint32_t part = 0; part < p; ++part) {
+              partition_counts[part] += local[part];
+            }
+          });
+    }
+    record_error(scheduler.Wait());
+    const WorkStealingScheduler::Stats ss = scheduler.stats();
+    tasks += ss.tasks_run;
+    steals += ss.steals;
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    DFLOW_RETURN_NOT_OK(first_error);
+  }
+
+  ParallelJoinResult result;
+  result.partition_counts = std::move(partition_counts);
+  for (int64_t c : result.partition_counts) result.total_rows += c;
+  result.probe_rows_in = probe_rows;
+  if (stats != nullptr) {
+    stats->morsels = morsel_count;
+    stats->rows_in = probe_rows;
+    stats->tasks_run = tasks;
+    stats->steals = steals;
+    stats->wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+  }
+  return result;
+}
+
+}  // namespace dflow::parallel

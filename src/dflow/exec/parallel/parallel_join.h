@@ -1,0 +1,46 @@
+#ifndef DFLOW_EXEC_PARALLEL_PARALLEL_JOIN_H_
+#define DFLOW_EXEC_PARALLEL_PARALLEL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dflow/common/result.h"
+#include "dflow/exec/parallel/parallel_executor.h"
+#include "dflow/plan/expr.h"
+#include "dflow/vector/data_chunk.h"
+
+namespace dflow::parallel {
+
+/// A partitioned hash equi-join run with real threads: build-side morsels
+/// are hash-partitioned into P independent hash tables (per-partition
+/// locking, so workers build concurrently), then probe-side morsels are
+/// partitioned the same way and probed in parallel. Partition routing uses
+/// the engine-wide hash (common/hash.h), so partition contents — and hence
+/// the per-partition match counts — are a pure function of the data,
+/// independent of worker count and steal schedule.
+struct ParallelJoinInputs {
+  std::vector<DataChunk> build_chunks;
+  std::vector<DataChunk> probe_chunks;
+  Schema build_schema;
+  Schema probe_schema;
+  size_t build_key = 0;
+  size_t probe_key = 0;
+  uint32_t partitions = 1;
+  /// Optional row filter on the probe side, resolved against probe_schema.
+  ExprPtr probe_filter;
+};
+
+struct ParallelJoinResult {
+  /// Matched-row count per partition (deterministic; sums to total_rows).
+  std::vector<int64_t> partition_counts;
+  int64_t total_rows = 0;
+  uint64_t probe_rows_in = 0;
+};
+
+Result<ParallelJoinResult> RunParallelHashJoin(
+    const ParallelJoinInputs& inputs, const ParallelExecOptions& options,
+    ParallelExecStats* stats = nullptr);
+
+}  // namespace dflow::parallel
+
+#endif  // DFLOW_EXEC_PARALLEL_PARALLEL_JOIN_H_

@@ -1,0 +1,129 @@
+#include "dflow/exec/parallel/task_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dflow/common/logging.h"
+
+namespace dflow::parallel {
+
+WorkStealingScheduler::WorkStealingScheduler(const Options& options)
+    : workers_(std::max(1u, options.workers)) {
+  deques_.resize(workers_);
+  steal_rng_.reserve(workers_);
+  for (uint32_t i = 0; i < workers_; ++i) {
+    steal_rng_.emplace_back(options.steal_seed + i);
+  }
+  threads_.reserve(workers_);
+  for (uint32_t i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() { Shutdown(); }
+
+void WorkStealingScheduler::Submit(Task task) {
+  uint32_t target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target = next_worker_;
+    next_worker_ = (next_worker_ + 1) % workers_;
+    DFLOW_CHECK(!shutdown_);
+    outstanding_ += 1;
+    deques_[target].push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkStealingScheduler::SubmitTo(uint32_t worker, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DFLOW_CHECK(!shutdown_);
+    DFLOW_CHECK(worker < workers_);
+    outstanding_ += 1;
+    deques_[worker].push_back(std::move(task));
+  }
+  work_cv_.notify_all();
+}
+
+bool WorkStealingScheduler::PopTaskLocked(uint32_t id, Task* task) {
+  if (!deques_[id].empty()) {
+    *task = std::move(deques_[id].back());
+    deques_[id].pop_back();
+    return true;
+  }
+  if (workers_ == 1) return false;
+  // Steal from the front (oldest task) of a pseudo-random victim, scanning
+  // the rest in ring order so a single loaded worker is always found.
+  const uint32_t start =
+      static_cast<uint32_t>(steal_rng_[id]() % workers_);
+  for (uint32_t probe = 0; probe < workers_; ++probe) {
+    const uint32_t victim = (start + probe) % workers_;
+    if (victim == id || deques_[victim].empty()) continue;
+    *task = std::move(deques_[victim].front());
+    deques_[victim].pop_front();
+    stats_.steals += 1;
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingScheduler::WorkerLoop(uint32_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    Task task;
+    if (PopTaskLocked(id, &task)) {
+      lock.unlock();
+      try {
+        task(id);
+      } catch (...) {
+        lock.lock();
+        if (!first_error_) first_error_ = std::current_exception();
+        lock.unlock();
+      }
+      lock.lock();
+      stats_.tasks_run += 1;
+      outstanding_ -= 1;
+      if (outstanding_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    if (shutdown_) return;
+    work_cv_.wait(lock);
+  }
+}
+
+Status WorkStealingScheduler::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (!first_error_) return Status::OK();
+  std::exception_ptr error = std::exchange(first_error_, nullptr);
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("task threw a non-std exception");
+  }
+}
+
+void WorkStealingScheduler::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Drain: workers keep pulling queued tasks until nothing is left, so a
+    // shutdown never strands submitted work.
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+WorkStealingScheduler::Stats WorkStealingScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dflow::parallel

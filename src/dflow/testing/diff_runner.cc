@@ -176,6 +176,34 @@ Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
 
     run_join("dataflow", &engine, /*fault_free=*/true);
 
+    // Real-thread lanes: the same join on the morsel-driven executor.
+    // Wall-clock execution has no simulated time and no fabric, so only
+    // result equality is checked.
+    if (options_.real_parallel) {
+      for (uint32_t workers : options_.parallel_worker_counts) {
+        ExecOptions par = strict;
+        par.mode = ExecMode::kParallel;
+        par.parallel_workers = workers;
+        par.verify = verify::VerifyMode::kOff;  // no graph to verify
+        const std::string lane_name =
+            "real-parallel:w" + std::to_string(workers);
+        auto r = engine.ExecutePartitionedJoin(c.join, par);
+        if (!r.ok()) {
+          add_failure(lane_name, r.status());
+          note_divergence("lane '" + lane_name +
+                          "' failed: " + r.status().message());
+          continue;
+        }
+        CanonicalResult canon = CanonicalizeCount(r.ValueOrDie().total_rows);
+        LaneResult& lane = add_lane(lane_name, canon, /*sim_ns=*/0);
+        if (lane.fingerprint != out.reference_fingerprint) {
+          note_divergence("lane '" + lane_name + "' fingerprint " +
+                          lane.fingerprint + " != volcano reference " +
+                          out.reference_fingerprint);
+        }
+      }
+    }
+
     if (options_.sample_faults) {
       Engine faulty(config);
       DFLOW_RETURN_NOT_OK(RegisterTables(&faulty, c));
@@ -234,6 +262,42 @@ Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
         LaneResult& lane = add_lane(lane_name, canon,
                                     static_cast<uint64_t>(r.ValueOrDie().report.sim_ns));
         check_lane(lane, /*fault_free=*/true, r.ValueOrDie().report);
+      }
+    }
+  }
+
+  // --- Real-parallel lanes: the morsel-driven work-stealing executor. ---
+  // Run at several worker counts so single-worker (serial shape), the
+  // minimal-contention case, and an oversubscribed pool all fingerprint
+  // identically to the Volcano reference. No sim_ns / fault checks: this
+  // mode runs on the host, not the modeled fabric.
+  if (options_.real_parallel) {
+    for (uint32_t workers : options_.parallel_worker_counts) {
+      ExecOptions par = strict;
+      par.mode = ExecMode::kParallel;
+      par.parallel_workers = workers;
+      par.verify = verify::VerifyMode::kOff;  // no graph to verify
+      const std::string lane_name =
+          "real-parallel:w" + std::to_string(workers);
+      auto r = engine.Execute(c.query, par);
+      if (!r.ok()) {
+        add_failure(lane_name, r.status());
+        note_divergence("lane '" + lane_name +
+                        "' failed: " + r.status().message());
+        continue;
+      }
+      CanonicalResult canon = CanonicalizeChunks(r.ValueOrDie().chunks);
+      LaneResult& lane = add_lane(lane_name, canon, /*sim_ns=*/0);
+      if (lane.fingerprint != out.reference_fingerprint) {
+        note_divergence("lane '" + lane_name + "' fingerprint " +
+                        lane.fingerprint + " != volcano reference " +
+                        out.reference_fingerprint);
+      }
+      if (r.ValueOrDie().report.result_rows != canon.rows.size()) {
+        note_divergence("lane '" + lane_name + "' report.result_rows " +
+                        std::to_string(r.ValueOrDie().report.result_rows) +
+                        " != materialized rows " +
+                        std::to_string(canon.rows.size()));
       }
     }
   }

@@ -31,6 +31,14 @@ struct DiffOptions {
   BugKind inject_bug = BugKind::kNone;
   /// Buffer pool pages for the Volcano baseline.
   size_t pool_pages = 256;
+  /// Adds the "real-parallel" lanes: the case re-runs on the morsel-driven
+  /// work-stealing executor (ExecMode::kParallel) at each worker count in
+  /// `parallel_worker_counts`, and every lane's canonical fingerprint must
+  /// be byte-identical to the Volcano reference. Real threads, real
+  /// interleavings — the lane that proves output never depends on
+  /// scheduling. (fuzz_plans --parallel, default on)
+  bool real_parallel = true;
+  std::vector<uint32_t> parallel_worker_counts = {1, 2, 8};
   /// Adds the "chaos-serve" lane: the query is served repeatedly through a
   /// ServiceLoop on a faulty fabric with a flapping (crash + restore)
   /// accelerator, deadlines, a scheduled cancellation, circuit breakers,

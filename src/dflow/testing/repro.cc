@@ -46,7 +46,9 @@ std::string ReproToJson(const Repro& repro) {
          ",\n";
   out += "    \"pool_pages\": " + std::to_string(repro.diff.pool_pages) + ",\n";
   out += std::string("    \"chaos_serve\": ") +
-         (repro.diff.chaos_serve ? "true" : "false") + "\n";
+         (repro.diff.chaos_serve ? "true" : "false") + ",\n";
+  out += std::string("    \"real_parallel\": ") +
+         (repro.diff.real_parallel ? "true" : "false") + "\n";
   out += "  },\n";
   out += "  \"steps\": [";
   for (size_t i = 0; i < repro.steps.size(); ++i) {
@@ -116,6 +118,9 @@ Result<Repro> ReproFromJson(const std::string& json) {
   // files, which must stay replayable.
   const trace::JsonValue* chaos = diff->Find("chaos_serve");
   if (chaos != nullptr) repro.diff.chaos_serve = chaos->AsBool();
+  // Optional (added with the real-parallel lanes): same compatibility rule.
+  const trace::JsonValue* par = diff->Find("real_parallel");
+  if (par != nullptr) repro.diff.real_parallel = par->AsBool();
 
   const trace::JsonValue* steps = root.Find("steps");
   if (steps == nullptr) return MissingField("steps");

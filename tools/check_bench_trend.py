@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Wall-clock perf-CI gate over the bench_parallel_pipeline artifact.
+
+Unlike check_report.py (which gates deterministic virtual-clock counters),
+this gate consumes real elapsed-time throughput from the real-parallel
+executor ("dflow.bench_parallel.v1" JSON), so its thresholds are
+deliberately loose: the point is to catch an accidental 2x slowdown or a
+broken scheduler, not 3% noise.
+
+Two checks:
+
+  1. Regression: each (plan, workers) entry's rows_per_sec must be at least
+     (1 - max_regression) of the committed baseline's value for the same
+     pair. Default max_regression = 0.25. Baseline pairs missing from the
+     report fail; report pairs missing from the baseline are ignored (new
+     sweeps are added by --update-baseline).
+
+  2. Scaling: for each plan present at both 1 and 4 workers, the 4-worker
+     rows_per_sec must be >= min_scaling x the 1-worker number. Default
+     min_scaling = 2.0. The check is SKIPPED (with a notice) when the
+     recording host had fewer than 4 cores — the report carries
+     "host_cores" precisely so a laptop or a 1-core CI runner cannot fail a
+     parallel-scaling gate it physically cannot pass.
+
+The trajectory file (--trajectory) is an append-only JSONL perf history:
+one line per gated run, so the artifact accumulated across CI runs plots
+the rows/sec trend over time. Appending happens before gating — a failing
+run still lands in the history.
+
+Usage:
+  check_bench_trend.py --report out/BENCH_parallel.json \
+      --baseline bench/expectations/bench_parallel_baseline.json \
+      [--trajectory BENCH_parallel.trend.jsonl] [--label <sha>] \
+      [--max-regression 0.25] [--min-scaling 2.0]
+  check_bench_trend.py --report ... --baseline ... --update-baseline
+      rewrites the baseline from the observed report, derated by
+      --headroom (default 0.30) so run-to-run noise does not gate.
+
+Exit codes: 0 ok, 1 regression/malformed input, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "dflow.bench_parallel.v1"
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: unexpected schema {doc.get('schema')!r}")
+    entries = {}
+    for e in doc.get("entries", []):
+        entries[(e["plan"], int(e["workers"]))] = e
+    return doc, entries
+
+
+def append_trajectory(path, doc, label):
+    line = {
+        "bench": doc.get("bench", ""),
+        "host_cores": doc.get("host_cores", 0),
+        "entries": doc.get("entries", []),
+    }
+    if label:
+        line["label"] = label
+    with open(path, "a") as f:
+        f.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def update_baseline(doc, entries, path, headroom):
+    out = {
+        "bench": doc.get("bench", ""),
+        "host_cores": doc.get("host_cores", 0),
+        "headroom": headroom,
+        "entries": [
+            {
+                "plan": plan,
+                "workers": workers,
+                # Derated floor: the gate fires only below
+                # observed * (1 - headroom) * (1 - max_regression).
+                "rows_per_sec": round(
+                    entries[(plan, workers)]["rows_per_sec"] * (1 - headroom),
+                    1),
+            }
+            for (plan, workers) in sorted(entries)
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {path} ({len(out['entries'])} entries, "
+          f"{headroom:.0%} headroom)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", required=True,
+                        help="bench_parallel_pipeline --dflow_report_json "
+                             "output")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline "
+                             "(bench/expectations/bench_parallel_baseline"
+                             ".json)")
+    parser.add_argument("--trajectory", default=None,
+                        help="JSONL perf-history file to append this run to")
+    parser.add_argument("--label", default=None,
+                        help="label for the trajectory line (e.g. git sha)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="max fractional rows/sec drop vs baseline "
+                             "(default 0.25)")
+    parser.add_argument("--min-scaling", type=float, default=2.0,
+                        help="min 1->4 worker rows/sec ratio (default 2.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the report")
+    parser.add_argument("--headroom", type=float, default=0.30,
+                        help="derating applied by --update-baseline "
+                             "(default 0.30)")
+    args = parser.parse_args()
+
+    try:
+        doc, entries = load_report(args.report)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"error: cannot read report: {e}", file=sys.stderr)
+        return 1
+
+    if args.trajectory:
+        append_trajectory(args.trajectory, doc, args.label)
+        print(f"appended run to {args.trajectory}")
+
+    if args.update_baseline:
+        update_baseline(doc, entries, args.baseline, args.headroom)
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read baseline: {e}", file=sys.stderr)
+        return 1
+
+    failures = []
+    checked = 0
+
+    # 1. Throughput floor per (plan, workers) pair.
+    for b in baseline.get("entries", []):
+        key = (b["plan"], int(b["workers"]))
+        checked += 1
+        got = entries.get(key)
+        if got is None:
+            failures.append(f"{key[0]}/w={key[1]}: missing from report")
+            continue
+        floor = b["rows_per_sec"] * (1.0 - args.max_regression)
+        if got["rows_per_sec"] < floor:
+            drop = 1.0 - got["rows_per_sec"] / b["rows_per_sec"]
+            failures.append(
+                f"{key[0]}/w={key[1]}: {got['rows_per_sec']:.0f} rows/s is "
+                f"{drop:.0%} below baseline {b['rows_per_sec']:.0f} "
+                f"(allowed {args.max_regression:.0%})")
+
+    # 2. 1->4 worker scaling, only meaningful on a host with >= 4 cores.
+    host_cores = int(doc.get("host_cores", 0))
+    plans = sorted({plan for (plan, _) in entries})
+    if host_cores < 4:
+        print(f"scaling gate skipped: host has {host_cores} core(s), "
+              f"need >= 4 for a meaningful 1->4 worker ratio")
+    else:
+        for plan in plans:
+            one = entries.get((plan, 1))
+            four = entries.get((plan, 4))
+            if one is None or four is None:
+                continue  # sweep did not cover both; floor check still ran
+            checked += 1
+            if one["rows_per_sec"] <= 0:
+                failures.append(f"{plan}: zero 1-worker throughput")
+                continue
+            ratio = four["rows_per_sec"] / one["rows_per_sec"]
+            if ratio < args.min_scaling:
+                failures.append(
+                    f"{plan}: 1->4 worker scaling {ratio:.2f}x below the "
+                    f"{args.min_scaling:.1f}x floor "
+                    f"({one['rows_per_sec']:.0f} -> "
+                    f"{four['rows_per_sec']:.0f} rows/s)")
+
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} of {checked} checks):")
+        for f_ in failures:
+            print(f"  {f_}")
+        print("If the change is intentional, regenerate with "
+              "tools/check_bench_trend.py --update-baseline and commit the "
+              "diff.")
+        return 1
+    print(f"perf gate ok: {checked} checks "
+          f"(max regression {args.max_regression:.0%}"
+          + (f", 1->4 scaling >= {args.min_scaling:.1f}x" if host_cores >= 4
+             else ", scaling skipped") + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,14 @@
 // replayable "dflow.repro.v1" JSON.
 //
 // Usage: fuzz_plans [--seeds=N] [--seed_base=S] [--variants=K] [--faults=0|1]
-//                   [--deadlines] [--inject_bug=none|filter_drop_first_row]
+//                   [--parallel=0|1] [--deadlines]
+//                   [--inject_bug=none|filter_drop_first_row]
 //                   [--repro_dir=DIR] [--replay=FILE] [--verbose]
+//
+// --parallel (default on) adds the real-parallel lanes: every case also
+// runs on the morsel-driven work-stealing executor (ExecMode::kParallel)
+// at 1, 2, and 8 workers, and each run's canonical fingerprint must be
+// byte-identical to the Volcano reference.
 //
 // --deadlines adds the chaos-serve lane: every non-join case is also served
 // through a ServiceLoop with deadlines, a scheduled cancellation, circuit
@@ -45,6 +51,7 @@ struct Args {
   uint64_t seed_base = 0;
   size_t variants = 2;
   bool faults = true;
+  bool parallel = true;
   bool deadlines = false;
   testing::BugKind inject_bug = testing::BugKind::kNone;
   std::string repro_dir;
@@ -113,6 +120,8 @@ int main(int argc, char** argv) {
       args.variants = std::stoull(value);
     } else if (dflow::ParseFlag(argv[i], "--faults", &value)) {
       args.faults = value != "0";
+    } else if (dflow::ParseFlag(argv[i], "--parallel", &value)) {
+      args.parallel = value != "0";
     } else if (dflow::ParseFlag(argv[i], "--deadlines", &value)) {
       args.deadlines = value != "0";
     } else if (std::strcmp(argv[i], "--deadlines") == 0) {
@@ -134,8 +143,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: fuzz_plans [--seeds=N] [--seed_base=S] "
-                   "[--variants=K] [--faults=0|1] [--deadlines] "
-                   "[--inject_bug=KIND] "
+                   "[--variants=K] [--faults=0|1] [--parallel=0|1] "
+                   "[--deadlines] [--inject_bug=KIND] "
                    "[--repro_dir=DIR] [--replay=FILE] [--verbose]\n");
       return 2;
     }
@@ -150,6 +159,7 @@ int main(int argc, char** argv) {
   dflow::testing::DiffOptions diff_options;
   diff_options.placement_samples = args.variants;
   diff_options.sample_faults = args.faults;
+  diff_options.real_parallel = args.parallel;
   diff_options.chaos_serve = args.deadlines;
   diff_options.inject_bug = args.inject_bug;
   dflow::testing::DiffRunner runner(diff_options);

@@ -9,6 +9,15 @@ This lint greps the directories on the deterministic path -- src/dflow/sim,
 src/dflow/exec, src/dflow/trace -- for those constructs and fails CI when
 one appears unannotated.
 
+The real-parallel executor (src/dflow/exec/parallel/) is the one subsystem
+that legitimately runs on OS threads and measures elapsed time -- its whole
+point is to prove results stay deterministic even though scheduling is not.
+Those paths (plus its wall-clock bench) get a SCOPED allowlist: the
+wall-clock and threading rules are waived there and nowhere else, while the
+RNG / entropy / hash-order rules still apply in full. Threading primitives
+appearing anywhere else in the linted tree are findings: the simulator is a
+single-threaded event loop and a stray mutex is a design smell, not a fix.
+
 A finding is suppressed when the offending line, or one of the two lines
 directly above it, contains `determinism-ok:` followed by a justification
 (e.g. a hash map used only as a bucket index while output order comes from
@@ -45,13 +54,44 @@ RULES = [
      re.compile(r"std::unordered_(map|set|multimap|multiset)"),
      "iteration order depends on hashing/allocation; use std::map/std::set "
      "or annotate why order never escapes"),
+    # std::atomic is deliberately NOT matched: a relaxed counter (e.g. the
+    # invariant-oracle check count) is benign anywhere; it is blocking and
+    # scheduling primitives that put real concurrency on the deterministic
+    # path.
+    ("threading",
+     re.compile(r"std::(thread|jthread|mutex|shared_mutex|recursive_mutex|"
+                r"timed_mutex|condition_variable|condition_variable_any|"
+                r"lock_guard|unique_lock|scoped_lock|shared_lock|future|"
+                r"promise|async|barrier|latch|counting_semaphore|"
+                r"binary_semaphore)\b|this_thread::"),
+     "OS threads make scheduling nondeterministic; the simulator is a "
+     "single-threaded event loop -- threaded execution belongs under "
+     "src/dflow/exec/parallel/"),
 ]
+
+# Scoped allowlist: repo-relative path prefixes where the named rules are
+# waived. Only the real-parallel executor and its wall-clock bench may touch
+# threads and clocks; every other rule still applies to them, and every rule
+# applies everywhere else. Keep this list short and reviewed -- widening it
+# is how determinism regressions sneak in.
+ALLOWLIST = {
+    "src/dflow/exec/parallel/": ("wall-clock", "threading"),
+    "bench/bench_parallel_pipeline.cc": ("wall-clock", "threading"),
+}
 
 SUPPRESS = "determinism-ok:"
 
 
-def lint_file(path: pathlib.Path) -> list[str]:
+def waived_rules(rel_path: str) -> tuple[str, ...]:
+    for prefix, rules in ALLOWLIST.items():
+        if rel_path.startswith(prefix):
+            return rules
+    return ()
+
+
+def lint_file(path: pathlib.Path, rel_path: str) -> list[str]:
     findings = []
+    waived = waived_rules(rel_path)
     lines = path.read_text(encoding="utf-8").splitlines()
     for i, line in enumerate(lines):
         if line.lstrip().startswith("#include"):
@@ -60,6 +100,8 @@ def lint_file(path: pathlib.Path) -> list[str]:
         if any(SUPPRESS in c for c in context):
             continue
         for name, regex, why in RULES:
+            if name in waived:
+                continue
             if regex.search(line):
                 findings.append(
                     f"{path}:{i + 1}: [{name}] {line.strip()}\n    ({why}; "
@@ -86,7 +128,8 @@ def main() -> int:
 
     findings = []
     for path in files:
-        findings.extend(lint_file(path))
+        rel_path = path.relative_to(root).as_posix()
+        findings.extend(lint_file(path, rel_path))
 
     for f in findings:
         print(f)
