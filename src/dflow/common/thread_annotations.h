@@ -1,0 +1,75 @@
+#ifndef DFLOW_COMMON_THREAD_ANNOTATIONS_H_
+#define DFLOW_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (the -Wthread-safety family),
+/// compiling to nothing on every other compiler. The vocabulary follows the
+/// Clang documentation's canonical mutex.h so the analysis, the lock-order
+/// lint (tools/lint_lock_order.py), and human readers all speak the same
+/// dialect:
+///
+///   DFLOW_GUARDED_BY(mu)     data member readable/writable only with `mu`
+///                            held
+///   DFLOW_PT_GUARDED_BY(mu)  pointer member whose *pointee* needs `mu`
+///   DFLOW_REQUIRES(mu)       function must be called with `mu` held
+///   DFLOW_ACQUIRE(mu...)     function acquires `mu` and does not release it
+///   DFLOW_RELEASE(mu...)     function releases `mu`
+///   DFLOW_TRY_ACQUIRE(b, mu) function acquires `mu` iff it returns `b`
+///   DFLOW_EXCLUDES(mu)       function must NOT be called with `mu` held
+///                            (non-reentrancy / deadlock documentation)
+///   DFLOW_CAPABILITY(name)   class is a lockable capability (a mutex type)
+///   DFLOW_SCOPED_CAPABILITY  class is an RAII lock guard
+///   DFLOW_ACQUIRED_AFTER / _BEFORE  static lock-order declarations
+///   DFLOW_NO_THREAD_SAFETY_ANALYSIS escape hatch; every use needs a comment
+///
+/// CI builds src/ with clang and -Wthread-safety -Werror (the
+/// DFLOW_THREAD_SAFETY CMake option), so a guarded member touched without
+/// its mutex is a build break, not a TSan coin-flip.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DFLOW_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DFLOW_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+#define DFLOW_CAPABILITY(x) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define DFLOW_SCOPED_CAPABILITY \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define DFLOW_GUARDED_BY(x) DFLOW_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define DFLOW_PT_GUARDED_BY(x) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define DFLOW_ACQUIRED_BEFORE(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+
+#define DFLOW_ACQUIRED_AFTER(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+#define DFLOW_REQUIRES(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define DFLOW_ACQUIRE(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define DFLOW_RELEASE(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define DFLOW_TRY_ACQUIRE(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define DFLOW_EXCLUDES(...) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define DFLOW_ASSERT_CAPABILITY(x) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define DFLOW_RETURN_CAPABILITY(x) \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define DFLOW_NO_THREAD_SAFETY_ANALYSIS \
+  DFLOW_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // DFLOW_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,49 @@
+#ifndef DFLOW_EXEC_PARALLEL_ERROR_SLOT_H_
+#define DFLOW_EXEC_PARALLEL_ERROR_SLOT_H_
+
+#include <atomic>
+
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/status.h"
+#include "dflow/common/thread_annotations.h"
+
+namespace dflow::parallel {
+
+/// First-error capture shared by the parallel drivers: many workers may
+/// fail, the first Status wins, and a relaxed flag lets the hot path skip
+/// work after any failure without taking the lock. The mutex is the
+/// leaf-most rank (kErrorSlot): recording an error is legal while holding
+/// any other ranked lock (e.g. a join partition lock), and the slot itself
+/// never calls out while locked.
+class ErrorSlot {
+ public:
+  ErrorSlot() = default;
+  ErrorSlot(const ErrorSlot&) = delete;
+  ErrorSlot& operator=(const ErrorSlot&) = delete;
+
+  /// Records `s` if it is the first non-OK status; OK statuses are ignored.
+  void Record(const Status& s) {
+    if (s.ok()) return;
+    RankedMutexLock lock(&mutex_);
+    if (first_.ok()) first_ = s;
+    failed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Cheap cooperative-cancellation probe for worker hot paths.
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+
+  /// The first recorded error, or OK. Call after the workers quiesced.
+  Status first() const {
+    RankedMutexLock lock(&mutex_);
+    return first_;
+  }
+
+ private:
+  mutable RankedMutex mutex_{LockRank::kErrorSlot};
+  Status first_ DFLOW_GUARDED_BY(mutex_);
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace dflow::parallel
+
+#endif  // DFLOW_EXEC_PARALLEL_ERROR_SLOT_H_

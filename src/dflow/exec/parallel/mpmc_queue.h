@@ -1,13 +1,13 @@
 #ifndef DFLOW_EXEC_PARALLEL_MPMC_QUEUE_H_
 #define DFLOW_EXEC_PARALLEL_MPMC_QUEUE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
 #include "dflow/exec/invariants.h"
 
 namespace dflow::parallel {
@@ -35,16 +35,23 @@ enum class QueueOp {
 /// A capacity of zero is a construction error (an edge with zero credits
 /// can never move a chunk): the queue is born closed and `valid()` is
 /// false, making the misconfiguration observable without a death test.
+/// The static verifier refuses such edges up front (VY_DEADLOCK_ZERO_
+/// CAPACITY, DESIGN.md §9) before a graph ever reaches this constructor.
 ///
 /// Items keep strict FIFO order *per producer*: a single producer's items
 /// are popped in push order (the internal deque is FIFO and all operations
 /// are serialized on one mutex). Items from different producers interleave
 /// arbitrarily — downstream code must impose order (see
 /// parallel_executor.cc's sequence tags) when it matters.
+///
+/// Concurrency safety: every mutable member is DFLOW_GUARDED_BY(mutex_)
+/// and the mutex carries LockRank::kMpmcQueue — a leaf rank, so holding a
+/// queue lock while taking any other ranked lock is a checked violation.
 template <typename T>
 class MpmcQueue {
  public:
-  explicit MpmcQueue(size_t capacity) : capacity_(capacity) {
+  explicit MpmcQueue(size_t capacity)
+      : capacity_(capacity), mutex_(LockRank::kMpmcQueue) {
     if (capacity_ == 0) closed_ = true;
   }
   MpmcQueue(const MpmcQueue&) = delete;
@@ -58,51 +65,50 @@ class MpmcQueue {
   /// Blocks while the queue is full; returns kClosed (dropping `item`) if
   /// the queue is or becomes closed while waiting.
   QueueOp Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    RankedMutexLock lock(&mutex_);
+    while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mutex_);
     if (closed_) return QueueOp::kClosed;
     items_.push_back(std::move(item));
     DFLOW_INVARIANTS_ONLY(pushed_ += 1);
     CheckLedgerLocked();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return QueueOp::kOk;
   }
 
   /// Non-blocking Push; false when full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
     DFLOW_INVARIANTS_ONLY(pushed_ += 1);
     CheckLedgerLocked();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while the queue is empty and open; returns kClosed only once
   /// the queue is closed *and* every pushed item has been popped.
   QueueOp Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    RankedMutexLock lock(&mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(&mutex_);
     if (items_.empty()) return QueueOp::kClosed;
     *out = std::move(items_.front());
     items_.pop_front();
     DFLOW_INVARIANTS_ONLY(popped_ += 1);
     CheckLedgerLocked();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return QueueOp::kOk;
   }
 
   /// Non-blocking Pop; false when nothing is immediately available.
   bool TryPop(T* out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
     DFLOW_INVARIANTS_ONLY(popped_ += 1);
     CheckLedgerLocked();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return true;
   }
 
@@ -110,33 +116,33 @@ class MpmcQueue {
   /// drainable.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      RankedMutexLock lock(&mutex_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     return items_.size();
   }
 
   /// Tuple-conservation ledger (0 when the invariant oracle is compiled
   /// out): every pushed item is either popped or still queued.
   uint64_t pushed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     uint64_t v = 0;
     DFLOW_INVARIANTS_ONLY(v = pushed_);
     return v;
   }
   uint64_t popped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     uint64_t v = 0;
     DFLOW_INVARIANTS_ONLY(v = popped_);
     return v;
@@ -145,8 +151,8 @@ class MpmcQueue {
  private:
   /// The queue-side half of the executor's tuple-conservation invariant:
   /// pushed == popped + queued, and occupancy never exceeds capacity (the
-  /// credit bound). Caller holds mutex_.
-  void CheckLedgerLocked() {
+  /// credit bound).
+  void CheckLedgerLocked() DFLOW_REQUIRES(mutex_) {
     DFLOW_INVARIANT(items_.size() <= capacity_,
                     "queue occupancy " + std::to_string(items_.size()) +
                         " exceeds capacity " + std::to_string(capacity_));
@@ -158,14 +164,14 @@ class MpmcQueue {
   }
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable RankedMutex mutex_;
+  RankedCondVar not_full_;
+  RankedCondVar not_empty_;
+  std::deque<T> items_ DFLOW_GUARDED_BY(mutex_);
+  bool closed_ DFLOW_GUARDED_BY(mutex_) = false;
 #ifndef DFLOW_INVARIANTS_DISABLED
-  uint64_t pushed_ = 0;
-  uint64_t popped_ = 0;
+  uint64_t pushed_ DFLOW_GUARDED_BY(mutex_) = 0;
+  uint64_t popped_ DFLOW_GUARDED_BY(mutex_) = 0;
 #endif
 };
 

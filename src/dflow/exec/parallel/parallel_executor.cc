@@ -1,13 +1,12 @@
 #include "dflow/exec/parallel/parallel_executor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <mutex>
 #include <numeric>
 #include <thread>
 #include <utility>
 
+#include "dflow/exec/parallel/error_slot.h"
 #include "dflow/exec/parallel/mpmc_queue.h"
 #include "dflow/exec/parallel/task_scheduler.h"
 #include "dflow/types/value.h"
@@ -145,15 +144,7 @@ Result<std::vector<DataChunk>> RunMorselPipeline(
   }
 
   MpmcQueue<ResultItem> queue(options.queue_capacity);
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  Status first_error;  // guarded by error_mutex
-  auto record_error = [&](const Status& s) {
-    if (s.ok()) return;
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (first_error.ok()) first_error = s;
-    failed.store(true, std::memory_order_relaxed);
-  };
+  ErrorSlot errors;
 
   WorkStealingScheduler::Options sched_options;
   sched_options.workers = workers;
@@ -171,13 +162,13 @@ Result<std::vector<DataChunk>> RunMorselPipeline(
       rows_in += morsel.num_rows();
       scheduler.SubmitTo(
           static_cast<uint32_t>(i % workers), [&, morsel](uint32_t worker) {
-            if (failed.load(std::memory_order_relaxed)) return;
+            if (errors.failed()) return;
             const DataChunk chunk = morsel.Materialize();
             std::vector<DataChunk> outs;
             const Status s =
                 PushThroughChain(&chains[worker], 0, chunk, &outs);
             if (!s.ok()) {
-              record_error(s);
+              errors.Record(s);
               return;
             }
             if (outs.empty()) return;
@@ -193,13 +184,13 @@ Result<std::vector<DataChunk>> RunMorselPipeline(
     // the collector below terminates.
     const uint64_t finish_base = morsels.size();
     std::thread closer([&] {
-      record_error(scheduler.Wait());
-      if (!failed.load(std::memory_order_relaxed)) {
+      errors.Record(scheduler.Wait());
+      if (!errors.failed()) {
         for (uint32_t w = 0; w < workers; ++w) {
           std::vector<DataChunk> flushed;
           const Status s = FinishChain(&chains[w], &flushed);
           if (!s.ok()) {
-            record_error(s);
+            errors.Record(s);
             break;
           }
           if (flushed.empty()) continue;
@@ -229,10 +220,7 @@ Result<std::vector<DataChunk>> RunMorselPipeline(
     }
   }  // joins the worker pool
 
-  {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    DFLOW_RETURN_NOT_OK(first_error);
-  }
+  DFLOW_RETURN_NOT_OK(errors.first());
 
   DFLOW_ASSIGN_OR_RETURN(
       std::vector<DataChunk> merged,

@@ -1,18 +1,63 @@
 #include "dflow/exec/parallel/parallel_join.h"
 
-#include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
 #include "dflow/exec/filter.h"
 #include "dflow/exec/join.h"
+#include "dflow/exec/parallel/error_slot.h"
 #include "dflow/exec/parallel/morsel.h"
 #include "dflow/exec/parallel/task_scheduler.h"
 #include "dflow/exec/partition.h"
 
 namespace dflow::parallel {
+
+namespace {
+
+/// One join partition during the BUILD phase: workers route build rows to
+/// shards and insert under the shard lock — distinct partitions insert
+/// concurrently, same-partition inserts serialize. Insert order inside a
+/// partition varies with scheduling, but a hash table's *contents* — and
+/// so its probe match counts — do not. After the build barrier
+/// (scheduler.Wait()) the tables are immutable and the PROBE phase reads
+/// them lock-free through the plain `tables` vector: the barrier, not the
+/// mutex, publishes them (phase-based hand-off, DESIGN.md §9).
+struct BuildShard {
+  RankedMutex mu{LockRank::kJoinPartition};
+  JoinHashTable* table DFLOW_PT_GUARDED_BY(mu) = nullptr;
+
+  Status Insert(const DataChunk& rows) DFLOW_EXCLUDES(mu) {
+    RankedMutexLock lock(&mu);
+    return table->Insert(rows);
+  }
+};
+
+/// Probe-side match counters, merged per task under one leaf lock.
+class MatchCounters {
+ public:
+  explicit MatchCounters(uint32_t partitions)
+      : counts_(partitions, 0) {}
+
+  void Merge(const std::vector<int64_t>& local) DFLOW_EXCLUDES(mu_) {
+    RankedMutexLock lock(&mu_);
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += local[i];
+  }
+
+  std::vector<int64_t> Take() DFLOW_EXCLUDES(mu_) {
+    RankedMutexLock lock(&mu_);
+    return std::move(counts_);
+  }
+
+ private:
+  RankedMutex mu_{LockRank::kJoinPartition};
+  std::vector<int64_t> counts_ DFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 Result<ParallelJoinResult> RunParallelHashJoin(
     const ParallelJoinInputs& inputs, const ParallelExecOptions& options,
@@ -32,21 +77,11 @@ Result<ParallelJoinResult> RunParallelHashJoin(
     tables.push_back(
         std::make_shared<JoinHashTable>(inputs.build_schema, inputs.build_key));
   }
-  // One lock per partition: workers insert into distinct partitions
-  // concurrently; same-partition inserts serialize. Insert order inside a
-  // partition varies with scheduling, but a hash table's *contents* — and
-  // so its probe match counts — do not.
-  std::vector<std::mutex> partition_mutex(p);
+  // std::deque: BuildShard holds a RankedMutex and cannot move.
+  std::deque<BuildShard> shards(p);
+  for (uint32_t i = 0; i < p; ++i) shards[i].table = tables[i].get();
 
-  std::atomic<bool> failed{false};
-  std::mutex error_mutex;
-  Status first_error;  // guarded by error_mutex
-  auto record_error = [&](const Status& s) {
-    if (s.ok()) return;
-    std::lock_guard<std::mutex> lock(error_mutex);
-    if (first_error.ok()) first_error = s;
-    failed.store(true, std::memory_order_relaxed);
-  };
+  ErrorSlot errors;
 
   WorkStealingScheduler::Options sched_options;
   sched_options.workers = options.workers;
@@ -71,38 +106,33 @@ Result<ParallelJoinResult> RunParallelHashJoin(
       scheduler.SubmitTo(
           static_cast<uint32_t>(i % options.workers),
           [&, morsel](uint32_t) {
-            if (failed.load(std::memory_order_relaxed)) return;
+            if (errors.failed()) return;
             const DataChunk chunk = morsel.Materialize();
             std::vector<DataChunk> parts;
             Status s = build_part.Split(chunk, &parts);
             if (!s.ok()) {
-              record_error(s);
+              errors.Record(s);
               return;
             }
             for (uint32_t part = 0; part < p; ++part) {
               if (parts[part].empty()) continue;
-              std::lock_guard<std::mutex> lock(partition_mutex[part]);
-              s = tables[part]->Insert(parts[part]);
+              s = shards[part].Insert(parts[part]);
               if (!s.ok()) {
-                record_error(s);
+                errors.Record(s);
                 return;
               }
             }
           });
     }
-    record_error(scheduler.Wait());
+    errors.Record(scheduler.Wait());
     const WorkStealingScheduler::Stats ss = scheduler.stats();
     tasks += ss.tasks_run;
     steals += ss.steals;
   }
-  {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    DFLOW_RETURN_NOT_OK(first_error);
-  }
+  DFLOW_RETURN_NOT_OK(errors.first());
 
   // ------------------------------------------------------- probe phase
-  std::vector<int64_t> partition_counts(p, 0);  // guarded by count_mutex
-  std::mutex count_mutex;
+  MatchCounters counters(p);
   {
     const std::vector<Morsel> morsels =
         SplitIntoMorsels(inputs.probe_chunks, options.morsel_rows);
@@ -114,19 +144,19 @@ Result<ParallelJoinResult> RunParallelHashJoin(
       scheduler.SubmitTo(
           static_cast<uint32_t>(i % options.workers),
           [&, morsel](uint32_t) {
-            if (failed.load(std::memory_order_relaxed)) return;
+            if (errors.failed()) return;
             DataChunk chunk = morsel.Materialize();
             if (inputs.probe_filter != nullptr) {
               auto filter = FilterOperator::Make(inputs.probe_filter,
                                                  inputs.probe_schema);
               if (!filter.ok()) {
-                record_error(filter.status());
+                errors.Record(filter.status());
                 return;
               }
               std::vector<DataChunk> kept;
               const Status s = filter.ValueOrDie()->Push(chunk, &kept);
               if (!s.ok()) {
-                record_error(s);
+                errors.Record(s);
                 return;
               }
               if (kept.empty()) return;
@@ -141,39 +171,35 @@ Result<ParallelJoinResult> RunParallelHashJoin(
             std::vector<DataChunk> parts;
             Status s = probe_part.Split(chunk, &parts);
             if (!s.ok()) {
-              record_error(s);
+              errors.Record(s);
               return;
             }
             std::vector<int64_t> local(p, 0);
             for (uint32_t part = 0; part < p; ++part) {
               if (parts[part].empty()) continue;
               std::vector<std::pair<uint32_t, uint32_t>> matches;
+              // Lock-free read: the build barrier published the tables and
+              // nothing mutates them during the probe phase.
               s = tables[part]->Probe(parts[part].column(inputs.probe_key),
                                       &matches);
               if (!s.ok()) {
-                record_error(s);
+                errors.Record(s);
                 return;
               }
               local[part] += static_cast<int64_t>(matches.size());
             }
-            std::lock_guard<std::mutex> lock(count_mutex);
-            for (uint32_t part = 0; part < p; ++part) {
-              partition_counts[part] += local[part];
-            }
+            counters.Merge(local);
           });
     }
-    record_error(scheduler.Wait());
+    errors.Record(scheduler.Wait());
     const WorkStealingScheduler::Stats ss = scheduler.stats();
     tasks += ss.tasks_run;
     steals += ss.steals;
   }
-  {
-    std::lock_guard<std::mutex> lock(error_mutex);
-    DFLOW_RETURN_NOT_OK(first_error);
-  }
+  DFLOW_RETURN_NOT_OK(errors.first());
 
   ParallelJoinResult result;
-  result.partition_counts = std::move(partition_counts);
+  result.partition_counts = counters.Take();
   for (int64_t c : result.partition_counts) result.total_rows += c;
   result.probe_rows_in = probe_rows;
   if (stats != nullptr) {

@@ -23,27 +23,26 @@ WorkStealingScheduler::WorkStealingScheduler(const Options& options)
 WorkStealingScheduler::~WorkStealingScheduler() { Shutdown(); }
 
 void WorkStealingScheduler::Submit(Task task) {
-  uint32_t target;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    target = next_worker_;
+    RankedMutexLock lock(&mutex_);
+    const uint32_t target = next_worker_;
     next_worker_ = (next_worker_ + 1) % workers_;
     DFLOW_CHECK(!shutdown_);
     outstanding_ += 1;
     deques_[target].push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void WorkStealingScheduler::SubmitTo(uint32_t worker, Task task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     DFLOW_CHECK(!shutdown_);
     DFLOW_CHECK(worker < workers_);
     outstanding_ += 1;
     deques_[worker].push_back(std::move(task));
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 bool WorkStealingScheduler::PopTaskLocked(uint32_t id, Task* task) {
@@ -55,8 +54,7 @@ bool WorkStealingScheduler::PopTaskLocked(uint32_t id, Task* task) {
   if (workers_ == 1) return false;
   // Steal from the front (oldest task) of a pseudo-random victim, scanning
   // the rest in ring order so a single loaded worker is always found.
-  const uint32_t start =
-      static_cast<uint32_t>(steal_rng_[id]() % workers_);
+  const uint32_t start = static_cast<uint32_t>(steal_rng_[id]() % workers_);
   for (uint32_t probe = 0; probe < workers_; ++probe) {
     const uint32_t victim = (start + probe) % workers_;
     if (victim == id || deques_[victim].empty()) continue;
@@ -69,34 +67,40 @@ bool WorkStealingScheduler::PopTaskLocked(uint32_t id, Task* task) {
 }
 
 void WorkStealingScheduler::WorkerLoop(uint32_t id) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.lock();
   while (true) {
     Task task;
     if (PopTaskLocked(id, &task)) {
-      lock.unlock();
+      mutex_.unlock();
+      bool threw = false;
+      std::exception_ptr error;
       try {
         task(id);
       } catch (...) {
-        lock.lock();
-        if (!first_error_) first_error_ = std::current_exception();
-        lock.unlock();
+        threw = true;
+        error = std::current_exception();
       }
-      lock.lock();
+      mutex_.lock();
+      if (threw && !first_error_) first_error_ = error;
       stats_.tasks_run += 1;
       outstanding_ -= 1;
-      if (outstanding_ == 0) done_cv_.notify_all();
+      if (outstanding_ == 0) done_cv_.NotifyAll();
       continue;
     }
-    if (shutdown_) return;
-    work_cv_.wait(lock);
+    if (shutdown_) break;
+    work_cv_.Wait(&mutex_);
   }
+  mutex_.unlock();
 }
 
 Status WorkStealingScheduler::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
-  if (!first_error_) return Status::OK();
-  std::exception_ptr error = std::exchange(first_error_, nullptr);
+  std::exception_ptr error;
+  {
+    RankedMutexLock lock(&mutex_);
+    while (outstanding_ != 0) done_cv_.Wait(&mutex_);
+    if (!first_error_) return Status::OK();
+    error = std::exchange(first_error_, nullptr);
+  }
   try {
     std::rethrow_exception(error);
   } catch (const std::exception& e) {
@@ -108,21 +112,21 @@ Status WorkStealingScheduler::Wait() {
 
 void WorkStealingScheduler::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    RankedMutexLock lock(&mutex_);
     // Drain: workers keep pulling queued tasks until nothing is left, so a
     // shutdown never strands submitted work.
-    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    while (outstanding_ != 0) done_cv_.Wait(&mutex_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
 WorkStealingScheduler::Stats WorkStealingScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  RankedMutexLock lock(&mutex_);
   return stats_;
 }
 

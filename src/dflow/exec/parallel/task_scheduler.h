@@ -1,17 +1,17 @@
 #ifndef DFLOW_EXEC_PARALLEL_TASK_SCHEDULER_H_
 #define DFLOW_EXEC_PARALLEL_TASK_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
 
+#include "dflow/common/lock_rank.h"
 #include "dflow/common/result.h"
+#include "dflow/common/thread_annotations.h"
 
 namespace dflow::parallel {
 
@@ -26,7 +26,9 @@ namespace dflow::parallel {
 /// so the lock is touched once per thousands of rows processed and never
 /// shows up in profiles at the 1–8 worker scale this engine targets; in
 /// exchange the scheduler is simple enough to eyeball for races and is
-/// TSan-clean by construction.
+/// TSan-clean by construction. Every guarded member is annotated
+/// DFLOW_GUARDED_BY(mutex_) and the mutex carries LockRank::kStealDeque,
+/// so -Wthread-safety and the runtime rank checker both police it.
 ///
 /// Exception propagation: the first exception a task throws is captured
 /// and re-surfaced as an Internal status from Wait(); later tasks still
@@ -61,41 +63,44 @@ class WorkStealingScheduler {
 
   /// Enqueues onto workers round-robin (initial placement; stealing
   /// rebalances from there).
-  void Submit(Task task);
+  void Submit(Task task) DFLOW_EXCLUDES(mutex_);
 
   /// Enqueues onto a specific worker's deque (it may still be stolen).
-  void SubmitTo(uint32_t worker, Task task);
+  void SubmitTo(uint32_t worker, Task task) DFLOW_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task (including tasks submitted by
   /// tasks) has finished. Returns the first captured task exception as an
   /// Internal status — and clears it, so the scheduler is reusable.
-  Status Wait();
+  Status Wait() DFLOW_EXCLUDES(mutex_);
 
   /// Runs every already-queued task to completion, then stops and joins
   /// all workers. Idempotent; called by the destructor. After Shutdown,
   /// Submit is illegal.
-  void Shutdown();
+  void Shutdown() DFLOW_EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const DFLOW_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop(uint32_t id);
+  void WorkerLoop(uint32_t id) DFLOW_EXCLUDES(mutex_);
   /// Pops a task for worker `id` (own deque back, else steal a victim's
-  /// front). Caller holds mutex_. Returns false when no work exists.
-  bool PopTaskLocked(uint32_t id, Task* task);
+  /// front). Returns false when no work exists.
+  bool PopTaskLocked(uint32_t id, Task* task) DFLOW_REQUIRES(mutex_);
 
   const uint32_t workers_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  // new work or shutdown
-  std::condition_variable done_cv_;  // outstanding_ hit zero
-  std::vector<std::deque<Task>> deques_;
-  std::vector<std::mt19937_64> steal_rng_;  // per worker, under mutex_
+  mutable RankedMutex mutex_{LockRank::kStealDeque};
+  RankedCondVar work_cv_;  // new work or shutdown
+  RankedCondVar done_cv_;  // outstanding_ hit zero
+  std::vector<std::deque<Task>> deques_ DFLOW_GUARDED_BY(mutex_);
+  /// Per-worker victim-selection RNGs, under mutex_ like the deques.
+  std::vector<std::mt19937_64> steal_rng_ DFLOW_GUARDED_BY(mutex_);
+  /// Joined only by Shutdown after every worker observed shutdown_; not
+  /// guarded (the ctor and Shutdown are single-threaded by contract).
   std::vector<std::thread> threads_;
-  uint64_t outstanding_ = 0;  // submitted, not yet completed
-  uint32_t next_worker_ = 0;  // round-robin Submit cursor
-  bool shutdown_ = false;
-  Stats stats_;
-  std::exception_ptr first_error_;
+  uint64_t outstanding_ DFLOW_GUARDED_BY(mutex_) = 0;
+  uint32_t next_worker_ DFLOW_GUARDED_BY(mutex_) = 0;  // round-robin cursor
+  bool shutdown_ DFLOW_GUARDED_BY(mutex_) = false;
+  Stats stats_ DFLOW_GUARDED_BY(mutex_);
+  std::exception_ptr first_error_ DFLOW_GUARDED_BY(mutex_);
 };
 
 }  // namespace dflow::parallel

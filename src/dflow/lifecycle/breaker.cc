@@ -101,6 +101,7 @@ void CircuitBreaker::RecordFailure(sim::SimTime now) {
 
 bool BreakerRegistry::Allows(const std::string& device,
                              sim::SimTime now) const {
+  RankedMutexLock lock(&mutex_);
   if (!config_.enabled) return true;
   auto it = breakers_.find(device);
   return it == breakers_.end() || it->second.Allows(now);
@@ -108,11 +109,13 @@ bool BreakerRegistry::Allows(const std::string& device,
 
 BreakerState BreakerRegistry::state(const std::string& device,
                                     sim::SimTime now) const {
+  RankedMutexLock lock(&mutex_);
   auto it = breakers_.find(device);
   return it == breakers_.end() ? BreakerState::kClosed : it->second.state(now);
 }
 
 bool BreakerRegistry::BeginProbe(const std::string& device, sim::SimTime now) {
+  RankedMutexLock lock(&mutex_);
   if (!config_.enabled) return false;
   auto it = breakers_.find(device);
   if (it == breakers_.end()) return false;
@@ -127,6 +130,7 @@ bool BreakerRegistry::BeginProbe(const std::string& device, sim::SimTime now) {
 
 void BreakerRegistry::RecordSuccess(const std::string& device,
                                     sim::SimTime now) {
+  RankedMutexLock lock(&mutex_);
   if (!config_.enabled) return;
   auto it = breakers_.find(device);
   if (it != breakers_.end()) it->second.RecordSuccess(now);
@@ -134,6 +138,7 @@ void BreakerRegistry::RecordSuccess(const std::string& device,
 
 void BreakerRegistry::RecordFailure(const std::string& device,
                                     sim::SimTime now) {
+  RankedMutexLock lock(&mutex_);
   if (!config_.enabled) return;
   auto it = breakers_.find(device);
   if (it == breakers_.end()) {
@@ -143,6 +148,7 @@ void BreakerRegistry::RecordFailure(const std::string& device,
 }
 
 size_t BreakerRegistry::open_count(sim::SimTime now) const {
+  RankedMutexLock lock(&mutex_);
   size_t open = 0;
   for (const auto& [name, breaker] : breakers_) {
     (void)name;
@@ -152,6 +158,7 @@ size_t BreakerRegistry::open_count(sim::SimTime now) const {
 }
 
 bool BreakerRegistry::HasProbeSlot(sim::SimTime now) const {
+  RankedMutexLock lock(&mutex_);
   for (const auto& [name, breaker] : breakers_) {
     (void)name;
     if (breaker.state(now) == BreakerState::kHalfOpen && breaker.Allows(now)) {
@@ -162,6 +169,7 @@ bool BreakerRegistry::HasProbeSlot(sim::SimTime now) const {
 }
 
 uint64_t BreakerRegistry::transitions_total() const {
+  RankedMutexLock lock(&mutex_);
   uint64_t total = 0;
   for (const auto& [name, breaker] : breakers_) {
     (void)name;

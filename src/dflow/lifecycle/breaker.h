@@ -5,6 +5,8 @@
 #include <map>
 #include <string>
 
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
 #include "dflow/sim/simulator.h"
 
 namespace dflow::lifecycle {
@@ -81,6 +83,13 @@ class CircuitBreaker {
 /// iteration order feeds reports and must be deterministic). Devices are
 /// tracked lazily — a device with no recorded failure has no breaker and
 /// is always allowed.
+///
+/// The registry is a monitor at LockRank::kBreakerRegistry: the breaker
+/// map and probe counter are guarded, individual CircuitBreakers are only
+/// ever touched under the registry lock, and no method calls out while
+/// holding it. Placement filters (Scheduler::PlacementFilter closures
+/// calling Allows) may thus run on a future re-placement thread while the
+/// event loop records feedback.
 class BreakerRegistry {
  public:
   explicit BreakerRegistry(BreakerConfig config) : config_(config) {}
@@ -89,33 +98,42 @@ class BreakerRegistry {
   bool enabled() const { return config_.enabled; }
 
   /// Whether a new placement may use `device` at `now`.
-  bool Allows(const std::string& device, sim::SimTime now) const;
+  bool Allows(const std::string& device, sim::SimTime now) const
+      DFLOW_EXCLUDES(mutex_);
 
   /// Effective state (kClosed for untracked devices).
-  BreakerState state(const std::string& device, sim::SimTime now) const;
+  BreakerState state(const std::string& device, sim::SimTime now) const
+      DFLOW_EXCLUDES(mutex_);
 
   /// Takes the half-open probe slot of `device` if it is half-open;
   /// returns whether a probe was actually started.
-  bool BeginProbe(const std::string& device, sim::SimTime now);
+  bool BeginProbe(const std::string& device, sim::SimTime now)
+      DFLOW_EXCLUDES(mutex_);
 
   /// Feedback from a finished query. Success only touches devices that
   /// already have a breaker (closing half-open ones, clearing failure
   /// streaks); failure creates the breaker on first sight.
-  void RecordSuccess(const std::string& device, sim::SimTime now);
-  void RecordFailure(const std::string& device, sim::SimTime now);
+  void RecordSuccess(const std::string& device, sim::SimTime now)
+      DFLOW_EXCLUDES(mutex_);
+  void RecordFailure(const std::string& device, sim::SimTime now)
+      DFLOW_EXCLUDES(mutex_);
 
   /// Number of devices whose breaker is open (not yet cooled) at `now`.
-  size_t open_count(sim::SimTime now) const;
+  size_t open_count(sim::SimTime now) const DFLOW_EXCLUDES(mutex_);
   /// Whether any device is half-open with a free probe slot at `now`.
-  bool HasProbeSlot(sim::SimTime now) const;
+  bool HasProbeSlot(sim::SimTime now) const DFLOW_EXCLUDES(mutex_);
 
-  uint64_t transitions_total() const;
-  uint64_t probes_total() const { return probes_total_; }
+  uint64_t transitions_total() const DFLOW_EXCLUDES(mutex_);
+  uint64_t probes_total() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return probes_total_;
+  }
 
  private:
   BreakerConfig config_;
-  std::map<std::string, CircuitBreaker> breakers_;
-  uint64_t probes_total_ = 0;
+  mutable RankedMutex mutex_{LockRank::kBreakerRegistry};
+  std::map<std::string, CircuitBreaker> breakers_ DFLOW_GUARDED_BY(mutex_);
+  uint64_t probes_total_ DFLOW_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dflow::lifecycle

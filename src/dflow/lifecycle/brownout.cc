@@ -18,7 +18,7 @@ const char* BrownoutLevelName(BrownoutLevel level) {
   return "UNKNOWN";
 }
 
-double BrownoutController::WindowedMissRate(
+double BrownoutController::WindowedMissRateLocked(
     const BrownoutSignals& signals) const {
   const uint64_t misses = signals.deadline_misses - misses_at_change_;
   const uint64_t terminals = signals.terminals - terminals_at_change_;
@@ -28,11 +28,12 @@ double BrownoutController::WindowedMissRate(
 
 BrownoutLevel BrownoutController::Update(const BrownoutSignals& signals,
                                          sim::SimTime now) {
+  RankedMutexLock lock(&mutex_);
   if (!config_.enabled) return level_;
   if (now < level_since_ns_ + config_.dwell_ns) {
     return level_;  // dwell not yet served (the initial kFull dwell too)
   }
-  const double miss_rate = WindowedMissRate(signals);
+  const double miss_rate = WindowedMissRateLocked(signals);
   const bool pressure_up = signals.queue_fraction >= config_.queue_up ||
                            miss_rate >= config_.miss_up ||
                            signals.open_breakers >= config_.breakers_up;

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
 #include "dflow/sim/simulator.h"
 
 namespace dflow::lifecycle {
@@ -55,36 +57,54 @@ struct BrownoutConfig {
 /// The ladder state machine. The service loop calls Update() at every
 /// arrival and terminal completion; the returned level governs placement
 /// forcing and shedding for subsequent decisions.
+/// Monitor at LockRank::kBrownout: the rung, dwell clock, and counters
+/// are guarded so the level can be read (level()) by a concurrent
+/// placement path while the event loop drives Update().
 class BrownoutController {
  public:
   explicit BrownoutController(BrownoutConfig config) : config_(config) {}
 
   const BrownoutConfig& config() const { return config_; }
-  BrownoutLevel level() const { return level_; }
+  BrownoutLevel level() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return level_;
+  }
 
   /// Re-evaluates the ladder against `signals` at `now`; moves at most one
   /// rung and only after dwell_ns at the current one. Returns the level in
   /// force after the update.
-  BrownoutLevel Update(const BrownoutSignals& signals, sim::SimTime now);
+  BrownoutLevel Update(const BrownoutSignals& signals, sim::SimTime now)
+      DFLOW_EXCLUDES(mutex_);
 
   /// Times the ladder moved up (escalations) / down, and the worst rung.
-  uint64_t escalations() const { return escalations_; }
-  uint64_t deescalations() const { return deescalations_; }
-  BrownoutLevel peak_level() const { return peak_; }
+  uint64_t escalations() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return escalations_;
+  }
+  uint64_t deescalations() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return deescalations_;
+  }
+  BrownoutLevel peak_level() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return peak_;
+  }
 
  private:
-  double WindowedMissRate(const BrownoutSignals& signals) const;
+  double WindowedMissRateLocked(const BrownoutSignals& signals) const
+      DFLOW_REQUIRES(mutex_);
 
   BrownoutConfig config_;
-  BrownoutLevel level_ = BrownoutLevel::kFull;
-  BrownoutLevel peak_ = BrownoutLevel::kFull;
-  sim::SimTime level_since_ns_ = 0;
+  mutable RankedMutex mutex_{LockRank::kBrownout};
+  BrownoutLevel level_ DFLOW_GUARDED_BY(mutex_) = BrownoutLevel::kFull;
+  BrownoutLevel peak_ DFLOW_GUARDED_BY(mutex_) = BrownoutLevel::kFull;
+  sim::SimTime level_since_ns_ DFLOW_GUARDED_BY(mutex_) = 0;
   /// Counter snapshot at the last level change: the miss rate is computed
   /// over the window since then, so old incidents age out of the signal.
-  uint64_t misses_at_change_ = 0;
-  uint64_t terminals_at_change_ = 0;
-  uint64_t escalations_ = 0;
-  uint64_t deescalations_ = 0;
+  uint64_t misses_at_change_ DFLOW_GUARDED_BY(mutex_) = 0;
+  uint64_t terminals_at_change_ DFLOW_GUARDED_BY(mutex_) = 0;
+  uint64_t escalations_ DFLOW_GUARDED_BY(mutex_) = 0;
+  uint64_t deescalations_ DFLOW_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dflow::lifecycle

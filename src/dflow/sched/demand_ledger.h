@@ -1,0 +1,54 @@
+#ifndef DFLOW_SCHED_DEMAND_LEDGER_H_
+#define DFLOW_SCHED_DEMAND_LEDGER_H_
+
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
+#include "dflow/sched/scheduler.h"
+
+namespace dflow {
+
+/// Thread-safe owner of the rolling CommittedDemand ledger. The service
+/// loop is a deterministic single-threaded event loop today, but the
+/// ledger is the one piece of scheduler state a future adaptive runtime
+/// re-placement thread must read concurrently (ROADMAP: re-invoking
+/// PlanOne mid-flight), so it is a monitor now: callers get a value
+/// Snapshot to cost candidates against, and Charge / Release mutate under
+/// the lock. PlanOne itself stays lock-free — it takes the snapshot by
+/// value, so planning never holds kDemandLedger while costing.
+///
+/// Rank: kDemandLedger. Nothing is called out to while locked, so the
+/// ledger never nests inside or around another ranked lock.
+class DemandLedger {
+ public:
+  DemandLedger() = default;
+  DemandLedger(const DemandLedger&) = delete;
+  DemandLedger& operator=(const DemandLedger&) = delete;
+
+  /// Value copy of the current ledger — what PlanOne costs against.
+  CommittedDemand Snapshot() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return committed_;
+  }
+
+  /// Adds a launched query's estimated demand to the ledger.
+  void Charge(const Scheduler& scheduler, const CostEstimate& cost)
+      DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    scheduler.Charge(cost, &committed_);
+  }
+
+  /// Removes a completed query's demand from the ledger.
+  void Release(const Scheduler& scheduler, const CostEstimate& cost)
+      DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    scheduler.Release(cost, &committed_);
+  }
+
+ private:
+  mutable RankedMutex mutex_{LockRank::kDemandLedger};
+  CommittedDemand committed_ DFLOW_GUARDED_BY(mutex_);
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_SCHED_DEMAND_LEDGER_H_

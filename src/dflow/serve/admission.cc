@@ -25,6 +25,7 @@ AdmissionController::AdmissionController(
 }
 
 std::optional<RejectCode> AdmissionController::Offer(const Ticket& ticket) {
+  RankedMutexLock lock(&mutex_);
   const TenantConfig& tenant = (*tenants_)[ticket.tenant];
   if (queues_[ticket.tenant].size() >= tenant.queue_capacity) {
     return RejectCode::kQueueFull;
@@ -37,13 +38,14 @@ std::optional<RejectCode> AdmissionController::Offer(const Ticket& ticket) {
   return std::nullopt;
 }
 
-bool AdmissionController::CanStart(size_t tenant) const {
+bool AdmissionController::CanStartLocked(size_t tenant) const {
   if (in_flight_total_ >= config_.global_max_in_flight) return false;
   const size_t cap = (*tenants_)[tenant].max_in_flight;
   return cap == 0 || in_flight_[tenant] < cap;
 }
 
 std::optional<Ticket> AdmissionController::PopRunnable() {
+  RankedMutexLock lock(&mutex_);
   const size_t n = queues_.size();
   bool found = false;
   size_t best = 0;
@@ -52,7 +54,7 @@ std::optional<Ticket> AdmissionController::PopRunnable() {
   // classes take turns; a strictly lower priority number always wins.
   for (size_t step = 1; step <= n; ++step) {
     const size_t t = (rr_cursor_ + step) % n;
-    if (queues_[t].empty() || !CanStart(t)) continue;
+    if (queues_[t].empty() || !CanStartLocked(t)) continue;
     const int priority = (*tenants_)[t].priority;
     if (!found || priority < best_priority) {
       found = true;
@@ -71,12 +73,14 @@ std::optional<Ticket> AdmissionController::PopRunnable() {
 }
 
 void AdmissionController::OnCompletion(size_t tenant) {
+  RankedMutexLock lock(&mutex_);
   DFLOW_CHECK(in_flight_[tenant] > 0 && in_flight_total_ > 0);
   --in_flight_[tenant];
   --in_flight_total_;
 }
 
 std::optional<Ticket> AdmissionController::CancelQueued(uint64_t query_id) {
+  RankedMutexLock lock(&mutex_);
   for (std::deque<Ticket>& queue : queues_) {
     for (auto it = queue.begin(); it != queue.end(); ++it) {
       if (it->query_id != query_id) continue;

@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
 #include "dflow/serve/workload.h"
 #include "dflow/sim/simulator.h"
 
@@ -47,42 +49,63 @@ struct Ticket {
 /// global and per-tenant in-flight caps. An arrival that finds the fabric
 /// idle is popped in the same event, so "admit immediately" is just
 /// Offer + Pop at one timestamp.
+///
+/// The controller is a monitor: every queue and counter is guarded by one
+/// mutex at LockRank::kAdmission, and no method calls out while holding
+/// it. The service loop is single-threaded today; the lock makes the
+/// controller safe for the roadmap's adaptive re-placement thread, which
+/// must read queue depths concurrently with the event loop.
 class AdmissionController {
  public:
   AdmissionController(AdmissionConfig config,
                       const std::vector<TenantConfig>* tenants);
 
   /// Queues the ticket or sheds it (returned code says why).
-  std::optional<RejectCode> Offer(const Ticket& ticket);
+  std::optional<RejectCode> Offer(const Ticket& ticket)
+      DFLOW_EXCLUDES(mutex_);
 
   /// Highest-priority runnable waiting ticket, if any; marks it in
   /// flight.
-  std::optional<Ticket> PopRunnable();
+  std::optional<Ticket> PopRunnable() DFLOW_EXCLUDES(mutex_);
 
   /// A query finished (or was failed); frees its in-flight slot.
-  void OnCompletion(size_t tenant);
+  void OnCompletion(size_t tenant) DFLOW_EXCLUDES(mutex_);
 
   /// Removes a still-queued ticket (deadline hit or explicit cancel before
   /// launch). Returns the ticket if it was found waiting.
-  std::optional<Ticket> CancelQueued(uint64_t query_id);
+  std::optional<Ticket> CancelQueued(uint64_t query_id)
+      DFLOW_EXCLUDES(mutex_);
 
-  size_t queued(size_t tenant) const { return queues_[tenant].size(); }
-  size_t queued_total() const { return queued_total_; }
-  size_t in_flight(size_t tenant) const { return in_flight_[tenant]; }
-  size_t in_flight_total() const { return in_flight_total_; }
+  size_t queued(size_t tenant) const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return queues_[tenant].size();
+  }
+  size_t queued_total() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return queued_total_;
+  }
+  size_t in_flight(size_t tenant) const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return in_flight_[tenant];
+  }
+  size_t in_flight_total() const DFLOW_EXCLUDES(mutex_) {
+    RankedMutexLock lock(&mutex_);
+    return in_flight_total_;
+  }
 
  private:
-  bool CanStart(size_t tenant) const;
+  bool CanStartLocked(size_t tenant) const DFLOW_REQUIRES(mutex_);
 
   AdmissionConfig config_;
   const std::vector<TenantConfig>* tenants_;
-  std::vector<std::deque<Ticket>> queues_;
-  std::vector<size_t> in_flight_;
-  size_t in_flight_total_ = 0;
-  size_t queued_total_ = 0;
+  mutable RankedMutex mutex_{LockRank::kAdmission};
+  std::vector<std::deque<Ticket>> queues_ DFLOW_GUARDED_BY(mutex_);
+  std::vector<size_t> in_flight_ DFLOW_GUARDED_BY(mutex_);
+  size_t in_flight_total_ DFLOW_GUARDED_BY(mutex_) = 0;
+  size_t queued_total_ DFLOW_GUARDED_BY(mutex_) = 0;
   /// Last tenant popped; equal-priority ties go to the next tenant after
   /// it in index order (fair round-robin, fully deterministic).
-  size_t rr_cursor_ = 0;
+  size_t rr_cursor_ DFLOW_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dflow::serve

@@ -88,13 +88,16 @@ Result<ServiceResult> ServiceLoop::Run() {
                   "scheduler ledger: " + std::to_string(ledger_charges_) +
                       " charges vs " + std::to_string(ledger_releases_) +
                       " releases");
-  DFLOW_INVARIANT(committed_.network_users == 0,
+  const CommittedDemand drained_demand = ledger_.Snapshot();
+  DFLOW_INVARIANT(drained_demand.network_users == 0,
                   "scheduler ledger: " +
-                      std::to_string(committed_.network_users) +
+                      std::to_string(drained_demand.network_users) +
                       " network users still committed at drain");
   DFLOW_INVARIANTS_ONLY({
-    double residual = committed_.network_ns + committed_.network_bytes;
-    for (int s = 0; s < kNumSites; ++s) residual += committed_.site_busy_ns[s];
+    double residual = drained_demand.network_ns + drained_demand.network_bytes;
+    for (int s = 0; s < kNumSites; ++s) {
+      residual += drained_demand.site_busy_ns[s];
+    }
     DFLOW_INVARIANT(residual <= 1e-3,
                     "scheduler ledger: residual committed demand " +
                         std::to_string(residual) + " at drain");
@@ -139,23 +142,26 @@ Result<ServiceResult> ServiceLoop::Run() {
   result.fabric.fault.cpu_fallback = report.degraded_total > 0;
   result.fabric.fault.failed_device = first_failed_device_;
   result.fabric.result_rows = 0;
-  for (const auto& [id, st] : finished_) {
-    uint64_t rows = 0;
-    for (const DataChunk& c : graphs_[st.first]->sink_chunks(st.second)) {
-      rows += c.num_rows();
-    }
-    result.fabric.result_rows += rows;
-    auto out = outcomes_.find(id);
-    if (out != outcomes_.end()) {
-      out->second.result_rows = rows;
-      if (config_.collect_results) {
-        out->second.chunks = graphs_[st.first]->sink_chunks(st.second);
+  {
+    RankedMutexLock lock(&completion_mutex_);
+    for (const auto& [id, st] : finished_) {
+      uint64_t rows = 0;
+      for (const DataChunk& c : graphs_[st.first]->sink_chunks(st.second)) {
+        rows += c.num_rows();
+      }
+      result.fabric.result_rows += rows;
+      auto out = outcomes_.find(id);
+      if (out != outcomes_.end()) {
+        out->second.result_rows = rows;
+        if (config_.collect_results) {
+          out->second.chunks = graphs_[st.first]->sink_chunks(st.second);
+        }
       }
     }
-  }
-  for (auto& [id, outcome] : outcomes_) {
-    (void)id;
-    result.outcomes.push_back(std::move(outcome));
+    for (auto& [id, outcome] : outcomes_) {
+      (void)id;
+      result.outcomes.push_back(std::move(outcome));
+    }
   }
   return result;
 }
@@ -268,7 +274,10 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
   // A query popped at (or past) its deadline is a miss, not a launch.
   if (record->deadline_ns > 0 && now >= record->deadline_ns) {
     ++ts.deadline_missed;
-    ++deadline_missed_total_;
+    {
+      RankedMutexLock lock(&completion_mutex_);
+      ++deadline_missed_total_;
+    }
     RecordOutcome(ticket, lifecycle::OutcomeCode::kDeadlineExceeded,
                   record->attempts);
     DFLOW_TRACE(engine_->tracer(),
@@ -290,8 +299,10 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
     choice = PlacementChoice::kCpuOnly;
   }
 
-  // Re-plan against the live demand ledger on every launch. Open-breaker
-  // devices are vetoed from kAuto variant selection.
+  // Re-plan against a snapshot of the live demand ledger on every launch
+  // (the snapshot is coherent: Charge happens after the final choice).
+  // Open-breaker devices are vetoed from kAuto variant selection.
+  const CommittedDemand committed = ledger_.Snapshot();
   Scheduler::PlacementFilter filter;
   if (breakers_.enabled() && choice == PlacementChoice::kAuto) {
     filter = [this, now](const Placement& placement) {
@@ -304,7 +315,7 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
   }
   DFLOW_ASSIGN_OR_RETURN(
       IncrementalDecision decision,
-      scheduler_.PlanOne(tmpl.spec, committed_, choice, filter));
+      scheduler_.PlanOne(tmpl.spec, committed, choice, filter));
   bool degraded_at_admission = false;
   if (!engine_->PlacementHealthy(decision.placement, /*node=*/0) &&
       choice != PlacementChoice::kCpuOnly) {
@@ -312,7 +323,7 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
     // back to the CPU-only plan instead of launching onto a dead device.
     DFLOW_ASSIGN_OR_RETURN(
         decision,
-        scheduler_.PlanOne(tmpl.spec, committed_, PlacementChoice::kCpuOnly));
+        scheduler_.PlanOne(tmpl.spec, committed, PlacementChoice::kCpuOnly));
     degraded_at_admission = true;
   }
   if (breakers_.enabled() && choice != PlacementChoice::kCpuOnly) {
@@ -329,12 +340,12 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
     }
     if (blocked) {
       DFLOW_ASSIGN_OR_RETURN(decision,
-                             scheduler_.PlanOne(tmpl.spec, committed_,
+                             scheduler_.PlanOne(tmpl.spec, committed,
                                                 PlacementChoice::kCpuOnly));
       degraded_at_admission = true;
     }
   }
-  scheduler_.Charge(decision.cost, &committed_);
+  ledger_.Charge(scheduler_, decision.cost);
   ++ledger_charges_;
 
   graphs_.push_back(
@@ -423,7 +434,7 @@ void ServiceLoop::OnQueryDone(uint64_t query_id, const Status& status) {
   // Release this attempt's demand immediately — also on cancellation and
   // deadline, which is the whole point: a cancelled query frees its
   // scheduler ledger at cancel time, not at drain.
-  scheduler_.Release(st.cost, &committed_);
+  ledger_.Release(scheduler_, st.cost);
   ++ledger_releases_;
 
   const lifecycle::QueryRecord* record = lifecycle_.Get(query_id);
@@ -437,7 +448,10 @@ void ServiceLoop::OnQueryDone(uint64_t query_id, const Status& status) {
       breakers_.RecordSuccess(dev, now);
     }
     lifecycle_.Transition(query_id, lifecycle::QueryState::kDone);
-    finished_[query_id] = std::make_pair(st.graph_index, st.pipeline.sink);
+    {
+      RankedMutexLock lock(&completion_mutex_);
+      finished_[query_id] = std::make_pair(st.graph_index, st.pipeline.sink);
+    }
     RecordOutcome(st.ticket, lifecycle::OutcomeCode::kDone, attempts);
     ++ts.completed;
     latencies_[tenant].push_back(now - st.ticket.arrival_ns);
@@ -501,13 +515,19 @@ void ServiceLoop::OnQueryDone(uint64_t query_id, const Status& status) {
   }
 
   // Terminal failure: distinct stable outcome codes, not one bucket.
-  finished_[query_id] = std::make_pair(st.graph_index, st.pipeline.sink);
+  {
+    RankedMutexLock lock(&completion_mutex_);
+    finished_[query_id] = std::make_pair(st.graph_index, st.pipeline.sink);
+  }
   RecordOutcome(st.ticket, decision.outcome, attempts);
   lifecycle::QueryState terminal = lifecycle::QueryState::kFailed;
   switch (decision.outcome) {
     case lifecycle::OutcomeCode::kDeadlineExceeded:
       ++ts.deadline_missed;
-      ++deadline_missed_total_;
+      {
+        RankedMutexLock lock(&completion_mutex_);
+        ++deadline_missed_total_;
+      }
       terminal = lifecycle::QueryState::kCancelled;
       DFLOW_TRACE(engine_->tracer(),
                   Instant("lifecycle", "tenant:" + tenant_name,
@@ -561,6 +581,7 @@ void ServiceLoop::CancelQuery(uint64_t query_id, Status reason) {
       TenantStats& ts = stats_[ticket->tenant];
       if (deadline) {
         ++ts.deadline_missed;
+        RankedMutexLock lock(&completion_mutex_);
         ++deadline_missed_total_;
       } else {
         ++ts.cancelled;
@@ -575,7 +596,10 @@ void ServiceLoop::CancelQuery(uint64_t query_id, Status reason) {
                           deadline ? "deadline_exceeded" : "cancelled", now,
                           query_id, "while queued"));
       lifecycle_.Transition(query_id, lifecycle::QueryState::kCancelled);
-      ++terminal_total_;
+      {
+        RankedMutexLock lock(&completion_mutex_);
+        ++terminal_total_;
+      }
       UpdateBrownout();
       EmitQueueDepth(ticket->tenant);
       if (ticket->closed_loop) ScheduleReissue(ticket->tenant);
@@ -591,6 +615,7 @@ void ServiceLoop::CancelQuery(uint64_t query_id, Status reason) {
       TenantStats& ts = stats_[ticket.tenant];
       if (deadline) {
         ++ts.deadline_missed;
+        RankedMutexLock lock(&completion_mutex_);
         ++deadline_missed_total_;
       } else {
         ++ts.cancelled;
@@ -638,7 +663,10 @@ void ServiceLoop::LaunchRetry(uint64_t query_id) {
 }
 
 void ServiceLoop::FinishSlot(const Ticket& ticket) {
-  ++terminal_total_;
+  {
+    RankedMutexLock lock(&completion_mutex_);
+    ++terminal_total_;
+  }
   admission_.OnCompletion(ticket.tenant);
   UpdateBrownout();
   if (ticket.closed_loop) ScheduleReissue(ticket.tenant);
@@ -655,6 +683,7 @@ void ServiceLoop::RecordOutcome(const Ticket& ticket,
       tenants_[ticket.tenant].templates[ticket.template_index].name;
   rec.outcome = outcome;
   rec.attempts = attempts;
+  RankedMutexLock lock(&completion_mutex_);
   outcomes_.emplace(ticket.query_id, std::move(rec));
 }
 
@@ -667,8 +696,11 @@ void ServiceLoop::UpdateBrownout() {
           ? 0.0
           : static_cast<double>(admission_.queued_total()) /
                 static_cast<double>(config_.admission.global_queue_capacity);
-  signals.deadline_misses = deadline_missed_total_;
-  signals.terminals = terminal_total_;
+  {
+    RankedMutexLock lock(&completion_mutex_);
+    signals.deadline_misses = deadline_missed_total_;
+    signals.terminals = terminal_total_;
+  }
   signals.open_breakers = breakers_.open_count(now);
   const lifecycle::BrownoutLevel before = brownout_.level();
   const lifecycle::BrownoutLevel after = brownout_.Update(signals, now);

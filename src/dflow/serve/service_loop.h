@@ -7,10 +7,13 @@
 #include <utility>
 #include <vector>
 
+#include "dflow/common/lock_rank.h"
+#include "dflow/common/thread_annotations.h"
 #include "dflow/engine/engine.h"
 #include "dflow/lifecycle/breaker.h"
 #include "dflow/lifecycle/brownout.h"
 #include "dflow/lifecycle/lifecycle.h"
+#include "dflow/sched/demand_ledger.h"
 #include "dflow/sched/scheduler.h"
 #include "dflow/serve/admission.h"
 #include "dflow/serve/service_report.h"
@@ -165,7 +168,7 @@ class ServiceLoop {
   WorkloadDriver driver_;
   AdmissionController admission_;
   Scheduler scheduler_;
-  CommittedDemand committed_;
+  DemandLedger ledger_;
   lifecycle::LifecycleManager lifecycle_;
   lifecycle::BreakerRegistry breakers_;
   lifecycle::BrownoutController brownout_;
@@ -173,10 +176,18 @@ class ServiceLoop {
   std::vector<std::unique_ptr<DataflowGraph>> graphs_;
   std::map<uint64_t, QueryState> active_;
   std::map<uint64_t, PendingRetry> pending_retries_;
+  /// Completion state: written on every terminal transition, read by the
+  /// end-of-run drain and the brownout signal sampler. Guarded at
+  /// LockRank::kServeCompletion so a monitoring thread can snapshot
+  /// outcome counts while the event loop runs; the loop itself never
+  /// nests this lock with another ranked lock.
+  mutable RankedMutex completion_mutex_{LockRank::kServeCompletion};
   /// query_id -> (graph index, sink node) of the *terminal* attempt: for
   /// result-row accounting after the run (graphs outlive their queries).
-  std::map<uint64_t, std::pair<size_t, size_t>> finished_;
-  std::map<uint64_t, ServiceResult::QueryOutcome> outcomes_;
+  std::map<uint64_t, std::pair<size_t, size_t>> finished_
+      DFLOW_GUARDED_BY(completion_mutex_);
+  std::map<uint64_t, ServiceResult::QueryOutcome> outcomes_
+      DFLOW_GUARDED_BY(completion_mutex_);
   uint64_t next_query_id_ = 0;
   Status failure_;  // first configuration-level error (fails the run)
 
@@ -186,8 +197,8 @@ class ServiceLoop {
   std::string first_failed_device_;
   /// Cumulative run-wide counters feeding the brownout signals and the
   /// ledger-conservation invariant.
-  uint64_t deadline_missed_total_ = 0;
-  uint64_t terminal_total_ = 0;
+  uint64_t deadline_missed_total_ DFLOW_GUARDED_BY(completion_mutex_) = 0;
+  uint64_t terminal_total_ DFLOW_GUARDED_BY(completion_mutex_) = 0;
   /// Virtual time of the last real service action; reported as the
   /// makespan (stale deadline events in the far future are no-ops and do
   /// not extend it).

@@ -416,6 +416,151 @@ void CheckPlacement(const GraphSpec& spec, const VerifyContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Family 5: deadlock reachability (VY_DEADLOCK_*).
+//
+// Family 3 flags credit *topology* smells (zero windows anywhere, all-finite
+// feedback loops). This family proves the stronger, arithmetic conditions a
+// run-time executor actually wedges on: a self-loop that waits on its own
+// credits, a live edge whose derived queue would be born closed, and a
+// feedback cycle whose total credit pool cannot hold the batch occupancy
+// its sources inject. A graph can trip both families on one edge — the
+// family 3 code names the smell, the VY_DEADLOCK_* code the proof.
+// ---------------------------------------------------------------------------
+
+void CheckDeadlocks(const GraphSpec& spec, const Adjacency& adj,
+                    VerifyReport* report) {
+  // Liveness: a producer reachable from a source (or a source itself) will
+  // eventually push on its out-edges.
+  std::vector<bool> live(spec.nodes.size(), false);
+  std::deque<size_t> frontier;
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    if (spec.nodes[i].kind == NodeKind::kSource) {
+      live[i] = true;
+      frontier.push_back(i);
+    }
+  }
+  while (!frontier.empty()) {
+    const size_t i = frontier.front();
+    frontier.pop_front();
+    for (size_t e : adj.out[i]) {
+      const size_t to = spec.edges[e].to;
+      if (!live[to]) {
+        live[to] = true;
+        frontier.push_back(to);
+      }
+    }
+  }
+
+  for (size_t e = 0; e < spec.edges.size(); ++e) {
+    const EdgeSpec& edge = spec.edges[e];
+    if (edge.from >= spec.nodes.size() || edge.to >= spec.nodes.size()) {
+      continue;  // reported as VY_GRAPH_DANGLING
+    }
+    // A node feeding itself over a finite window waits on credits only it
+    // can release: wedged on the first full window, whatever the credit
+    // count.
+    if (edge.from == edge.to && edge.credits != kUnboundedCredits) {
+      report->Add(Severity::kError, "VY_DEADLOCK_SELF_WAIT",
+                  spec.nodes[edge.from].name, edge.label,
+                  NodeRef(spec.nodes[edge.from]) +
+                      " feeds itself over a finite credit window (" +
+                      std::to_string(edge.credits) +
+                      "); it can only release its own credits after the "
+                      "downstream half consumes, which is itself — wedged "
+                      "once the window fills");
+    }
+    // Zero credits on a live edge: the parallel runner derives the
+    // MpmcQueue capacity from `credits`, and a zero-capacity queue is born
+    // closed — every chunk the live producer pushes is rejected.
+    if (edge.credits == 0 && live[edge.from]) {
+      report->Add(Severity::kError, "VY_DEADLOCK_ZERO_CAPACITY",
+                  spec.nodes[edge.from].name, edge.label,
+                  "live edge (producer is reachable from a source) has zero "
+                  "credits; the derived parallel-executor MpmcQueue would "
+                  "have capacity 0 and be born closed, rejecting the first "
+                  "chunk");
+    }
+  }
+
+  // Credit-starved cycles: every edge finite AND the cycle's total credit
+  // pool is smaller than the batch occupancy its members inject. Occupancy
+  // is the largest max_batch_chunks among cycle members and the sources
+  // feeding them (unknown everywhere -> one in-flight chunk per cycle edge).
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(spec.nodes.size(), Color::kWhite);
+  std::vector<size_t> path;
+  std::vector<size_t> edge_path;  // edge used to reach path[k] from path[k-1]
+  bool reported = false;
+
+  // NOLINTNEXTLINE(misc-no-recursion): bounded by graph depth.
+  auto dfs = [&](auto&& self, size_t i) -> void {
+    color[i] = Color::kGray;
+    path.push_back(i);
+    for (size_t e : adj.out[i]) {
+      const EdgeSpec& edge = spec.edges[e];
+      if (edge.credits == kUnboundedCredits) continue;
+      const size_t to = edge.to;
+      if (to == i) continue;  // self-wait, reported above
+      if (color[to] == Color::kGray && !reported) {
+        const auto start = std::find(path.begin(), path.end(), to);
+        const size_t start_idx =
+            static_cast<size_t>(start - path.begin());
+        std::vector<size_t> cycle_edges;
+        for (size_t k = start_idx + 1; k < path.size(); ++k) {
+          cycle_edges.push_back(edge_path[k]);
+        }
+        cycle_edges.push_back(e);
+
+        uint64_t total_credits = 0;
+        for (size_t ce : cycle_edges) total_credits += spec.edges[ce].credits;
+
+        size_t occupancy = 0;
+        for (auto it = start; it != path.end(); ++it) {
+          occupancy = std::max(occupancy, spec.nodes[*it].max_batch_chunks);
+          for (size_t ie : adj.in[*it]) {
+            const NodeSpec& producer = spec.nodes[spec.edges[ie].from];
+            if (producer.kind == NodeKind::kSource) {
+              occupancy = std::max(occupancy, producer.max_batch_chunks);
+            }
+          }
+        }
+        if (occupancy == 0) occupancy = cycle_edges.size();
+
+        if (total_credits < occupancy) {
+          reported = true;
+          std::string names;
+          for (auto it = start; it != path.end(); ++it) {
+            names += spec.nodes[*it].name + " -> ";
+          }
+          names += spec.nodes[to].name;
+          report->Add(
+              Severity::kError, "VY_DEADLOCK_CREDIT_STARVED",
+              spec.nodes[to].name, edge.label,
+              "cycle " + names + " holds " + std::to_string(total_credits) +
+                  " total credits but must absorb a batch occupancy of " +
+                  std::to_string(occupancy) +
+                  "; once the pool is exhausted every member waits on a "
+                  "credit only another member can release");
+        }
+      } else if (color[to] == Color::kWhite) {
+        edge_path.push_back(e);
+        self(self, to);
+        edge_path.pop_back();
+      }
+    }
+    path.pop_back();
+    color[i] = Color::kBlack;
+  };
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    if (color[i] == Color::kWhite) {
+      edge_path.push_back(static_cast<size_t>(-1));
+      dfs(dfs, i);
+      edge_path.pop_back();
+    }
+  }
+}
+
 }  // namespace
 
 VerifyReport VerifyGraph(const GraphSpec& spec, const VerifyContext& ctx) {
@@ -425,6 +570,7 @@ VerifyReport VerifyGraph(const GraphSpec& spec, const VerifyContext& ctx) {
   CheckSchemas(spec, adj, &report);
   CheckCredits(spec, adj, &report);
   CheckPlacement(spec, ctx, &report);
+  CheckDeadlocks(spec, adj, &report);
   return report;
 }
 

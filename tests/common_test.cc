@@ -3,6 +3,7 @@
 #include <set>
 
 #include "dflow/common/hash.h"
+#include "dflow/common/lock_rank.h"
 #include "dflow/common/random.h"
 #include "dflow/common/result.h"
 #include "dflow/common/status.h"
@@ -212,6 +213,46 @@ INSTANTIATE_TEST_SUITE_P(
         LikeCase{"special offer", "%cial off%", true},
         LikeCase{"abcabc", "%abc", true}, LikeCase{"abcabc", "abc%abc", true},
         LikeCase{"abcaabc", "abc%abc", true}));
+
+// ------------------------------------------------------- lock-rank checker
+
+#ifndef DFLOW_INVARIANTS_DISABLED
+
+TEST(LockRankTest, IncreasingRankAcquisitionIsAllowed) {
+  RankedMutex low(LockRank::kStealDeque);
+  RankedMutex high(LockRank::kMpmcQueue);
+  RankedMutexLock outer(&low);
+  RankedMutexLock inner(&high);  // kStealDeque < kMpmcQueue: legal nesting
+}
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  // The runtime half of the lock-order discipline (the static half is
+  // tools/lint_lock_order.py): acquiring a rank <= the highest held rank
+  // must abort with a message naming both locks.
+  RankedMutex high(LockRank::kMpmcQueue);
+  RankedMutex low(LockRank::kStealDeque);
+  EXPECT_DEATH(
+      {
+        RankedMutexLock outer(&high);
+        RankedMutexLock inner(&low);  // lock-order-ok: must die
+      },
+      "lock-order violation");
+}
+
+TEST(LockRankDeathTest, SameRankReacquisitionAborts) {
+  // Equal ranks are also refused: the order is strictly increasing, so two
+  // kMpmcQueue locks can never nest (rules out self-deadlock by design).
+  RankedMutex a(LockRank::kMpmcQueue);
+  RankedMutex b(LockRank::kMpmcQueue);
+  EXPECT_DEATH(
+      {
+        RankedMutexLock outer(&a);
+        RankedMutexLock inner(&b);  // lock-order-ok: must die
+      },
+      "lock-order violation");
+}
+
+#endif  // DFLOW_INVARIANTS_DISABLED
 
 }  // namespace
 }  // namespace dflow

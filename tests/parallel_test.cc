@@ -163,6 +163,45 @@ TEST(MpmcQueueTest, StressConservesTuplesUnderTheInvariantOracle) {
 #endif
 }
 
+TEST(MpmcQueueTest, CloseWhileProducerBlockedOnFullQueue) {
+  // Deterministic two-thread barrier: the producer fills the capacity-1
+  // queue, signals "about to block", then blocks inside Push on the full
+  // queue. The main thread waits for the signal, closes, and the blocked
+  // Push must wake and return kClosed without delivering its item — while
+  // the item pushed *before* the close stays drainable.
+  MpmcQueue<int> queue(1);
+  ASSERT_EQ(queue.Push(1), QueueOp::kOk);  // queue now full
+
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  bool about_to_block = false;
+  QueueOp blocked_result = QueueOp::kOk;
+  std::thread producer([&] {
+    {
+      std::lock_guard<std::mutex> lock(barrier_mu);
+      about_to_block = true;
+    }
+    barrier_cv.notify_one();
+    blocked_result = queue.Push(2);  // blocks: capacity exhausted
+  });
+
+  {
+    std::unique_lock<std::mutex> lock(barrier_mu);
+    barrier_cv.wait(lock, [&] { return about_to_block; });
+  }
+  // The producer is at (or entering) the blocked Push. Close must wake it.
+  queue.Close();
+  producer.join();
+  EXPECT_EQ(blocked_result, QueueOp::kClosed);
+
+  // Close-with-pending semantics: the pre-close item drains, the rejected
+  // one never appears.
+  int out = 0;
+  ASSERT_EQ(queue.Pop(&out), QueueOp::kOk);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.Pop(&out), QueueOp::kClosed);
+}
+
 // ------------------------------------------------------------- scheduler
 
 TEST(WorkStealingSchedulerTest, RunsEverySubmittedTask) {
@@ -245,6 +284,38 @@ TEST(WorkStealingSchedulerTest, ShutdownDrainsQueuedTasksAndJoins) {
     EXPECT_EQ(ran.load(), kTasks);
     scheduler.Shutdown();  // idempotent
   }  // destructor after explicit Shutdown must also be safe
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(WorkStealingSchedulerTest, StealDuringShutdownDrainsEverything) {
+  // Deterministic barrier variant of the drain guarantee: worker 0 is
+  // parked inside a task on a condition variable while all remaining work
+  // sits in *its* deque, so the only way the destructor's Shutdown can
+  // drain is for worker 1 to steal the backlog while worker 0 is pinned.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 64;
+  {
+    WorkStealingScheduler::Options options;
+    options.workers = 2;
+    WorkStealingScheduler scheduler(options);
+    scheduler.SubmitTo(0, [&](uint32_t) {
+      std::unique_lock<std::mutex> lock(gate_mu);
+      gate_cv.wait(lock, [&] { return release; });
+    });
+    for (int i = 0; i < kTasks; ++i) {
+      scheduler.SubmitTo(0, [&ran](uint32_t) { ran.fetch_add(1); });
+    }
+    // Worker 1 has nothing of its own; stealing is the only path to the
+    // backlog. Release the pin and let the destructor drain.
+    {
+      std::lock_guard<std::mutex> lock(gate_mu);
+      release = true;
+    }
+    gate_cv.notify_one();
+  }  // ~WorkStealingScheduler -> Shutdown(): must not strand any task
   EXPECT_EQ(ran.load(), kTasks);
 }
 

@@ -294,6 +294,99 @@ TEST(VerifyCreditTest, FeedbackLoopWithAllFiniteWindowsDeadlocks) {
   EXPECT_FALSE(r.HasCode("VY_GRAPH_CYCLE")) << "declared feedback is legal";
 }
 
+// ------------------------------------- family 5: deadlock reachability
+
+TEST(VerifyDeadlockTest, SelfWaitEdgeIsAnError) {
+  GraphSpec g = LinearSpec();
+  g.edges.push_back(MakeEdge(1, 1, /*credits=*/4, 0, /*feedback=*/true));
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_TRUE(r.HasCode("VY_DEADLOCK_SELF_WAIT")) << r.ToString();
+  EXPECT_FALSE(r.ok()) << "strict mode refuses self-wait loops";
+}
+
+TEST(VerifyDeadlockTest, SelfLoopWithUnboundedWindowIsNotSelfWait) {
+  GraphSpec g = LinearSpec();
+  g.edges.push_back(
+      MakeEdge(1, 1, verify::kUnboundedCredits, 0, /*feedback=*/true));
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_FALSE(r.HasCode("VY_DEADLOCK_SELF_WAIT")) << r.ToString();
+}
+
+TEST(VerifyDeadlockTest, ZeroCreditsOnLiveEdgeIsBornClosedQueue) {
+  GraphSpec g = LinearSpec();
+  g.edges[0].credits = 0;  // src->stage; the source is live by definition
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_TRUE(r.HasCode("VY_DEADLOCK_ZERO_CAPACITY")) << r.ToString();
+  EXPECT_TRUE(r.HasCode("VY_CREDIT_ZERO")) << "family 3 smell co-fires";
+  EXPECT_FALSE(r.ok()) << "strict mode refuses zero-capacity live edges";
+}
+
+TEST(VerifyDeadlockTest, ZeroCreditsOnDeadEdgeIsSmellOnly) {
+  // 'orphan' is unreachable from any source, so its zero-credit out-edge
+  // is a topology smell (VY_CREDIT_ZERO, VY_GRAPH_UNREACHABLE) but not a
+  // provable runtime wedge: nothing ever pushes on it.
+  GraphSpec g;
+  g.nodes = {MakeNode(0, NodeKind::kSource, "src"),
+             MakeNode(1, NodeKind::kStage, "a", "cpu0"),
+             MakeNode(2, NodeKind::kStage, "orphan", "cpu0"),
+             MakeNode(3, NodeKind::kSink, "sink")};
+  g.edges = {MakeEdge(0, 1), MakeEdge(1, 3), MakeEdge(2, 3, /*credits=*/0)};
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_FALSE(r.HasCode("VY_DEADLOCK_ZERO_CAPACITY")) << r.ToString();
+  EXPECT_TRUE(r.HasCode("VY_CREDIT_ZERO"));
+}
+
+TEST(VerifyDeadlockTest, CreditStarvedFeedbackCycleIsRefused) {
+  // Hand-built starved loop: the source bursts 8 chunks per batch, but the
+  // a <-> b cycle holds only 2 + 2 = 4 credits total — once 4 chunks are
+  // in flight inside the loop, every member waits on a credit only another
+  // member can release.
+  GraphSpec g;
+  g.nodes = {MakeNode(0, NodeKind::kSource, "src"),
+             MakeNode(1, NodeKind::kStage, "a", "cpu0"),
+             MakeNode(2, NodeKind::kBroadcast, "b", "cpu0"),
+             MakeNode(3, NodeKind::kSink, "sink")};
+  g.nodes[0].max_batch_chunks = 8;
+  g.edges = {MakeEdge(0, 1), MakeEdge(1, 2, /*credits=*/2), MakeEdge(2, 3),
+             MakeEdge(2, 1, /*credits=*/2, 0, /*feedback=*/true)};
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_TRUE(r.HasCode("VY_DEADLOCK_CREDIT_STARVED")) << r.ToString();
+  EXPECT_TRUE(r.HasCode("VY_CREDIT_CYCLE")) << "topology smell co-fires";
+  EXPECT_FALSE(r.ok()) << "strict mode refuses credit-starved cycles";
+}
+
+TEST(VerifyDeadlockTest, CyclePoolCoveringBatchOccupancyIsNotStarved) {
+  // Same loop with 8 + 8 = 16 credits >= the burst of 8: still an
+  // all-finite feedback cycle (VY_CREDIT_CYCLE, the conservative smell)
+  // but not arithmetically starved.
+  GraphSpec g;
+  g.nodes = {MakeNode(0, NodeKind::kSource, "src"),
+             MakeNode(1, NodeKind::kStage, "a", "cpu0"),
+             MakeNode(2, NodeKind::kBroadcast, "b", "cpu0"),
+             MakeNode(3, NodeKind::kSink, "sink")};
+  g.nodes[0].max_batch_chunks = 8;
+  g.edges = {MakeEdge(0, 1), MakeEdge(1, 2, /*credits=*/8), MakeEdge(2, 3),
+             MakeEdge(2, 1, /*credits=*/8, 0, /*feedback=*/true)};
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_FALSE(r.HasCode("VY_DEADLOCK_CREDIT_STARVED")) << r.ToString();
+  EXPECT_TRUE(r.HasCode("VY_CREDIT_CYCLE"));
+}
+
+TEST(VerifyDeadlockTest, UnboundedEdgeBreaksTheStarvationCycle) {
+  // An unbounded window anywhere in the loop can always absorb the burst.
+  GraphSpec g;
+  g.nodes = {MakeNode(0, NodeKind::kSource, "src"),
+             MakeNode(1, NodeKind::kStage, "a", "cpu0"),
+             MakeNode(2, NodeKind::kBroadcast, "b", "cpu0"),
+             MakeNode(3, NodeKind::kSink, "sink")};
+  g.nodes[0].max_batch_chunks = 8;
+  g.edges = {MakeEdge(0, 1), MakeEdge(1, 2, /*credits=*/2), MakeEdge(2, 3),
+             MakeEdge(2, 1, verify::kUnboundedCredits, 0, /*feedback=*/true)};
+  VerifyReport r = VerifyGraph(g, VerifyContext());
+  EXPECT_FALSE(r.HasCode("VY_DEADLOCK_CREDIT_STARVED")) << r.ToString();
+  EXPECT_FALSE(r.HasCode("VY_CREDIT_CYCLE")) << r.ToString();
+}
+
 // ------------------------------------------- family 4: placement legality
 
 struct PlacementFixture {

@@ -34,7 +34,7 @@ import re
 import sys
 
 LINT_DIRS = ("src/dflow/sim", "src/dflow/exec", "src/dflow/trace",
-             "src/dflow/serve")
+             "src/dflow/serve", "src/dflow/sched", "src/dflow/lifecycle")
 SUFFIXES = (".h", ".cc")
 
 # (name, regex, why it breaks determinism)
@@ -63,10 +63,12 @@ RULES = [
                 r"timed_mutex|condition_variable|condition_variable_any|"
                 r"lock_guard|unique_lock|scoped_lock|shared_lock|future|"
                 r"promise|async|barrier|latch|counting_semaphore|"
-                r"binary_semaphore)\b|this_thread::"),
+                r"binary_semaphore)\b|this_thread::|"
+                r"\b(RankedMutex|RankedMutexLock|RankedCondVar)\b"),
      "OS threads make scheduling nondeterministic; the simulator is a "
      "single-threaded event loop -- threaded execution belongs under "
-     "src/dflow/exec/parallel/"),
+     "src/dflow/exec/parallel/ (or a reviewed ALLOWLIST entry with every "
+     "mutex annotated DFLOW_GUARDED_BY)"),
 ]
 
 # Scoped allowlist: repo-relative path prefixes where the named rules are
@@ -77,9 +79,43 @@ RULES = [
 ALLOWLIST = {
     "src/dflow/exec/parallel/": ("wall-clock", "threading"),
     "bench/bench_parallel_pipeline.cc": ("wall-clock", "threading"),
+    # Monitor components: single-threaded-deterministic today, mutex-guarded
+    # so the roadmap's adaptive re-placement thread can observe them. The
+    # unguarded-mutex companion rule below still applies in full.
+    "src/dflow/serve/admission.": ("threading",),
+    "src/dflow/serve/service_loop.": ("threading",),
+    "src/dflow/sched/demand_ledger.": ("threading",),
+    "src/dflow/lifecycle/breaker.": ("threading",),
+    "src/dflow/lifecycle/brownout.": ("threading",),
 }
 
 SUPPRESS = "determinism-ok:"
+
+# Companion rule (unguarded-mutex): inside the threading allowlist a mutex
+# is only acceptable when the thread-safety annotations can police it — a
+# RankedMutex (or std::mutex) declared in a file where no member is
+# DFLOW_GUARDED_BY / DFLOW_PT_GUARDED_BY it and no method DFLOW_REQUIRES it
+# protects nothing and is a finding. Outside the allowlist any mutex is
+# already a threading finding, annotated or not.
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:RankedMutex|std::mutex)\s+(\w+)\s*(?:;|\{|\()")
+MUTEX_USER_RE = (
+    "DFLOW_GUARDED_BY({m})", "DFLOW_PT_GUARDED_BY({m})",
+    "DFLOW_REQUIRES({m})", "DFLOW_ACQUIRE({m})", "DFLOW_RELEASE({m})")
+
+
+def unguarded_mutexes(path: pathlib.Path, text: str) -> list[str]:
+    findings = []
+    for decl in MUTEX_DECL_RE.finditer(text):
+        name = decl.group(1)
+        if any(pat.format(m=name) in text for pat in MUTEX_USER_RE):
+            continue
+        line = text.count("\n", 0, decl.start()) + 1
+        findings.append(
+            f"{path}:{line}: [unguarded-mutex] mutex '{name}' has no "
+            f"DFLOW_GUARDED_BY/DFLOW_REQUIRES user in this file; annotate "
+            f"the state it protects so -Wthread-safety can police it")
+    return findings
 
 
 def waived_rules(rel_path: str) -> tuple[str, ...]:
@@ -92,7 +128,10 @@ def waived_rules(rel_path: str) -> tuple[str, ...]:
 def lint_file(path: pathlib.Path, rel_path: str) -> list[str]:
     findings = []
     waived = waived_rules(rel_path)
-    lines = path.read_text(encoding="utf-8").splitlines()
+    text = path.read_text(encoding="utf-8")
+    if "threading" in waived:
+        findings.extend(unguarded_mutexes(path, text))
+    lines = text.splitlines()
     for i, line in enumerate(lines):
         if line.lstrip().startswith("#include"):
             continue
