@@ -87,14 +87,17 @@ void Engine::DisableTracing() {
 }
 
 void Engine::MarkDeviceUnhealthy(const std::string& name) {
-  unhealthy_.insert(name);
+  if (unhealthy_.insert(name).second) ++fabric_epoch_;
 }
 
 bool Engine::IsDeviceHealthy(const std::string& name) const {
   return unhealthy_.count(name) == 0;
 }
 
-void Engine::ClearDeviceHealth() { unhealthy_.clear(); }
+void Engine::ClearDeviceHealth() {
+  if (!unhealthy_.empty()) ++fabric_epoch_;
+  unhealthy_.clear();
+}
 
 bool Engine::PlacementHealthy(const Placement& placement, int node) {
   if (unhealthy_.empty()) return true;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "dflow/compile/fuse.h"
+#include "dflow/compile/program.h"
 #include "dflow/engine/report.h"
 #include "dflow/engine/volcano_runner.h"
 #include "dflow/exec/dataflow.h"
@@ -17,6 +19,10 @@
 #include "dflow/verify/verifier.h"
 
 namespace dflow {
+
+namespace compile {
+struct CompiledQuery;
+}  // namespace compile
 
 /// Which data-path alternative to run (§7.3's plan variants).
 enum class PlacementChoice {
@@ -128,6 +134,11 @@ class Engine {
   bool IsDeviceHealthy(const std::string& name) const;
   void ClearDeviceHealth();
   const std::set<std::string>& unhealthy_devices() const { return unhealthy_; }
+  /// Monotone device-health epoch: every MarkDeviceUnhealthy /
+  /// ClearDeviceHealth bumps it. Part of the program-cache key, so a
+  /// compiled program verified against a stale health registry is never
+  /// served — the key simply stops matching.
+  uint64_t fabric_epoch() const { return fabric_epoch_; }
   /// True iff every device this placement uses (on `node`) is healthy.
   bool PlacementHealthy(const Placement& placement, int node);
   /// The (deduplicated, ordered) device names this placement runs stages
@@ -156,6 +167,40 @@ class Engine {
   /// Runs a query on the data-flow architecture.
   Result<QueryResult> Execute(const QuerySpec& spec,
                               const ExecOptions& options = ExecOptions());
+
+  // ---------------------------------- plan compiler (src/dflow/compile/)
+  /// Front half of the compiler: prepares the query and enumerates + costs
+  /// its placement variants — the expensive, spec-only part of admission
+  /// that the program cache lets repeat queries skip.
+  Result<std::shared_ptr<compile::CompiledQuery>> CompilePlan(
+      const QuerySpec& spec);
+
+  /// Back half: lowers one chosen variant of `plan` into an immutable
+  /// DflowProgram (opcode list with literal parameter slots, schema table,
+  /// placement, credit layout, precomputed demand vector, verifier stamp),
+  /// runs the fusion pass per `fuse`, verifies the lowered graph once, and
+  /// records the program in `plan->programs`. Strict mode refuses to
+  /// produce a program whose stamp has errors.
+  Result<compile::ProgramPtr> CompileVariant(
+      compile::CompiledQuery* plan, const Placement& placement,
+      verify::VerifyMode mode = verify::DefaultMode(),
+      compile::FuseMode fuse = compile::DefaultFuseMode(), int node = 0);
+
+  /// One-shot convenience: CompilePlan, resolve `choice` to a placement
+  /// (healthy-first for kAuto, the forced extreme otherwise), CompileVariant.
+  Result<compile::ProgramPtr> Compile(
+      const QuerySpec& spec, PlacementChoice choice = PlacementChoice::kAuto,
+      verify::VerifyMode mode = verify::DefaultMode(),
+      compile::FuseMode fuse = compile::DefaultFuseMode(), int node = 0);
+
+  /// Executes a compiled program on the simulated fabric. No planning, no
+  /// placement enumeration, no re-verification — the program's embedded
+  /// stamp and its epoch key already cover those. Keeps the engine's
+  /// crash-fallback semantics: if a device dies permanently mid-run, the
+  /// CPU-only variant is compiled (a recompile, not a re-plan) and re-run.
+  Result<QueryResult> ExecuteProgram(const compile::DflowProgram& program,
+                                     const ExecOptions& options =
+                                         ExecOptions());
 
   /// The placement Execute would pick for `choice` (kAuto: best healthy
   /// variant; kCpuOnly / kFullOffload: the forced extreme). Exposed so the
@@ -187,6 +232,13 @@ class Engine {
                                                 const Placement& placement,
                                                 const std::string& label,
                                                 double rate_limit_gbps = 0.0);
+
+  /// BuildServicePipeline's warm-path twin: builds `program` into an
+  /// externally-owned graph without Prepare or re-verification. Launching
+  /// stays with the caller.
+  Result<AdmittedPipeline> BuildProgramPipeline(
+      DataflowGraph* graph, const compile::DflowProgram& program,
+      const std::string& label, double rate_limit_gbps = 0.0);
 
   /// Runs with an explicitly chosen placement (one of PlanVariants).
   Result<QueryResult> ExecuteWithPlacement(
@@ -289,6 +341,13 @@ class Engine {
   std::unique_ptr<trace::Tracer> tracer_;
   RecoveryPolicy recovery_policy_;
   std::set<std::string> unhealthy_;
+  uint64_t fabric_epoch_ = 0;
+
+  /// Program lowering + graph construction from bytecode live in
+  /// src/dflow/compile/compiler.cc.
+  Result<QueryResult> ExecuteProgramImpl(const compile::DflowProgram& program,
+                                         const ExecOptions& options,
+                                         bool allow_fallback);
 };
 
 }  // namespace dflow

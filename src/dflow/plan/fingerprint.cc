@@ -1,0 +1,47 @@
+#include "dflow/plan/fingerprint.h"
+
+#include <sstream>
+
+#include "dflow/common/hash.h"
+
+namespace dflow {
+
+std::string CanonicalSpecString(const QuerySpec& spec) {
+  std::ostringstream os;
+  os << "table=" << spec.table;
+  os << "|filter=" << (spec.filter != nullptr ? spec.filter->ToString() : "-");
+  os << "|proj=";
+  for (size_t i = 0; i < spec.projections.size(); ++i) {
+    if (i > 0) os << ",";
+    os << spec.projection_names[i] << ":" << spec.projections[i]->ToString();
+  }
+  os << "|group=";
+  for (size_t i = 0; i < spec.group_by.size(); ++i) {
+    if (i > 0) os << ",";
+    os << spec.group_by[i];
+  }
+  os << "|agg=";
+  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+    const AggSpec& a = spec.aggregates[i];
+    if (i > 0) os << ",";
+    os << AggFuncToString(a.func) << "(" << a.input << ")->" << a.output_name;
+  }
+  os << "|count_only=" << (spec.count_only ? 1 : 0);
+  os << "|order=";
+  if (spec.order_by.has_value()) {
+    os << spec.order_by->column << (spec.order_by->descending ? ":desc" : ":asc")
+       << ":" << spec.order_by->limit;
+  } else {
+    os << "-";
+  }
+  os << "|limit=" << spec.limit;
+  os << "|compress_uplink=" << (spec.compress_uplink ? 1 : 0);
+  os << "|preagg_budget=" << spec.preagg_budget;
+  return os.str();
+}
+
+uint64_t FingerprintQuerySpec(const QuerySpec& spec) {
+  return HashString(CanonicalSpecString(spec));
+}
+
+}  // namespace dflow

@@ -1,0 +1,25 @@
+#ifndef DFLOW_PLAN_FINGERPRINT_H_
+#define DFLOW_PLAN_FINGERPRINT_H_
+
+#include <string>
+
+#include "dflow/plan/query_spec.h"
+
+namespace dflow {
+
+/// Canonical textual form of a QuerySpec: every semantically meaningful
+/// field in a fixed order, expressions via Expr::ToString. Two specs that
+/// render identically here are the same plan for caching purposes —
+/// literals included, so parameterized queries with different constants are
+/// distinct plans (re-binding literals through a compiled program's
+/// parameter slots without recompiling is future work; see DESIGN.md §10).
+std::string CanonicalSpecString(const QuerySpec& spec);
+
+/// Stable 64-bit identity of a plan: HashString over CanonicalSpecString.
+/// The program cache keys on this plus fabric epoch and verifier version.
+/// Pure function of the spec — identical across processes and runs.
+uint64_t FingerprintQuerySpec(const QuerySpec& spec);
+
+}  // namespace dflow
+
+#endif  // DFLOW_PLAN_FINGERPRINT_H_

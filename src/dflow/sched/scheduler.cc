@@ -154,10 +154,20 @@ Result<IncrementalDecision> Scheduler::PlanOne(const QuerySpec& spec,
     const {
   DFLOW_ASSIGN_OR_RETURN(std::vector<RankedPlacement> variants,
                          engine_->PlanVariants(spec));
+  Placement forced;
+  if (choice != PlacementChoice::kAuto) {
+    DFLOW_ASSIGN_OR_RETURN(forced, engine_->ChoosePlacement(spec, choice));
+  }
+  return PlanFromVariants(variants, forced, committed, choice, filter);
+}
+
+Result<IncrementalDecision> Scheduler::PlanFromVariants(
+    const std::vector<RankedPlacement>& variants, const Placement& forced,
+    const CommittedDemand& committed, PlacementChoice choice,
+    const PlacementFilter& filter) const {
   IncrementalDecision decision;
   if (choice == PlacementChoice::kAuto) {
-    std::vector<RankedPlacement> healthy =
-        HealthyVariants(engine_, std::move(variants));
+    std::vector<RankedPlacement> healthy = HealthyVariants(engine_, variants);
     if (filter) {
       std::vector<RankedPlacement> allowed;
       for (RankedPlacement& v : healthy) {
@@ -184,8 +194,7 @@ Result<IncrementalDecision> Scheduler::PlanOne(const QuerySpec& spec,
   } else {
     // Forced extreme (CPU-only / full-offload): still costed, so the
     // ledger and the rate cap stay honest.
-    DFLOW_ASSIGN_OR_RETURN(decision.placement,
-                           engine_->ChoosePlacement(spec, choice));
+    decision.placement = forced;
     bool found = false;
     for (const RankedPlacement& v : variants) {
       if (v.placement.sites == decision.placement.sites) {

@@ -88,6 +88,17 @@ class Scheduler {
       PlacementChoice choice = PlacementChoice::kAuto,
       const PlacementFilter& filter = nullptr) const;
 
+  /// PlanOne's decision core, starting from an already-enumerated variant
+  /// table (e.g. a program-cache entry) instead of re-planning the spec.
+  /// `forced` is the pre-resolved extreme placement for kCpuOnly /
+  /// kFullOffload and is ignored for kAuto. Decisions are byte-identical
+  /// to PlanOne over the same variants — PlanOne delegates here.
+  Result<IncrementalDecision> PlanFromVariants(
+      const std::vector<RankedPlacement>& variants, const Placement& forced,
+      const CommittedDemand& committed,
+      PlacementChoice choice = PlacementChoice::kAuto,
+      const PlacementFilter& filter = nullptr) const;
+
   /// Adds / removes a query's estimated demand to / from the ledger.
   void Charge(const CostEstimate& cost, CommittedDemand* committed) const;
   void Release(const CostEstimate& cost, CommittedDemand* committed) const;

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "dflow/common/logging.h"
+#include "dflow/compile/compiler.h"
 #include "dflow/exec/invariants.h"
+#include "dflow/plan/fingerprint.h"
 
 namespace dflow::serve {
 
@@ -30,7 +32,8 @@ ServiceLoop::ServiceLoop(Engine* engine, std::vector<TenantConfig> tenants,
       scheduler_(engine),
       lifecycle_(EffectiveRetryPolicy(config)),
       breakers_(config.lifecycle.breaker),
-      brownout_(config.lifecycle.brownout) {
+      brownout_(config.lifecycle.brownout),
+      program_cache_(config.program_cache_capacity) {
   DFLOW_CHECK(engine != nullptr && !tenants_.empty());
   stats_.resize(tenants_.size());
   latencies_.resize(tenants_.size());
@@ -133,6 +136,14 @@ Result<ServiceResult> ServiceLoop::Run() {
     report.tenants.push_back(ts);
   }
   report.p99_ns = PercentileNs(std::move(all_latencies), 0.99);
+  const compile::CacheStats& cache = program_cache_.stats();
+  report.cache_hits = cache.hits;
+  report.cache_misses = cache.misses;
+  report.cache_evictions = cache.evictions;
+  report.cache_recompiles = cache.recompiles;
+  report.cache_invalidations = cache.invalidations;
+  report.cache_planning_ns_cold = cache_planning_ns_cold_;
+  report.cache_planning_ns_warm = cache_planning_ns_warm_;
   report.breaker_transitions = breakers_.transitions_total();
   report.breaker_probes = breakers_.probes_total();
   report.brownout_escalations = brownout_.escalations();
@@ -262,8 +273,9 @@ void ServiceLoop::DrainRunnable() {
                       admission_.in_flight_total()));
 }
 
-Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
-                               PlacementChoice retry_placement) {
+Status ServiceLoop::StartQuery(
+    const Ticket& ticket, bool is_retry, PlacementChoice retry_placement,
+    const std::shared_ptr<compile::CompiledQuery>& prior_plan) {
   const sim::SimTime now = engine_->fabric().simulator().now();
   const TenantConfig& tenant = tenants_[ticket.tenant];
   const TemplateMix& tmpl = tenant.templates[ticket.template_index];
@@ -299,9 +311,37 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
     choice = PlacementChoice::kCpuOnly;
   }
 
-  // Re-plan against a snapshot of the live demand ledger on every launch
-  // (the snapshot is coherent: Charge happens after the final choice).
-  // Open-breaker devices are vetoed from kAuto variant selection.
+  // Program-cache admission (compile once, serve millions): look the plan
+  // up under (fingerprint, fabric epoch, verifier version). A repeat query
+  // in an unchanged epoch reuses the cached variant table and compiled
+  // program — no planning, no placement enumeration, no re-verification.
+  program_cache_.InvalidateStaleEpochs(engine_->fabric_epoch());
+  const compile::CacheKey key{FingerprintQuerySpec(tmpl.spec),
+                              engine_->fabric_epoch(),
+                              verify::kVerifierVersion};
+  std::shared_ptr<compile::CompiledQuery> plan = program_cache_.Lookup(key);
+  bool fresh_plan = false;
+  if (plan == nullptr) {
+    if (prior_plan != nullptr &&
+        prior_plan->plan_fingerprint == key.plan_fingerprint) {
+      // Retry after a crash bumped the epoch: the variant table and the
+      // forced extremes are placement-enumeration results, valid across
+      // health changes (health filtering happens at decision time), so
+      // clone them into the new epoch and only relower what gets chosen —
+      // a recompile, not a from-scratch re-plan.
+      plan = std::make_shared<compile::CompiledQuery>(*prior_plan);
+      plan->fabric_epoch = key.fabric_epoch;
+      plan->programs.clear();  // compiled under a stale health registry
+    } else {
+      DFLOW_ASSIGN_OR_RETURN(plan, engine_->CompilePlan(tmpl.spec));
+      fresh_plan = true;
+    }
+    program_cache_.Insert(key, plan);
+  }
+
+  // Decide the variant against a snapshot of the live demand ledger on
+  // every launch (the snapshot is coherent: Charge happens after the final
+  // choice). Open-breaker devices are vetoed from kAuto selection.
   const CommittedDemand committed = ledger_.Snapshot();
   Scheduler::PlacementFilter filter;
   if (breakers_.enabled() && choice == PlacementChoice::kAuto) {
@@ -313,9 +353,13 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
       return true;
     };
   }
+  const Placement forced = choice == PlacementChoice::kFullOffload
+                               ? plan->full_offload
+                               : plan->cpu_only;
   DFLOW_ASSIGN_OR_RETURN(
       IncrementalDecision decision,
-      scheduler_.PlanOne(tmpl.spec, committed, choice, filter));
+      scheduler_.PlanFromVariants(plan->variants, forced, committed, choice,
+                                  filter));
   bool degraded_at_admission = false;
   if (!engine_->PlacementHealthy(decision.placement, /*node=*/0) &&
       choice != PlacementChoice::kCpuOnly) {
@@ -323,7 +367,8 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
     // back to the CPU-only plan instead of launching onto a dead device.
     DFLOW_ASSIGN_OR_RETURN(
         decision,
-        scheduler_.PlanOne(tmpl.spec, committed, PlacementChoice::kCpuOnly));
+        scheduler_.PlanFromVariants(plan->variants, plan->cpu_only, committed,
+                                    PlacementChoice::kCpuOnly));
     degraded_at_admission = true;
   }
   if (breakers_.enabled() && choice != PlacementChoice::kCpuOnly) {
@@ -339,12 +384,45 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
       }
     }
     if (blocked) {
-      DFLOW_ASSIGN_OR_RETURN(decision,
-                             scheduler_.PlanOne(tmpl.spec, committed,
-                                                PlacementChoice::kCpuOnly));
+      DFLOW_ASSIGN_OR_RETURN(
+          decision,
+          scheduler_.PlanFromVariants(plan->variants, plan->cpu_only,
+                                      committed, PlacementChoice::kCpuOnly));
       degraded_at_admission = true;
     }
   }
+
+  // Fetch (or lazily lower) the compiled program for the chosen variant.
+  // Cold path: full planning + lowering + one compile-time verification.
+  // Warm path: a cache lookup. A new variant of a cached plan — or the
+  // CPU-only fallback after a crash — relowers only (a recompile).
+  compile::ProgramPtr program = plan->ProgramFor(decision.placement.name);
+  uint64_t planning_ns = compile::kCacheLookupCostNs;
+  const char* cache_event = "cache_hit";
+  if (program == nullptr) {
+    DFLOW_ASSIGN_OR_RETURN(
+        program, engine_->CompileVariant(plan.get(), decision.placement));
+    planning_ns += program->compile_cost_ns();
+    if (fresh_plan) {
+      planning_ns += plan->plan_cost_ns;
+      program_cache_.CountMiss();
+      cache_event = "cache_miss";
+    } else {
+      program_cache_.CountRecompile();
+      cache_event = "recompile";
+    }
+    cache_planning_ns_cold_ += planning_ns;
+  } else {
+    program_cache_.CountHit();
+    cache_planning_ns_warm_ += planning_ns;
+  }
+  DFLOW_TRACE(engine_->tracer(),
+              Instant("compile", "cache", cache_event, now, ticket.query_id,
+                      tmpl.name + " -> " + decision.placement.name));
+
+  // Charge the ledger from the program's precomputed demand vector (the
+  // same CostEstimate the decision was ranked by).
+  decision.cost = program->demand();
   ledger_.Charge(scheduler_, decision.cost);
   ++ledger_charges_;
 
@@ -354,25 +432,14 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
   const size_t graph_index = graphs_.size() - 1;
   const std::string label =
       tenant.name + "#" + std::to_string(ticket.query_id);
+  // The program was verified once at compile time against the current
+  // fabric epoch (CompileVariant refuses to produce a program under strict
+  // mode); an epoch bump strands the cache entry, so there is nothing to
+  // re-verify per launch.
   DFLOW_ASSIGN_OR_RETURN(
       Engine::AdmittedPipeline pipeline,
-      engine_->BuildServicePipeline(graph, tmpl.spec, decision.placement,
-                                    label,
+      engine_->BuildProgramPipeline(graph, *program, label,
                                     decision.network_rate_limit_gbps));
-
-  const verify::VerifyMode mode = verify::DefaultMode();
-  if (mode != verify::VerifyMode::kOff) {
-    verify::VerifyReport vreport = engine_->VerifyGraphSpec(graph->Describe());
-    for (const verify::VerifyIssue& issue : vreport.issues) {
-      DFLOW_LOG(Warning) << "serve verify (" << label
-                         << "): " << issue.ToString();
-    }
-    if (mode == verify::VerifyMode::kStrict && !vreport.ok()) {
-      return Status::InvalidArgument(
-          "service: query " + label + " placement '" + decision.placement.name +
-          "' rejected by static verifier: " + vreport.ToString());
-    }
-  }
 
   QueryState st;
   st.ticket = ticket;
@@ -382,6 +449,7 @@ Status ServiceLoop::StartQuery(const Ticket& ticket, bool is_retry,
   st.variant = decision.placement.name;
   st.template_name = tmpl.name;
   st.degraded = is_retry || degraded_at_admission;
+  st.plan = plan;
   st.devices = engine_->PlacementDevices(decision.placement, /*node=*/0);
   if (breakers_.enabled()) {
     for (const std::string& dev : st.devices) {
@@ -501,12 +569,14 @@ void ServiceLoop::OnQueryDone(uint64_t query_id, const Status& status) {
     if (decision.backoff_ns == 0) {
       // Immediate relaunch in the same event (the legacy crash path).
       const Status restarted =
-          StartQuery(st.ticket, /*is_retry=*/true, decision.placement);
+          StartQuery(st.ticket, /*is_retry=*/true, decision.placement,
+                     st.plan);
       if (!restarted.ok()) failure_ = restarted;
     } else {
       PendingRetry pending;
       pending.ticket = st.ticket;
       pending.placement = decision.placement;
+      pending.plan = st.plan;
       pending_retries_.emplace(query_id, std::move(pending));
       engine_->fabric().simulator().ScheduleAt(
           now + decision.backoff_ns, [this, query_id] { LaunchRetry(query_id); });
@@ -657,8 +727,8 @@ void ServiceLoop::LaunchRetry(uint64_t query_id) {
   last_activity_ns_ = engine_->fabric().simulator().now();
   const PendingRetry pending = std::move(it->second);
   pending_retries_.erase(it);
-  const Status restarted =
-      StartQuery(pending.ticket, /*is_retry=*/true, pending.placement);
+  const Status restarted = StartQuery(pending.ticket, /*is_retry=*/true,
+                                      pending.placement, pending.plan);
   if (!restarted.ok()) failure_ = restarted;
 }
 

@@ -9,6 +9,7 @@
 
 #include "dflow/common/lock_rank.h"
 #include "dflow/common/thread_annotations.h"
+#include "dflow/compile/program_cache.h"
 #include "dflow/engine/engine.h"
 #include "dflow/lifecycle/breaker.h"
 #include "dflow/lifecycle/brownout.h"
@@ -68,6 +69,9 @@ struct ServiceConfig {
   bool collect_results = false;
   /// Event budget for the whole service run.
   uint64_t max_events = 200'000'000;
+  /// Capacity of the compiled-program admission cache (entries = distinct
+  /// (plan fingerprint, fabric epoch, verifier version) keys).
+  size_t program_cache_capacity = 64;
 };
 
 struct ServiceResult {
@@ -130,19 +134,28 @@ class ServiceLoop {
     std::vector<std::string> devices;
     /// Set when this launch took a half-open breaker's probe slot.
     std::string probe_device;
+    /// The cache entry this launch was served from — the retry path reuses
+    /// its variant table instead of re-enumerating placements.
+    std::shared_ptr<compile::CompiledQuery> plan;
   };
   /// A retry waiting out its backoff (slot retained; cancellable).
   struct PendingRetry {
     Ticket ticket;
     PlacementChoice placement = PlacementChoice::kCpuOnly;
+    std::shared_ptr<compile::CompiledQuery> plan;
   };
 
   void OnArrival(const Arrival& arrival, bool closed_loop);
   void DrainRunnable();
   /// Launches one attempt. `is_retry` relaunches after a transient
-  /// failure, pinned to `retry_placement` from the fallback chain.
+  /// failure, pinned to `retry_placement` from the fallback chain;
+  /// `prior_plan` (retries only) carries the previous attempt's cache
+  /// entry so a post-crash relaunch recompiles from its variant table
+  /// instead of re-planning from scratch.
   Status StartQuery(const Ticket& ticket, bool is_retry,
-                    PlacementChoice retry_placement);
+                    PlacementChoice retry_placement,
+                    const std::shared_ptr<compile::CompiledQuery>& prior_plan =
+                        nullptr);
   void OnQueryDone(uint64_t query_id, const Status& status);
   /// Deadline event: cancels the query with DEADLINE_EXCEEDED wherever it
   /// is; a no-op once the query reached a terminal state.
@@ -172,6 +185,13 @@ class ServiceLoop {
   lifecycle::LifecycleManager lifecycle_;
   lifecycle::BreakerRegistry breakers_;
   lifecycle::BrownoutController brownout_;
+  /// Compiled-program admission cache: repeat queries skip planning,
+  /// placement enumeration and re-verification (DESIGN.md §10).
+  compile::ProgramCache program_cache_;
+  /// Modeled planning virtual time, split cold (miss/recompile) vs. warm
+  /// (hit); reported as service.cache.planning_ns_{cold,warm}.
+  uint64_t cache_planning_ns_cold_ = 0;
+  uint64_t cache_planning_ns_warm_ = 0;
 
   std::vector<std::unique_ptr<DataflowGraph>> graphs_;
   std::map<uint64_t, QueryState> active_;

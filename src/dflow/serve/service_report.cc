@@ -42,6 +42,14 @@ std::string ServiceReport::ToString() const {
        << " brownout_escalations=" << brownout_escalations
        << " brownout_peak_level=" << brownout_peak_level;
   }
+  if (cache_hits + cache_misses + cache_recompiles > 0) {
+    os << "\n  cache: hits=" << cache_hits << " misses=" << cache_misses
+       << " evictions=" << cache_evictions
+       << " recompiles=" << cache_recompiles
+       << " invalidations=" << cache_invalidations
+       << " planning_cold=" << cache_planning_ns_cold << "ns"
+       << " planning_warm=" << cache_planning_ns_warm << "ns";
+  }
   for (const TenantStats& t : tenants) {
     os << "\n  tenant " << t.name << ": arrivals=" << t.arrivals
        << " admitted=" << t.admitted << " queued=" << t.queued

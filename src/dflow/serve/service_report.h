@@ -58,6 +58,17 @@ struct ServiceReport {
   uint64_t breaker_probes = 0;       // half-open probe launches
   uint64_t brownout_escalations = 0;
   uint64_t brownout_peak_level = 0;  // highest ladder rung reached
+  // ---- program-cache admission counters (PR 9): compile-once serving.
+  uint64_t cache_hits = 0;        // admissions served a cached program
+  uint64_t cache_misses = 0;      // first sight of a plan: full compile
+  uint64_t cache_evictions = 0;   // LRU evictions under capacity pressure
+  uint64_t cache_recompiles = 0;  // new variant / post-crash relower only
+  uint64_t cache_invalidations = 0;  // entries stranded by an epoch bump
+  /// Modeled planning + compilation + verification virtual time summed
+  /// over cold admissions (misses and recompiles) vs. warm ones (hits).
+  /// Warm ~ admissions * cache-lookup cost; the bench gates the ratio.
+  uint64_t cache_planning_ns_cold = 0;
+  uint64_t cache_planning_ns_warm = 0;
   std::vector<TenantStats> tenants;
 
   std::string ToString() const;

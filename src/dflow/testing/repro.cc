@@ -48,7 +48,9 @@ std::string ReproToJson(const Repro& repro) {
   out += std::string("    \"chaos_serve\": ") +
          (repro.diff.chaos_serve ? "true" : "false") + ",\n";
   out += std::string("    \"real_parallel\": ") +
-         (repro.diff.real_parallel ? "true" : "false") + "\n";
+         (repro.diff.real_parallel ? "true" : "false") + ",\n";
+  out += std::string("    \"compiled\": ") +
+         (repro.diff.compiled ? "true" : "false") + "\n";
   out += "  },\n";
   out += "  \"steps\": [";
   for (size_t i = 0; i < repro.steps.size(); ++i) {
@@ -121,6 +123,9 @@ Result<Repro> ReproFromJson(const std::string& json) {
   // Optional (added with the real-parallel lanes): same compatibility rule.
   const trace::JsonValue* par = diff->Find("real_parallel");
   if (par != nullptr) repro.diff.real_parallel = par->AsBool();
+  // Optional (added with the compiled-program lanes): same rule again.
+  const trace::JsonValue* compiled = diff->Find("compiled");
+  if (compiled != nullptr) repro.diff.compiled = compiled->AsBool();
 
   const trace::JsonValue* steps = root.Find("steps");
   if (steps == nullptr) return MissingField("steps");

@@ -209,6 +209,14 @@ std::string ServiceReportToJson(const serve::ServiceReport& report) {
   os << ",\"breaker_probes\":" << report.breaker_probes;
   os << ",\"brownout_escalations\":" << report.brownout_escalations;
   os << ",\"brownout_peak_level\":" << report.brownout_peak_level << "}";
+  os << ",\"cache\":{";
+  os << "\"hits\":" << report.cache_hits;
+  os << ",\"misses\":" << report.cache_misses;
+  os << ",\"evictions\":" << report.cache_evictions;
+  os << ",\"recompiles\":" << report.cache_recompiles;
+  os << ",\"invalidations\":" << report.cache_invalidations;
+  os << ",\"planning_ns_cold\":" << report.cache_planning_ns_cold;
+  os << ",\"planning_ns_warm\":" << report.cache_planning_ns_warm << "}";
   os << ",\"tenants\":[";
   for (size_t t = 0; t < report.tenants.size(); ++t) {
     const serve::TenantStats& ts = report.tenants[t];
@@ -264,6 +272,15 @@ Result<serve::ServiceReport> ServiceReportFromJson(const std::string& json) {
   report.brownout_escalations =
       GetU64(root, "lifecycle.brownout_escalations");
   report.brownout_peak_level = GetU64(root, "lifecycle.brownout_peak_level");
+  // Additive in v1, like "lifecycle": pre-program-cache documents have no
+  // "cache" object; every counter parses as 0.
+  report.cache_hits = GetU64(root, "cache.hits");
+  report.cache_misses = GetU64(root, "cache.misses");
+  report.cache_evictions = GetU64(root, "cache.evictions");
+  report.cache_recompiles = GetU64(root, "cache.recompiles");
+  report.cache_invalidations = GetU64(root, "cache.invalidations");
+  report.cache_planning_ns_cold = GetU64(root, "cache.planning_ns_cold");
+  report.cache_planning_ns_warm = GetU64(root, "cache.planning_ns_warm");
   const JsonValue* tenants = root.Find("tenants");
   if (tenants != nullptr && tenants->type() == JsonValue::Type::kArray) {
     for (const JsonValue& entry : tenants->AsArray()) {

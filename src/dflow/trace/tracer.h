@@ -29,7 +29,8 @@ struct TraceEvent {
   uint64_t seq = 0;
   EventKind kind = EventKind::kInstant;
   /// Which layer emitted it: "device" | "link" | "dma" | "stage" | "edge" |
-  /// "fault" | "engine" | "sched".
+  /// "fault" | "engine" | "sched" | "compile" (plan compilation, operator
+  /// fusion, and program-cache hit / miss / recompile outcomes).
   std::string category;
   /// The timeline row the event belongs to (device / link / stage / edge
   /// name). Exporters group events by (category, track).

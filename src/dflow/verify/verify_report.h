@@ -26,6 +26,12 @@ std::string_view SeverityToString(Severity s);
 ///  - kOff:    skip verification entirely.
 enum class VerifyMode { kOff, kWarn, kStrict };
 
+/// Version of the static check catalogue. Bumped whenever a check is added,
+/// removed, or its semantics change, so artifacts that embed a verifier
+/// verdict (compiled DflowPrograms, cached plans) can tell a stale stamp
+/// from a current one — the program cache keys on this.
+inline constexpr int kVerifierVersion = 1;
+
 std::string_view VerifyModeToString(VerifyMode m);
 
 /// Parses "strict" / "warn" / "off" (as in --dflow_verify=).

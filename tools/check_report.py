@@ -72,6 +72,15 @@ SERVICE_COUNTERS = [
     "service.lifecycle.breaker_probes",
     "service.lifecycle.brownout_escalations",
     "service.lifecycle.brownout_peak_level",
+    # Program-cache admission counters (PR 9): compile-once serving. Also
+    # captured only when present.
+    "service.cache.hits",
+    "service.cache.misses",
+    "service.cache.evictions",
+    "service.cache.recompiles",
+    "service.cache.invalidations",
+    "service.cache.planning_ns_cold",
+    "service.cache.planning_ns_warm",
 ]
 
 

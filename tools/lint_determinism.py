@@ -34,7 +34,8 @@ import re
 import sys
 
 LINT_DIRS = ("src/dflow/sim", "src/dflow/exec", "src/dflow/trace",
-             "src/dflow/serve", "src/dflow/sched", "src/dflow/lifecycle")
+             "src/dflow/serve", "src/dflow/sched", "src/dflow/lifecycle",
+             "src/dflow/compile")
 SUFFIXES = (".h", ".cc")
 
 # (name, regex, why it breaks determinism)
