@@ -49,6 +49,9 @@ struct BenchIoState {
   /// Optional service-report JSON per entry (serving benches), embedded
   /// as the entry's "service" member next to "report".
   std::map<std::string, std::string> service_entries;
+  /// Optional cluster-report JSON per entry (scale-out benches), embedded
+  /// as the entry's "cluster" member next to "report".
+  std::map<std::string, std::string> cluster_entries;
   /// Workload/arrival RNG seed (--dflow_seed).
   uint64_t seed = 42;
   bool seed_set = false;
@@ -138,6 +141,14 @@ inline void RecordServiceEntry(const std::string& name,
   if (!name.empty()) BenchIo().service_entries[name] = service_json;
 }
 
+/// Attaches a serialized ClusterServiceReport (or any cluster-section
+/// JSON) to an entry recorded with RecordBenchEntry; it becomes the
+/// entry's "cluster" JSON member.
+inline void RecordClusterEntry(const std::string& name,
+                               const std::string& cluster_json) {
+  if (!name.empty()) BenchIo().cluster_entries[name] = cluster_json;
+}
+
 /// Writes the artifacts requested on the command line; call after
 /// benchmark::RunSpecifiedBenchmarks.
 inline void FinishBenchIo(const std::string& bench_name) {
@@ -157,6 +168,10 @@ inline void FinishBenchIo(const std::string& bench_name) {
       auto service = io.service_entries.find(name);
       if (service != io.service_entries.end()) {
         out << ", \"service\": " << service->second;
+      }
+      auto cluster = io.cluster_entries.find(name);
+      if (cluster != io.cluster_entries.end()) {
+        out << ", \"cluster\": " << cluster->second;
       }
       out << "}";
     }

@@ -1,0 +1,149 @@
+#include "dflow/cluster/cluster.h"
+
+#include <utility>
+
+#include "dflow/vector/kernels.h"
+
+namespace dflow::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  if (config_.num_nodes < 1) config_.num_nodes = 1;
+  // Every node is an independent single-compute-node fabric: the cluster's
+  // parallelism is across nodes, the fabric's is within one.
+  sim::FabricConfig node_config = config_.node;
+  node_config.num_compute_nodes = 1;
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Engine>(node_config));
+  }
+  links_.resize(static_cast<size_t>(config_.num_nodes) * config_.num_nodes);
+  for (int src = 0; src < config_.num_nodes; ++src) {
+    for (int dst = 0; dst < config_.num_nodes; ++dst) {
+      if (src == dst) continue;
+      links_[static_cast<size_t>(src) * config_.num_nodes + dst] =
+          std::make_unique<sim::InterNodeLink>(
+              "xlink" + std::to_string(src) + "_" + std::to_string(dst),
+              config_.xlink_gbps, config_.xlink_latency_ns,
+              config_.xlink_credits);
+    }
+  }
+  alive_.assign(config_.num_nodes, true);
+}
+
+sim::InterNodeLink& Cluster::link(int src, int dst) {
+  return *links_[static_cast<size_t>(src) * config_.num_nodes + dst];
+}
+
+Status Cluster::RegisterSharded(std::shared_ptr<Table> table) {
+  original_tables_[table->name()] = table;
+  const std::vector<int> targets = AliveNodes();
+  if (targets.empty()) {
+    return Status::InvalidArgument("cluster has no alive nodes to shard onto");
+  }
+  DFLOW_ASSIGN_OR_RETURN(std::vector<DataChunk> chunks, table->ToChunks());
+  std::vector<TableBuilder> builders;
+  builders.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    builders.emplace_back(table->name(), table->schema());
+  }
+  const uint32_t n = static_cast<uint32_t>(targets.size());
+  std::vector<uint64_t> hashes;
+  for (const DataChunk& chunk : chunks) {
+    if (chunk.num_rows() == 0) continue;
+    hashes.clear();  // non-empty switches HashColumn into combine mode
+    DFLOW_RETURN_NOT_OK(HashColumn(chunk.column(0), &hashes));
+    std::vector<SelectionVector> sel(n);
+    for (size_t r = 0; r < hashes.size(); ++r) {
+      sel[hashes[r] % n].Append(static_cast<uint32_t>(r));
+    }
+    for (uint32_t p = 0; p < n; ++p) {
+      if (sel[p].empty()) continue;
+      DFLOW_RETURN_NOT_OK(builders[p].Append(chunk.Gather(sel[p])));
+    }
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    DFLOW_ASSIGN_OR_RETURN(Table shard, builders[i].Finish());
+    DFLOW_RETURN_NOT_OK(nodes_[targets[i]]->catalog().Register(
+        std::make_shared<Table>(std::move(shard))));
+  }
+  return Status::OK();
+}
+
+Status Cluster::ReshardAll() {
+  for (const auto& [name, table] : original_tables_) {
+    DFLOW_RETURN_NOT_OK(RegisterSharded(table));
+  }
+  needs_reshard_ = false;
+  return Status::OK();
+}
+
+void Cluster::MarkNodeLost(int node) {
+  if (node < 0 || node >= num_nodes() || !alive_[node]) return;
+  alive_[node] = false;
+  needs_reshard_ = true;
+  node_losses_++;
+  // A lost node's cached program slices must never be served again: bump
+  // its engine's epoch through the device-health registry.
+  nodes_[node]->MarkDeviceUnhealthy("cpu0");
+}
+
+std::vector<int> Cluster::AliveNodes() const {
+  std::vector<int> alive;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (alive_[i]) alive.push_back(i);
+  }
+  return alive;
+}
+
+std::vector<int> Cluster::LostNodes() const {
+  std::vector<int> lost;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (!alive_[i]) lost.push_back(i);
+  }
+  return lost;
+}
+
+ExchangeStats Cluster::TotalExchangeStats() const {
+  ExchangeStats total;
+  for (const auto& link : links_) {
+    if (link == nullptr) continue;
+    total.bytes += link->bytes_transferred();
+    total.frames += link->frames();
+    total.retransmits += link->retransmits();
+    total.frames_lost += link->frames_lost();
+    total.credit_stall_ns += link->credit_stall_ns();
+  }
+  return total;
+}
+
+void Cluster::ResetLinks() {
+  for (auto& link : links_) {
+    if (link != nullptr) link->ResetStats();
+  }
+}
+
+void Cluster::AttachTracer(trace::Tracer* tracer) {
+  for (auto& link : links_) {
+    if (link != nullptr) link->SetTracer(tracer);
+  }
+}
+
+void Cluster::ArmLinkFaults() {
+  link_faults_armed_ = true;
+  uint64_t i = 0;
+  for (auto& link : links_) {
+    if (link == nullptr) continue;
+    link->ArmFaults(config_.fault.xlink_drop_probability,
+                    config_.fault.xlink_corrupt_probability,
+                    config_.seed + 0x9e37 * ++i,
+                    config_.fault.max_frame_attempts);
+  }
+}
+
+void Cluster::DisarmLinkFaults() {
+  link_faults_armed_ = false;
+  for (auto& link : links_) {
+    if (link != nullptr) link->DisarmFaults();
+  }
+}
+
+}  // namespace dflow::cluster

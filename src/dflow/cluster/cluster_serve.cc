@@ -1,0 +1,120 @@
+#include "dflow/cluster/cluster_serve.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace dflow::cluster {
+
+ClusterServiceLoop::ClusterServiceLoop(Cluster* cluster,
+                                       std::vector<serve::TenantConfig> tenants,
+                                       serve::ServiceConfig config)
+    : cluster_(cluster),
+      tenants_(std::move(tenants)),
+      config_(std::move(config)) {}
+
+Result<ClusterServiceResult> ClusterServiceLoop::Run() {
+  const std::vector<int> alive = cluster_->AliveNodes();
+  if (alive.empty()) {
+    return Status::InvalidArgument("cluster has no alive nodes to serve on");
+  }
+
+  // Shard tenants round-robin over the alive nodes: deterministic, and an
+  // even split so the scale-out bench measures parallelism, not placement
+  // luck. (Key-affine routing uses QueryRouter::HomeNode instead.)
+  std::vector<std::vector<serve::TenantConfig>> shards(alive.size());
+  for (size_t t = 0; t < tenants_.size(); ++t) {
+    shards[t % alive.size()].push_back(tenants_[t]);
+  }
+
+  ClusterServiceResult result;
+  result.cluster.num_nodes = cluster_->num_nodes();
+  result.cluster.node_losses = cluster_->node_losses();
+  result.node_results.resize(cluster_->num_nodes());
+  result.cluster.nodes.resize(cluster_->num_nodes());
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    result.cluster.nodes[i].node = i;
+    result.cluster.nodes[i].alive = cluster_->node_alive(i);
+  }
+
+  std::vector<sim::SimTime> node_makespans;
+  for (size_t s = 0; s < alive.size(); ++s) {
+    const int node = alive[s];
+    if (shards[s].empty()) continue;
+    // Per-node seed derivation keeps arrival streams independent across
+    // nodes while staying a pure function of (config seed, node id).
+    serve::ServiceConfig node_config = config_;
+    node_config.seed = config_.seed + 0x9e3779b97f4a7c15ULL * (node + 1);
+    serve::ServiceLoop loop(&cluster_->node(node), shards[s], node_config);
+    DFLOW_ASSIGN_OR_RETURN(serve::ServiceResult node_result, loop.Run());
+
+    const serve::ServiceReport& r = node_result.service;
+    result.cluster.arrivals_total += r.arrivals_total;
+    result.cluster.admitted_total += r.admitted_total;
+    result.cluster.shed_total += r.shed_total;
+    result.cluster.completed_total += r.completed_total;
+    result.cluster.failed_total += r.failed_total;
+    node_makespans.push_back(r.makespan_ns);
+    result.cluster.nodes[node].report = r;
+    result.node_results[node] = std::move(node_result);
+  }
+
+  // Straggler detection over the per-node serving makespans, same rule as
+  // the router's per-query detection.
+  if (node_makespans.size() >= 2) {
+    std::vector<sim::SimTime> sorted = node_makespans;
+    std::sort(sorted.begin(), sorted.end());
+    const sim::SimTime median = sorted[sorted.size() / 2];
+    if (median > 0) {
+      const double threshold = static_cast<double>(median) *
+                               cluster_->config().straggler_factor;
+      for (sim::SimTime m : node_makespans) {
+        if (static_cast<double>(m) > threshold) {
+          result.cluster.straggler_events++;
+        }
+      }
+    }
+  }
+
+  for (sim::SimTime m : node_makespans) {
+    result.cluster.makespan_ns = std::max(result.cluster.makespan_ns, m);
+  }
+  result.cluster.exchange = cluster_->TotalExchangeStats();
+  return result;
+}
+
+std::string ClusterReportToJson(const ClusterServiceReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"dflow.cluster_report.v1\"";
+  os << ",\"num_nodes\":" << report.num_nodes;
+  os << ",\"makespan_ns\":" << report.makespan_ns;
+  os << ",\"arrivals_total\":" << report.arrivals_total;
+  os << ",\"admitted_total\":" << report.admitted_total;
+  os << ",\"shed_total\":" << report.shed_total;
+  os << ",\"completed_total\":" << report.completed_total;
+  os << ",\"failed_total\":" << report.failed_total;
+  os << ",\"straggler_events\":" << report.straggler_events;
+  os << ",\"node_losses\":" << report.node_losses;
+  os << ",\"exchange\":{";
+  os << "\"bytes\":" << report.exchange.bytes;
+  os << ",\"frames\":" << report.exchange.frames;
+  os << ",\"retransmits\":" << report.exchange.retransmits;
+  os << ",\"frames_lost\":" << report.exchange.frames_lost;
+  os << ",\"credit_stall_ns\":" << report.exchange.credit_stall_ns << "}";
+  os << ",\"per_node\":{";
+  for (size_t i = 0; i < report.nodes.size(); ++i) {
+    const NodeServiceReport& node = report.nodes[i];
+    if (i > 0) os << ",";
+    os << "\"node" << node.node << "\":{";
+    os << "\"alive\":" << (node.alive ? "true" : "false");
+    os << ",\"admitted\":" << node.report.admitted_total;
+    os << ",\"shed\":" << node.report.shed_total;
+    os << ",\"completed\":" << node.report.completed_total;
+    os << ",\"failed\":" << node.report.failed_total;
+    os << ",\"makespan_ns\":" << node.report.makespan_ns << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace dflow::cluster

@@ -1,0 +1,157 @@
+#include "dflow/cluster/exchange.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dflow/vector/kernels.h"
+
+namespace dflow::cluster {
+
+std::string_view ExchangeOutcomeToString(ExchangeOutcome outcome) {
+  switch (outcome) {
+    case ExchangeOutcome::kDone:
+      return "DONE";
+    case ExchangeOutcome::kCancelled:
+      return "CANCELLED";
+    case ExchangeOutcome::kNodeLost:
+      return "NODE_LOST";
+    case ExchangeOutcome::kRetryExhausted:
+      return "RETRY_EXHAUSTED";
+  }
+  return "?";
+}
+
+ExchangeOperator::ExchangeOperator(Cluster* cluster, Options options)
+    : cluster_(cluster), options_(std::move(options)) {}
+
+Result<ExchangeResult> ExchangeOperator::Run(
+    const std::vector<std::vector<DataChunk>>& inputs,
+    const std::vector<sim::SimTime>& ready_ns) {
+  const int n = cluster_->num_nodes();
+  if (static_cast<int>(inputs.size()) != n ||
+      static_cast<int>(ready_ns.size()) != n) {
+    return Status::InvalidArgument(
+        "exchange inputs/ready must be indexed by node id over the cluster");
+  }
+  const std::vector<int> alive = cluster_->AliveNodes();
+  if (alive.empty()) {
+    return Status::InvalidArgument("exchange over a cluster with no nodes");
+  }
+
+  ExchangeResult result;
+  result.received.resize(n);
+  result.done_ns.assign(n, 0);
+  for (int d : alive) result.done_ns[d] = ready_ns[d];
+
+  const ClusterFaultConfig& fault = cluster_->config().fault;
+  const bool loss_armed = fault.lose_node >= 0 && fault.lose_node < n &&
+                          cluster_->node_alive(fault.lose_node);
+  const uint64_t frame_cap = std::max<uint64_t>(1, cluster_->config().frame_bytes);
+  const ExchangeStats before = cluster_->TotalExchangeStats();
+
+  // Ends the exchange: returns every in-flight credit (delivered frames'
+  // acks are all in the virtual past by construction; cancelled frames are
+  // explicitly released — either way the window must come back empty), and
+  // reports only this exchange's delta of the link counters.
+  auto finish = [&](ExchangeOutcome outcome) {
+    for (int s : alive) {
+      for (int d : alive) {
+        if (s != d) cluster_->link(s, d).CancelWindow();
+      }
+    }
+    const ExchangeStats after = cluster_->TotalExchangeStats();
+    result.stats.bytes = after.bytes - before.bytes;
+    result.stats.frames = after.frames - before.frames;
+    result.stats.retransmits = after.retransmits - before.retransmits;
+    result.stats.frames_lost = after.frames_lost - before.frames_lost;
+    result.stats.credit_stall_ns = after.credit_stall_ns - before.credit_stall_ns;
+    result.outcome = outcome;
+    return result;
+  };
+
+  const uint32_t fanout = static_cast<uint32_t>(alive.size());
+  std::vector<uint64_t> hashes;
+
+  // Deterministic frame layout: source nodes ascending, that source's
+  // chunks in order, destinations ascending, frames of a chunk in row
+  // order. Same inputs => same schedule => byte-identical counters.
+  for (int src : alive) {
+    for (const DataChunk& chunk : inputs[src]) {
+      if (chunk.num_rows() == 0) continue;
+
+      // Route this chunk: per destination node, the piece it receives.
+      std::vector<std::pair<int, DataChunk>> routed;
+      switch (options_.kind) {
+        case verify::ExchangeKind::kShuffle: {
+          if (options_.key_col >= chunk.num_columns()) {
+            return Status::InvalidArgument("shuffle key column out of range");
+          }
+          hashes.clear();  // non-empty switches HashColumn into combine mode
+          DFLOW_RETURN_NOT_OK(HashColumn(chunk.column(options_.key_col),
+                                         &hashes));
+          std::vector<SelectionVector> sel(fanout);
+          for (size_t r = 0; r < hashes.size(); ++r) {
+            sel[hashes[r] % fanout].Append(static_cast<uint32_t>(r));
+          }
+          for (uint32_t p = 0; p < fanout; ++p) {
+            if (sel[p].empty()) continue;
+            routed.emplace_back(alive[p], chunk.Gather(sel[p]));
+          }
+          break;
+        }
+        case verify::ExchangeKind::kBroadcast: {
+          for (int dst : alive) routed.emplace_back(dst, chunk);
+          break;
+        }
+        case verify::ExchangeKind::kGather: {
+          routed.emplace_back(options_.coordinator, chunk);
+          break;
+        }
+      }
+
+      for (auto& [dst, piece] : routed) {
+        if (dst == src) {
+          // Local delivery: no link, no frame, no credit — the piece is
+          // already where it needs to be at the fragment's own ready time.
+          result.received[src].push_back(std::move(piece));
+          continue;
+        }
+        // Split the piece into wire frames of at most frame_bytes each.
+        const uint64_t piece_bytes = piece.ByteSize();
+        const size_t piece_rows = piece.num_rows();
+        const size_t num_frames = static_cast<size_t>(
+            (piece_bytes + frame_cap - 1) / frame_cap);
+        const size_t rows_per_frame =
+            (piece_rows + num_frames - 1) / num_frames;
+        for (size_t start = 0; start < piece_rows; start += rows_per_frame) {
+          const size_t count = std::min(rows_per_frame, piece_rows - start);
+          SelectionVector rows;
+          for (size_t r = start; r < start + count; ++r) {
+            rows.Append(static_cast<uint32_t>(r));
+          }
+          DataChunk frame = piece.Gather(rows);
+          const sim::SimTime ready = ready_ns[src];
+          if (options_.cancel_at_ns > 0 && ready >= options_.cancel_at_ns) {
+            return finish(ExchangeOutcome::kCancelled);
+          }
+          const sim::InterNodeLink::FrameResult sent = cluster_->link(src, dst)
+              .Send(ready, frame.ByteSize(), ChecksumChunk(frame));
+          if (loss_armed &&
+              (src == fault.lose_node || dst == fault.lose_node) &&
+              sent.arrive >= fault.lose_node_at_ns) {
+            cluster_->MarkNodeLost(fault.lose_node);
+            return finish(ExchangeOutcome::kNodeLost);
+          }
+          if (!sent.delivered) {
+            return finish(ExchangeOutcome::kRetryExhausted);
+          }
+          result.done_ns[dst] = std::max(result.done_ns[dst], sent.arrive);
+          result.received[dst].push_back(std::move(frame));
+        }
+      }
+    }
+  }
+  return finish(ExchangeOutcome::kDone);
+}
+
+}  // namespace dflow::cluster

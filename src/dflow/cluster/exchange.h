@@ -1,0 +1,77 @@
+#ifndef DFLOW_CLUSTER_EXCHANGE_H_
+#define DFLOW_CLUSTER_EXCHANGE_H_
+
+#include <string>
+#include <vector>
+
+#include "dflow/cluster/cluster.h"
+#include "dflow/common/result.h"
+#include "dflow/verify/xchg.h"
+
+namespace dflow::cluster {
+
+/// Terminal state of one exchange. Stable codes: the router maps these to
+/// the query's outcome string, and tests match on them exactly.
+enum class ExchangeOutcome {
+  kDone,
+  kCancelled,       // cancel_at_ns hit mid-exchange; credits all returned
+  kNodeLost,        // an endpoint died mid-exchange (see ClusterFaultConfig)
+  kRetryExhausted,  // a frame ran out of retransmission attempts
+};
+
+std::string_view ExchangeOutcomeToString(ExchangeOutcome outcome);
+
+struct ExchangeResult {
+  ExchangeOutcome outcome = ExchangeOutcome::kDone;
+  /// Chunks delivered to each node (indexed by node id; empty for nodes
+  /// outside the destination set).
+  std::vector<std::vector<DataChunk>> received;
+  /// Per destination node: cluster virtual time when its last frame landed
+  /// (at least the node's own ready time, so a purely-local delivery is
+  /// free but never time-travels).
+  std::vector<sim::SimTime> done_ns;
+  ExchangeStats stats;
+};
+
+/// One cluster-level data movement: hash-shuffle, broadcast, or gather,
+/// lowered onto the mesh of checksummed, credit-windowed inter-node links.
+///
+/// Execution is phase-structured: inputs are the chunks each node's local
+/// fragment produced, stamped with the virtual time that fragment finished
+/// (`ready_ns`), and the exchange lays every frame onto the links in a
+/// deterministic order (source node asc, chunk order, destination asc) —
+/// same inputs, same seed, same schedule, byte-identical counters.
+class ExchangeOperator {
+ public:
+  struct Options {
+    verify::ExchangeKind kind = verify::ExchangeKind::kShuffle;
+    /// Shuffle key column (index into the input chunks' schema). Rows
+    /// route to alive_nodes[hash(key) % alive_count] — the same HashColumn
+    /// basis as the intra-node HashPartitioner.
+    size_t key_col = 0;
+    /// Gather destination.
+    int coordinator = 0;
+    /// Cancel the exchange at this cluster virtual time (0 = never). Frames
+    /// not yet departed are never sent; every in-flight credit is returned.
+    sim::SimTime cancel_at_ns = 0;
+    std::string name = "xchg";
+  };
+
+  ExchangeOperator(Cluster* cluster, Options options);
+
+  /// `inputs[node]` are node's outbound chunks (ignored for lost nodes),
+  /// ready at `ready_ns[node]`. Both are indexed by node id over the full
+  /// cluster, not just alive nodes.
+  Result<ExchangeResult> Run(const std::vector<std::vector<DataChunk>>& inputs,
+                             const std::vector<sim::SimTime>& ready_ns);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Cluster* cluster_;
+  Options options_;
+};
+
+}  // namespace dflow::cluster
+
+#endif  // DFLOW_CLUSTER_EXCHANGE_H_

@@ -86,8 +86,35 @@ void Engine::DisableTracing() {
   tracer_.reset();
 }
 
+namespace {
+
+// Trailing digits of a device name identify its compute node ("cnic1" ->
+// node 1). The storage chain ("store_media", "storage_nic", ...) has no
+// suffix: those devices are shared, so a health change there is -1
+// (every node's epoch moves).
+int DeviceNode(const std::string& name) {
+  size_t begin = name.size();
+  while (begin > 0 && name[begin - 1] >= '0' && name[begin - 1] <= '9') {
+    --begin;
+  }
+  if (begin == name.size()) return -1;
+  return std::stoi(name.substr(begin));
+}
+
+}  // namespace
+
 void Engine::MarkDeviceUnhealthy(const std::string& name) {
-  if (unhealthy_.insert(name).second) ++fabric_epoch_;
+  if (!unhealthy_.insert(name).second) return;
+  ++fabric_epoch_;
+  if (node_epochs_.empty()) {
+    node_epochs_.assign(std::max(1, config_.num_compute_nodes), 0);
+  }
+  const int node = DeviceNode(name);
+  if (node >= 0 && node < static_cast<int>(node_epochs_.size())) {
+    ++node_epochs_[node];
+  } else {
+    for (uint64_t& e : node_epochs_) ++e;
+  }
 }
 
 bool Engine::IsDeviceHealthy(const std::string& name) const {
@@ -95,8 +122,18 @@ bool Engine::IsDeviceHealthy(const std::string& name) const {
 }
 
 void Engine::ClearDeviceHealth() {
-  if (!unhealthy_.empty()) ++fabric_epoch_;
+  if (!unhealthy_.empty()) {
+    ++fabric_epoch_;
+    for (uint64_t& e : node_epochs_) ++e;
+  }
   unhealthy_.clear();
+}
+
+uint64_t Engine::fabric_epoch(int node) const {
+  if (node < 0 || node >= static_cast<int>(node_epochs_.size())) {
+    return fabric_epoch_;
+  }
+  return node_epochs_[node];
 }
 
 bool Engine::PlacementHealthy(const Placement& placement, int node) {

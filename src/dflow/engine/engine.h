@@ -139,6 +139,12 @@ class Engine {
   /// compiled program verified against a stale health registry is never
   /// served — the key simply stops matching.
   uint64_t fabric_epoch() const { return fabric_epoch_; }
+  /// Per-compute-node epoch: a health change on a node-scoped device
+  /// ("cnic1", "cpu0", ...) bumps only that node's epoch; a change on a
+  /// shared device (the storage chain has no node suffix) bumps every
+  /// node. Cache keys that carry a node id use this so a crash on node 1
+  /// never invalidates node 0's compiled programs.
+  uint64_t fabric_epoch(int node) const;
   /// True iff every device this placement uses (on `node`) is healthy.
   bool PlacementHealthy(const Placement& placement, int node);
   /// The (deduplicated, ordered) device names this placement runs stages
@@ -342,6 +348,8 @@ class Engine {
   RecoveryPolicy recovery_policy_;
   std::set<std::string> unhealthy_;
   uint64_t fabric_epoch_ = 0;
+  /// Indexed by compute node; grown lazily (see fabric_epoch(int)).
+  std::vector<uint64_t> node_epochs_;
 
   /// Program lowering + graph construction from bytecode live in
   /// src/dflow/compile/compiler.cc.

@@ -312,13 +312,15 @@ Status ServiceLoop::StartQuery(
   }
 
   // Program-cache admission (compile once, serve millions): look the plan
-  // up under (fingerprint, fabric epoch, verifier version). A repeat query
-  // in an unchanged epoch reuses the cached variant table and compiled
-  // program — no planning, no placement enumeration, no re-verification.
-  program_cache_.InvalidateStaleEpochs(engine_->fabric_epoch());
+  // up under (fingerprint, fabric epoch, verifier version, node). The
+  // epoch is node-scoped — the serving loop launches on compute node 0,
+  // and a health change confined to another node must not invalidate this
+  // node's programs.
+  constexpr int kServeNode = 0;
+  program_cache_.InvalidateStaleEpochs(engine_->fabric_epoch(kServeNode));
   const compile::CacheKey key{FingerprintQuerySpec(tmpl.spec),
-                              engine_->fabric_epoch(),
-                              verify::kVerifierVersion};
+                              engine_->fabric_epoch(kServeNode),
+                              verify::kVerifierVersion, kServeNode};
   std::shared_ptr<compile::CompiledQuery> plan = program_cache_.Lookup(key);
   bool fresh_plan = false;
   if (plan == nullptr) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "dflow/cluster/cluster.h"
+#include "dflow/cluster/router.h"
 #include "dflow/engine/engine.h"
 #include "dflow/exec/test_hooks.h"
 #include "dflow/serve/service_loop.h"
@@ -123,6 +125,83 @@ Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
     }
   };
 
+  // --- Cluster lanes: the distributed plan vs. the single-node truth. ----
+  // Tables are hash-sharded over N independent fabrics and the query runs
+  // through the router's exchange lowering (local fragments, shuffle /
+  // broadcast / gather, merge-at-coordinator). The coordinator's result
+  // must fingerprint identically to the Volcano reference at every node
+  // count — and under lossy inter-node links, where checksummed
+  // retransmission has to reconstruct the exact same frames.
+  auto run_cluster_lane = [&](int n, bool lossy) {
+    const std::string lane_name =
+        lossy ? "cluster:faults" : "cluster:n" + std::to_string(n);
+    cluster::ClusterConfig cc;
+    cc.num_nodes = n;
+    cc.seed = MixSeed(c.seed, 0xc105ULL + static_cast<uint64_t>(n));
+    if (lossy) {
+      cc.fault.xlink_drop_probability = 0.05;
+      cc.fault.xlink_corrupt_probability = 0.05;
+    }
+    cluster::Cluster cl(cc);
+    for (const auto& table : c.tables) {
+      Status st = cl.RegisterSharded(table);
+      if (!st.ok()) {
+        add_failure(lane_name, st);
+        note_divergence("lane '" + lane_name + "' failed: " + st.message());
+        return;
+      }
+    }
+    if (lossy) cl.ArmLinkFaults();
+    cluster::RouterOptions ro;
+    ro.verify = verify::VerifyMode::kStrict;
+    // A seed-derived half of join cases take the broadcast-build path.
+    if (c.is_join && MixSeed(c.seed, 0xb40adULL) % 2 == 0) {
+      ro.broadcast_build_max_rows = ~0ULL;
+    }
+    cluster::QueryRouter router(&cl, ro);
+    auto r =
+        c.is_join ? router.ExecuteJoin(c.join) : router.ExecuteQuery(c.query);
+    if (!r.ok()) {
+      add_failure(lane_name, r.status());
+      note_divergence("lane '" + lane_name +
+                      "' failed: " + r.status().message());
+      return;
+    }
+    const cluster::DistributedResult& dr = r.ValueOrDie();
+    if (dr.outcome != "DONE") {
+      // Lossy links may legitimately exhaust a frame's retry budget; any
+      // other non-DONE outcome is a divergence (nothing was scheduled to
+      // fail).
+      if (!(lossy && dr.outcome == "RETRY_EXHAUSTED")) {
+        note_divergence("lane '" + lane_name + "' outcome " + dr.outcome);
+      }
+      return;
+    }
+    CanonicalResult canon = c.is_join ? CanonicalizeCount(dr.total_rows)
+                                      : CanonicalizeChunks(dr.chunks);
+    LaneResult& lane = add_lane(lane_name, canon,
+                                static_cast<uint64_t>(dr.makespan_ns));
+    if (lane.fingerprint != out.reference_fingerprint) {
+      note_divergence("lane '" + lane_name + "' fingerprint " +
+                      lane.fingerprint + " != volcano reference " +
+                      out.reference_fingerprint);
+    }
+    if (dr.verify.num_errors() > 0) {
+      note_divergence("lane '" + lane_name + "' had exchange-verifier errors");
+    }
+  };
+  auto run_cluster_lanes = [&] {
+    if (!options_.cluster || options_.cluster_node_counts.empty()) return;
+    for (int n : options_.cluster_node_counts) {
+      run_cluster_lane(n, /*lossy=*/false);
+    }
+    if (options_.sample_faults) {
+      run_cluster_lane(*std::max_element(options_.cluster_node_counts.begin(),
+                                         options_.cluster_node_counts.end()),
+                       /*lossy=*/true);
+    }
+  };
+
   const sim::FabricConfig config = MakeConfig();
 
   // --- Lane 0: the Volcano reference (never sees the injected bug). ------
@@ -210,6 +289,7 @@ Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
       faulty.EnableFaultInjection(MakeFaultConfig(c.seed));
       run_join("faults", &faulty, /*fault_free=*/false);
     }
+    run_cluster_lanes();
     return out;
   }
 
@@ -375,6 +455,8 @@ Result<DiffResult> DiffRunner::Run(const GeneratedCase& c) const {
       run_query("crash", &crashed, strict, /*fault_free=*/false);
     }
   }
+
+  run_cluster_lanes();
 
   // --- Chaos-serve lane: the full lifecycle under fire. ------------------
   // The same query is served repeatedly through the service loop while a

@@ -55,6 +55,16 @@ struct DiffOptions {
   /// to the fault-free Volcano reference; misses/cancels are legal
   /// outcomes, silent wrong answers are not. (fuzz_plans --deadlines)
   bool chaos_serve = false;
+  /// Adds the "cluster:nN" lanes: the case's tables are hash-sharded
+  /// across an N-node cluster and the query runs distributed through
+  /// QueryRouter (local fragments, exchange shuffle/broadcast/gather,
+  /// merge-at-coordinator), once per entry in `cluster_node_counts`, plus
+  /// a "cluster:faults" lane on the largest count with lossy inter-node
+  /// links (checksummed retransmission must still be exact). Every DONE
+  /// distributed run must fingerprint identically to the single-node
+  /// Volcano reference. (fuzz_plans --cluster, default on)
+  bool cluster = true;
+  std::vector<int> cluster_node_counts = {1, 2, 4};
 };
 
 /// One engine/placement/fault execution of the case.

@@ -50,7 +50,15 @@ std::string ReproToJson(const Repro& repro) {
   out += std::string("    \"real_parallel\": ") +
          (repro.diff.real_parallel ? "true" : "false") + ",\n";
   out += std::string("    \"compiled\": ") +
-         (repro.diff.compiled ? "true" : "false") + "\n";
+         (repro.diff.compiled ? "true" : "false") + ",\n";
+  out += std::string("    \"cluster\": ") +
+         (repro.diff.cluster ? "true" : "false") + ",\n";
+  out += "    \"cluster_node_counts\": [";
+  for (size_t i = 0; i < repro.diff.cluster_node_counts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(repro.diff.cluster_node_counts[i]);
+  }
+  out += "]\n";
   out += "  },\n";
   out += "  \"steps\": [";
   for (size_t i = 0; i < repro.steps.size(); ++i) {
@@ -126,6 +134,19 @@ Result<Repro> ReproFromJson(const std::string& json) {
   // Optional (added with the compiled-program lanes): same rule again.
   const trace::JsonValue* compiled = diff->Find("compiled");
   if (compiled != nullptr) repro.diff.compiled = compiled->AsBool();
+  // Optional (added with the cluster lanes): same rule; the node-count
+  // list round-trips so a distributed divergence replays at the exact
+  // cluster shape that caught it.
+  const trace::JsonValue* cl = diff->Find("cluster");
+  if (cl != nullptr) repro.diff.cluster = cl->AsBool();
+  const trace::JsonValue* cnc = diff->Find("cluster_node_counts");
+  if (cnc != nullptr) {
+    repro.diff.cluster_node_counts.clear();
+    for (const trace::JsonValue& v : cnc->AsArray()) {
+      repro.diff.cluster_node_counts.push_back(
+          static_cast<int>(v.AsUInt64()));
+    }
+  }
 
   const trace::JsonValue* steps = root.Find("steps");
   if (steps == nullptr) return MissingField("steps");

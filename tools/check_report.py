@@ -83,6 +83,32 @@ SERVICE_COUNTERS = [
     "service.cache.planning_ns_warm",
 ]
 
+# Additional counters captured when the entry carries a "cluster" section
+# (scale-out benches, PR 10): per-cluster admitted/shed/completed totals,
+# exchange traffic over the inter-node links (bytes, frames, retransmits,
+# credit stalls), straggler events, and node losses. All integers, fully
+# deterministic for a fixed --dflow_seed. Per-node admitted/shed are pinned
+# through the per_node.* paths captured dynamically below.
+CLUSTER_COUNTERS = [
+    "cluster.num_nodes",
+    "cluster.arrivals_total",
+    "cluster.admitted_total",
+    "cluster.shed_total",
+    "cluster.completed_total",
+    "cluster.failed_total",
+    "cluster.straggler_events",
+    "cluster.node_losses",
+    "cluster.exchange.bytes",
+    "cluster.exchange.frames",
+    "cluster.exchange.retransmits",
+    "cluster.exchange.frames_lost",
+    "cluster.exchange.credit_stall_ns",
+]
+
+# Per-node counters pinned for every node present in the report's cluster
+# section ("cluster.per_node.node0.admitted", ...).
+CLUSTER_PER_NODE_COUNTERS = ["admitted", "shed", "completed", "failed"]
+
 
 def lookup(obj, dotted):
     for key in dotted.split("."):
@@ -100,10 +126,13 @@ def load_report_entries(path):
     entries = {}
     for e in doc.get("entries", []):
         report = e["report"]
-        # Fold an entry's service section into the report dict so dotted
-        # expectation paths like "service.shed_total" resolve uniformly.
+        # Fold an entry's service/cluster sections into the report dict so
+        # dotted expectation paths like "service.shed_total" and
+        # "cluster.exchange.bytes" resolve uniformly.
         if "service" in e:
             report = dict(report, service=e["service"])
+        if "cluster" in e:
+            report = dict(report, cluster=e["cluster"])
         entries[e["name"]] = report
     return doc.get("bench", ""), entries
 
@@ -115,6 +144,12 @@ def update_expectations(bench, entries, expected_path, tolerance):
         paths = list(DEFAULT_COUNTERS)
         if "service" in entries[name]:
             paths += SERVICE_COUNTERS
+        if "cluster" in entries[name]:
+            paths += CLUSTER_COUNTERS
+            per_node = entries[name]["cluster"].get("per_node", {})
+            for node in sorted(per_node):
+                paths += [f"cluster.per_node.{node}.{c}"
+                          for c in CLUSTER_PER_NODE_COUNTERS]
         for path in paths:
             value = lookup(entries[name], path)
             if value is not None:
@@ -178,6 +213,16 @@ def main():
         if report is None:
             failures.append(f"entry {name!r}: missing from report")
             continue
+        # A report that silently dropped a whole section the expectations
+        # pin (e.g. the bench stopped emitting its "cluster" member) is a
+        # structural regression, called out as such rather than as N
+        # per-counter misses.
+        for section in ("service", "cluster"):
+            if (section not in report
+                    and any(p.startswith(section + ".") for p in counters)):
+                failures.append(
+                    f"{name}: report is missing its whole {section!r} "
+                    f"section but the expectations pin {section}.* counters")
         for path, want in sorted(counters.items()):
             got = lookup(report, path)
             checked += 1

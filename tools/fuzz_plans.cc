@@ -8,7 +8,7 @@
 // replayable "dflow.repro.v1" JSON.
 //
 // Usage: fuzz_plans [--seeds=N] [--seed_base=S] [--variants=K] [--faults=0|1]
-//                   [--parallel=0|1] [--deadlines]
+//                   [--parallel=0|1] [--deadlines] [--cluster=0|1]
 //                   [--inject_bug=none|filter_drop_first_row]
 //                   [--repro_dir=DIR] [--replay=FILE] [--verbose]
 //
@@ -21,6 +21,12 @@
 // through a ServiceLoop with deadlines, a scheduled cancellation, circuit
 // breakers, retries, and a flapping accelerator; each completed (possibly
 // retried) query must fingerprint identically to the Volcano reference.
+//
+// --cluster (default on) adds the cluster lanes: the case's tables are
+// hash-sharded across 1-, 2-, and 4-node clusters and the query runs
+// distributed (exchange shuffle/broadcast/gather, merge-at-coordinator),
+// plus a lossy-inter-node-link lane; every DONE distributed run must
+// fingerprint identically to the single-node Volcano reference.
 //   exit 0  all seeds agree (or the replay reproduced its recorded repro)
 //   exit 1  at least one divergence (repro JSON written when --repro_dir set)
 //   exit 2  harness/setup failure
@@ -54,6 +60,7 @@ struct Args {
   bool parallel = true;
   bool deadlines = false;
   bool compiled = true;
+  bool cluster = true;
   testing::BugKind inject_bug = testing::BugKind::kNone;
   std::string repro_dir;
   std::string replay;
@@ -131,6 +138,10 @@ int main(int argc, char** argv) {
       args.compiled = value != "0";
     } else if (std::strcmp(argv[i], "--compiled") == 0) {
       args.compiled = true;
+    } else if (dflow::ParseFlag(argv[i], "--cluster", &value)) {
+      args.cluster = value != "0";
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      args.cluster = true;
     } else if (dflow::ParseFlag(argv[i], "--inject_bug", &value)) {
       auto bug = dflow::testing::BugKindFromString(value);
       if (!bug.ok()) {
@@ -149,7 +160,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: fuzz_plans [--seeds=N] [--seed_base=S] "
                    "[--variants=K] [--faults=0|1] [--parallel=0|1] "
-                   "[--deadlines] [--compiled=0|1] [--inject_bug=KIND] "
+                   "[--deadlines] [--compiled=0|1] [--cluster=0|1] "
+                   "[--inject_bug=KIND] "
                    "[--repro_dir=DIR] [--replay=FILE] [--verbose]\n");
       return 2;
     }
@@ -167,6 +179,7 @@ int main(int argc, char** argv) {
   diff_options.real_parallel = args.parallel;
   diff_options.chaos_serve = args.deadlines;
   diff_options.compiled = args.compiled;
+  diff_options.cluster = args.cluster;
   diff_options.inject_bug = args.inject_bug;
   dflow::testing::DiffRunner runner(diff_options);
 
